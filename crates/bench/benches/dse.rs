@@ -1,0 +1,29 @@
+//! Criterion benchmarks of the exploration flow — Figure 6's `N_knl`
+//! sweep and Figure 7's `S_ec × N_cu` grid.
+
+use abm_dse::explore::{explore_nknl, explore_sec_ncu};
+use abm_dse::FpgaDevice;
+use abm_model::{zoo, PruneProfile};
+use abm_sim::AcceleratorConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_dse(c: &mut Criterion) {
+    let dev = FpgaDevice::stratix_v_gxa7();
+    let net = zoo::vgg16();
+    let profile = PruneProfile::vgg16_deep_compression();
+    let base = AcceleratorConfig::paper();
+    let s_ec: Vec<usize> = (4..=40).step_by(4).collect();
+    let n_cu: Vec<usize> = (1..=6).collect();
+
+    let mut group = c.benchmark_group("exploration");
+    group.bench_function("figure6_nknl_sweep", |b| {
+        b.iter(|| explore_nknl(&net, &profile, &dev, &base, 2..=20))
+    });
+    group.bench_function("figure7_sec_ncu_grid", |b| {
+        b.iter(|| explore_sec_ncu(&net, &profile, &dev, &base, &s_ec, &n_cu, 0.75))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dse);
+criterion_main!(benches);

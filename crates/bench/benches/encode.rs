@@ -1,0 +1,40 @@
+//! Criterion benchmarks of the sparse weight encoder/decoder (the
+//! offline model-preparation cost) against the CSR baseline.
+
+use abm_sparse::{CsrKernel, LayerCode, SizeModel};
+use abm_tensor::{Shape4, Tensor4};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn vgg_like_layer() -> Tensor4<i8> {
+    // CONV4-like: 512x256x3x3, 70% pruned, 20 distinct values.
+    Tensor4::from_fn(Shape4::new(512, 256, 3, 3), |m, n, k, kp| {
+        let h = (m * 2304 + n * 9 + k * 3 + kp).wrapping_mul(2654435761) % 100;
+        if h < 70 {
+            0
+        } else {
+            (((h * 7) % 20) as i8) - 10
+        }
+    })
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let weights = vgg_like_layer();
+    let code = LayerCode::encode(&weights).unwrap();
+    let bytes = weights.len() as u64;
+
+    let mut group = c.benchmark_group("weight_encoding_512x256x3x3");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(bytes));
+    group.bench_function("abm_encode", |b| {
+        b.iter(|| LayerCode::encode(&weights).unwrap())
+    });
+    group.bench_function("abm_decode", |b| b.iter(|| code.decode()));
+    group.bench_function("csr_encode", |b| b.iter(|| CsrKernel::encode_layer(&weights)));
+    group.bench_function("size_model", |b| {
+        b.iter(|| SizeModel::paper().layer_bytes(&code))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion micro-benchmarks of the four convolution engines on a
+//! representative pruned layer (what a host-side functional check pays
+//! per engine).
+
+use abm_conv::{abm, dense, freq, sparse, Geometry};
+use abm_sparse::{CsrKernel, LayerCode};
+use abm_tensor::{Shape3, Shape4, Tensor3, Tensor4};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn test_case() -> (Tensor3<i16>, Tensor4<i8>) {
+    let input = Tensor3::from_fn(Shape3::new(32, 28, 28), |c, r, col| {
+        (((c * 784 + r * 28 + col) * 31) % 255) as i16 - 127
+    });
+    // ~72% pruned, 16 distinct values: a deep-VGG-like profile.
+    let weights = Tensor4::from_fn(Shape4::new(64, 32, 3, 3), |m, n, k, kp| {
+        let h = (m * 289 + n * 37 + k * 11 + kp * 3) % 100;
+        if h < 72 {
+            0
+        } else {
+            (((h * 13) % 16) as i8) - 8
+        }
+    });
+    (input, weights)
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let (input, weights) = test_case();
+    let geom = Geometry::new(1, 1);
+    let code = LayerCode::encode(&weights).unwrap();
+    let csr = CsrKernel::encode_layer(&weights);
+
+    let mut group = c.benchmark_group("conv_engines_64x32x3x3_on_28x28");
+    group.sample_size(10);
+    group.bench_function("dense_sdconv", |b| {
+        b.iter(|| dense::conv2d(&input, &weights, geom))
+    });
+    group.bench_function("csr_spconv", |b| {
+        b.iter(|| sparse::conv2d(&input, &csr, weights.shape(), geom))
+    });
+    group.bench_function("abm_spconv", |b| b.iter(|| abm::conv2d(&input, &code, geom)));
+    group.bench_function("fft_fdconv", |b| {
+        b.iter_batched(
+            || (),
+            |_| freq::conv2d(&input, &weights, geom),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

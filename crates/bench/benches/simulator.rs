@@ -1,0 +1,34 @@
+//! Criterion benchmarks of the cycle simulator and the analytic
+//! performance model — the costs a DSE loop pays per evaluated design
+//! point.
+
+use abm_bench::{alexnet_model, vgg16_model};
+use abm_dse::perf::estimate_network;
+use abm_model::{zoo, PruneProfile};
+use abm_sim::{simulate_network, AcceleratorConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_simulator(c: &mut Criterion) {
+    let vgg = vgg16_model();
+    let alex = alexnet_model();
+    let cfg = AcceleratorConfig::paper();
+
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    group.bench_function("simulate_vgg16", |b| b.iter(|| simulate_network(&vgg, &cfg)));
+    group.bench_function("simulate_alexnet", |b| {
+        b.iter(|| simulate_network(&alex, &AcceleratorConfig::paper_alexnet()))
+    });
+    group.finish();
+
+    let net = zoo::vgg16();
+    let profile = PruneProfile::vgg16_deep_compression();
+    let mut group = c.benchmark_group("analytic_model");
+    group.bench_function("perf_model_vgg16", |b| {
+        b.iter(|| estimate_network(&net, &profile, &cfg))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Regenerates **Figure 1**: the roofline comparison of accelerator
+//! design spaces on the Stratix-V GXA7.
+//!
+//! ```text
+//! cargo run --release --bin figure1
+//! ```
+
+use abm_bench::{rule, vgg16_model};
+use abm_dse::{compute_roofline, FpgaDevice};
+use abm_model::{zoo, PruneProfile};
+use abm_sim::{simulate_network, AcceleratorConfig};
+
+fn bar(gops: f64, scale: f64) -> String {
+    "#".repeat((gops / scale).round() as usize)
+}
+
+fn main() {
+    let dev = FpgaDevice::stratix_v_gxa7();
+    let net = zoo::vgg16();
+    let profile = PruneProfile::vgg16_deep_compression();
+    let r = compute_roofline(&dev, &net, &profile, 4, 0.75);
+
+    println!("Figure 1: computational roofs on {} at {} MHz (VGG16 workload)", dev.name, dev.nominal_freq_mhz);
+    rule(96);
+    let scale = 25.0; // GOP/s per '#'
+    println!(
+        "SDConv  roof  {:>7.1} GOP/s  {}  (paper: 204.8, 2*Nmac*Freq)",
+        r.sdconv_gops,
+        bar(r.sdconv_gops, scale)
+    );
+    println!(
+        "FDConv  roof  {:>7.1} GOP/s  {}  (paper: 675, 2*Rmac*Nmac*Freq)",
+        r.fdconv_gops,
+        bar(r.fdconv_gops, scale)
+    );
+    println!(
+        "ABM     roof  {:>7.1} GOP/s  {}  (paper: 1046, 2*Nacc*Freq)",
+        r.abm_gops,
+        bar(r.abm_gops, scale)
+    );
+    rule(96);
+    println!(
+        "Feasible accumulator lanes (N_acc): {}   op-reduction factor: {:.2}x",
+        r.n_acc, r.abm_reduction
+    );
+
+    // Achieved points below the roofs.
+    let sim = simulate_network(&vgg16_model(), &AcceleratorConfig::paper());
+    println!(
+        "Achieved (simulated, this repo): {:>7.1} GOP/s  {}",
+        sim.gops(),
+        bar(sim.gops(), scale)
+    );
+    println!("Achieved by [3] (published):     {:>7.1} GOP/s  {}", 669.1, bar(669.1, scale));
+    println!(
+        "Speedup of the new design space roof over FDConv roof: {:.2}x (paper: ~1.55x achieved)",
+        r.abm_over_fdconv()
+    );
+}

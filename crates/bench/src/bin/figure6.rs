@@ -1,0 +1,47 @@
+//! Regenerates **Figure 6**: exploration for the optimal value of
+//! `N_knl` (operating frequency 200 MHz assumed, `S_ec`/`N_cu` preset).
+//!
+//! ```text
+//! cargo run --release --bin figure6
+//! ```
+
+use abm_bench::rule;
+use abm_dse::explore::{explore_nknl, normalized_boost, optimal_nknl};
+use abm_dse::FpgaDevice;
+use abm_model::{zoo, PruneProfile};
+use abm_sim::AcceleratorConfig;
+
+fn main() {
+    let dev = FpgaDevice::stratix_v_gxa7();
+    let net = zoo::vgg16();
+    let profile = PruneProfile::vgg16_deep_compression();
+    let base = AcceleratorConfig { freq_mhz: 200.0, ..AcceleratorConfig::paper() };
+
+    let points = explore_nknl(&net, &profile, &dev, &base, 2..=20);
+    let boost = normalized_boost(&points);
+
+    println!("Figure 6: exploration for the optimal N_knl (VGG16, S_ec=20, N_cu=3, 200 MHz)");
+    rule(84);
+    println!(
+        "{:>6} {:>10} {:>8} {:>16} {:>10}  boost curve",
+        "N_knl", "GOP/s", "DSP", "normalized boost", "feasible"
+    );
+    rule(84);
+    for (p, b) in points.iter().zip(&boost) {
+        println!(
+            "{:>6} {:>10.1} {:>8} {:>16.3} {:>10}  {}",
+            p.config.n_knl,
+            p.gops,
+            p.resources.dsps,
+            b,
+            if p.feasible { "yes" } else { "NO" },
+            "*".repeat((b * 40.0).round() as usize),
+        );
+    }
+    rule(84);
+    let best = optimal_nknl(&points).expect("feasible point exists");
+    println!(
+        "Optimal N_knl = {} (paper selects 14); throughput {:.1} GOP/s at {} DSPs",
+        best.config.n_knl, best.gops, best.resources.dsps
+    );
+}

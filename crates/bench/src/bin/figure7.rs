@@ -1,0 +1,78 @@
+//! Regenerates **Figure 7**: exploration for the attainable throughput
+//! in the `S_ec × N_cu` plane (VGG16, `N_knl = 14`, `N = 4`, 200 MHz,
+//! logic constraint 75%).
+//!
+//! ```text
+//! cargo run --release --bin figure7
+//! ```
+
+use abm_bench::rule;
+use abm_dse::explore::{best_feasible, explore_sec_ncu, pareto_front};
+use abm_dse::FpgaDevice;
+use abm_model::{zoo, PruneProfile};
+use abm_sim::AcceleratorConfig;
+
+fn main() {
+    let dev = FpgaDevice::stratix_v_gxa7();
+    let net = zoo::vgg16();
+    let profile = PruneProfile::vgg16_deep_compression();
+    let base = AcceleratorConfig { freq_mhz: 200.0, ..AcceleratorConfig::paper() };
+    let s_ec: Vec<usize> = (4..=40).step_by(4).collect();
+    let n_cu: Vec<usize> = (1..=6).collect();
+
+    let points = explore_sec_ncu(&net, &profile, &dev, &base, &s_ec, &n_cu, 0.75);
+
+    println!(
+        "Figure 7: attainable throughput (GOP/s) over S_ec x N_cu (VGG16, N_knl=14, N=4, 200 MHz)"
+    );
+    println!("'.' = infeasible (DSP, M20K or 75% logic constraint violated)");
+    rule(80);
+    print!("{:>6} |", "S_ec");
+    for cu in &n_cu {
+        print!("{:>10}", format!("N_cu={cu}"));
+    }
+    println!();
+    rule(80);
+    for &s in &s_ec {
+        print!("{s:>6} |");
+        for &cu in &n_cu {
+            let p = points
+                .iter()
+                .find(|p| p.config.s_ec == s && p.config.n_cu == cu)
+                .expect("grid point evaluated");
+            if p.feasible {
+                print!("{:>10.0}", p.gops);
+            } else {
+                print!("{:>10}", ".");
+            }
+        }
+        println!();
+    }
+    rule(80);
+
+    let top = best_feasible(&points, 5);
+    println!("Top feasible candidates (the paper implements S_ec=20, N_cu=3):");
+    for (i, p) in top.iter().enumerate() {
+        println!(
+            "  {}. S_ec={:>2} N_cu={} -> {:>6.1} GOP/s  (ALM {:>6}, DSP {:>3}, M20K {:>4})",
+            i + 1,
+            p.config.s_ec,
+            p.config.n_cu,
+            p.gops,
+            p.resources.alms,
+            p.resources.dsps,
+            p.resources.m20ks
+        );
+    }
+
+    let front = pareto_front(&points);
+    println!(
+        "\nPareto front (throughput vs DSP vs logic — the candidates a designer weighs):"
+    );
+    for p in front {
+        println!(
+            "  S_ec={:>2} N_cu={} -> {:>6.1} GOP/s, {:>3} DSP, {:>6} ALM",
+            p.config.s_ec, p.config.n_cu, p.gops, p.resources.dsps, p.resources.alms
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Empirically tests the paper's data-path precision claim
+//! (Section 4.2): "16-bit accumulator and 16b-by-16b multiplier ...
+//! ensure full-precision fixed-point computation and no information
+//! loss".
+//!
+//! Runs ABM-SpConv functionally on representative VGG16 layers with a
+//! saturating stage-1 accumulator of several widths and reports the
+//! saturation rate, output divergence and bit margin.
+//!
+//! ```text
+//! cargo run --release --bin precision
+//! ```
+
+use abm_bench::{rule, vgg16_model};
+use abm_conv::precision::conv2d_saturating;
+use abm_conv::Geometry;
+use abm_sparse::LayerCode;
+use abm_tensor::Tensor3;
+
+fn main() {
+    let model = vgg16_model();
+    println!("Stage-1 accumulator width study (VGG16 layers, synthetic 8-bit features)");
+    rule(96);
+    println!(
+        "{:<10} {:>5} {:>16} {:>14} {:>14} {:>12}",
+        "layer", "bits", "saturated", "diverged px", "max |err|", "margin(bit)"
+    );
+    rule(96);
+    for name in ["CONV1_1", "CONV4_2", "FC6"] {
+        let layer = model.layer(name).expect("layer exists");
+        let code = LayerCode::encode(&layer.weights).expect("encodable");
+        let geom = Geometry::new(layer.stride(), layer.pad()).with_groups(layer.groups());
+        // FC layers consume the flattened feature vector.
+        let shape = if name.starts_with("FC") {
+            abm_tensor::Shape3::new(layer.layer.input_shape.len(), 1, 1)
+        } else {
+            layer.layer.input_shape
+        };
+        let input = Tensor3::from_fn(shape, |c, r, col| {
+            (((c * 31 + r * 7 + col * 3) % 255) as i16) - 127
+        });
+        for bits in [12u32, 16, 20, 32] {
+            let (_, report) = conv2d_saturating(&input, &code, geom, bits);
+            println!(
+                "{:<10} {:>5} {:>9}/{:<6} {:>14} {:>14} {:>12.1}",
+                name,
+                bits,
+                report.saturated_partials,
+                report.total_partials,
+                report.diverged_outputs,
+                report.max_output_error,
+                report.margin_bits(bits),
+            );
+        }
+        rule(96);
+    }
+    println!(
+        "A non-negative margin at 16 bits reproduces the paper's 'no information loss' claim\n\
+         for that layer; worst-case inputs (all-max features) can still exceed it, which is\n\
+         why the margin column matters."
+    );
+}

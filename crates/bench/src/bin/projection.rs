@@ -1,0 +1,54 @@
+//! Beyond-the-paper projection: run the complete Figure-5 exploration
+//! flow on a larger device (Arria-10 GX1150, the platform of baselines
+//! \[4\], \[10\], \[12\]) and on deeper workloads (VGG19), testing the
+//! paper's Section 5.2 claim that "our design is compute-bound for most
+//! FPGA devices".
+//!
+//! ```text
+//! cargo run --release -p abm-bench --bin projection
+//! ```
+
+use abm_bench::rule;
+use abm_dse::flow::run_flow;
+use abm_dse::FpgaDevice;
+use abm_model::{zoo, PruneProfile};
+
+fn main() {
+    println!("Exploration-flow projections (top candidate per device x workload)");
+    rule(108);
+    println!(
+        "{:<18} {:<8} {:>3} {:>6} {:>6} {:>5} {:>10} {:>10} {:>10} {:>14}",
+        "device", "CNN", "N", "N_knl", "S_ec", "N_cu", "GOP/s", "DSP", "M20K", "compute-bound"
+    );
+    rule(108);
+    for device in [FpgaDevice::stratix_v_gxa7(), FpgaDevice::arria10_gx1150()] {
+        for (net, profile) in [
+            (zoo::alexnet(), PruneProfile::alexnet_deep_compression()),
+            (zoo::vgg16(), PruneProfile::vgg16_deep_compression()),
+            (zoo::vgg19(), PruneProfile::vgg16_deep_compression()),
+        ] {
+            let result = run_flow(&net, &profile, &device, 3);
+            let best = result.best().expect("feasible candidate");
+            println!(
+                "{:<18} {:<8} {:>3} {:>6} {:>6} {:>5} {:>10.1} {:>10} {:>10} {:>14}",
+                device.name,
+                net.name(),
+                result.n,
+                result.n_knl,
+                best.config.s_ec,
+                best.config.n_cu,
+                best.gops,
+                best.resources.dsps,
+                best.resources.m20ks,
+                if result.compute_bound { "yes" } else { "NO" },
+            );
+        }
+    }
+    rule(108);
+    println!(
+        "Context: on the Arria-10, the best published MAC-array design [4] reaches 1790 GOP/s\n\
+         with 1378 DSPs; the ABM flow projects a similar class of throughput while leaving most\n\
+         DSPs unused — performance density is the scheme's advantage, exactly as on the GXA7.\n\
+         (VGG19 uses VGG16's pruning profile: Deep Compression reports closely matching rates.)"
+    );
+}

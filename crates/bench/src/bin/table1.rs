@@ -1,0 +1,76 @@
+//! Regenerates **Table 1**: #OP required by the four convolution
+//! approaches for selected layers and the entire VGG16 model.
+//!
+//! ```text
+//! cargo run --release --bin table1
+//! ```
+
+use abm_bench::{mop, ratio, rule, vgg16_model};
+use abm_conv::ops::NetworkOps;
+
+/// Paper reference rows: (layer, SDConv, FDConv, SpConv, Acc, Mult,
+/// ratio) in MOP.
+const PAPER_ROWS: &[(&str, f64, f64, f64, f64, f64, f64)] = &[
+    ("CONV1_1", 173.0, 52.5, 100.0, 50.3, 12.1, 4.1),
+    ("CONV1_2", 3699.0, 1119.0, 814.0, 407.0, 119.0, 3.4),
+    ("CONV4_1", 1849.0, 559.0, 592.0, 296.0, 9.23, 32.0),
+    ("CONV4_2", 3699.0, 1119.0, 998.0, 499.0, 7.95, 62.7),
+    ("FC6", 205.0, 205.0, 8.23, 4.11, 0.037, 111.0),
+    ("FC7", 33.6, 33.6, 1.34, 0.67, 0.021, 31.9),
+];
+
+fn main() {
+    let model = vgg16_model();
+    let ops = NetworkOps::analyze(&model);
+
+    println!("Table 1: #OP required by different convolution approaches (VGG16, MOP)");
+    println!("(measured on the synthetic deep-compression model, seed {})", abm_bench::SEED);
+    rule(100);
+    println!(
+        "{:<10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10}   (paper: SD/FD/Sp/Acc/Mult/ratio)",
+        "Layer", "SDConv", "FDConv", "SpConv", "ABM Acc", "ABM Mult", "Acc/Mult"
+    );
+    rule(100);
+    for &(name, psd, pfd, psp, pacc, pmult, pratio) in PAPER_ROWS {
+        let row = ops.layer(name).expect("layer present");
+        println!(
+            "{:<10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10}   ({psd}/{pfd}/{psp}/{pacc}/{pmult}/{pratio})",
+            name,
+            mop(row.sdconv),
+            mop(row.fdconv_paper),
+            mop(row.spconv),
+            mop(row.abm_acc),
+            mop(row.abm_mult),
+            ratio(row.acc_mult_ratio()),
+        );
+    }
+    rule(100);
+    let t = ops.totals();
+    println!(
+        "{:<10} {:>9} {:>9} {:>9} {:>9} {:>9}            (paper: 30941/9531/10082/5040)",
+        "Entire CNN",
+        mop(t.sdconv),
+        mop(t.fdconv_paper),
+        mop(t.spconv),
+        mop(t.abm_acc),
+        mop(t.abm_mult),
+    );
+    println!(
+        "#OP saved vs SDConv: {:.1}%   (paper: 83.6%)   vs FDConv: {:.1}% (47.1%)   vs SpConv: {:.1}% (50%)",
+        ops.abm_saving() * 100.0,
+        (1.0 - t.abm_total() as f64 / t.fdconv_paper as f64) * 100.0,
+        (1.0 - t.abm_total() as f64 / t.spconv as f64) * 100.0,
+    );
+    println!(
+        "FDConv (modeled via OaA FFT instead of the uniform 3.3x): {} MOP total",
+        mop(t.fdconv_modeled)
+    );
+    println!(
+        "Winograd F(2x2,3x3) extension column (not in the paper): {} MOP total",
+        mop(t.winograd)
+    );
+    println!(
+        "Minimum layer Acc/Mult ratio: {:.1}  =>  N = 4 (Section 5.2)",
+        ops.min_acc_mult_ratio()
+    );
+}

@@ -1,0 +1,218 @@
+//! Convolution by im2col + GEMM — the lowering used by the MAC-array
+//! accelerators the paper compares against (\[4\], \[12\]: systolic/GEMM
+//! designs), kept as a fourth exact engine and as the natural substrate
+//! for analyzing dense data-path behaviour.
+//!
+//! `im2col` unrolls each receptive field into a matrix column; the
+//! convolution becomes a `(M) × (N·K·K')` by `(N·K·K') × (R'·C')` matrix
+//! product, evaluated exactly in `i64`.
+
+use crate::dense::{padded_read, Geometry};
+use abm_tensor::{Tensor3, Tensor4};
+
+/// The unrolled patch matrix produced by [`im2col`]: `rows` patches of
+/// `cols` elements each, row-major.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatchMatrix {
+    /// `N·K·K'` — elements per receptive field.
+    pub patch_len: usize,
+    /// `R'·C'` — number of output positions.
+    pub positions: usize,
+    /// Column-major patch data: `data[p * patch_len + i]` is element `i`
+    /// of the patch at output position `p`.
+    pub data: Vec<i16>,
+}
+
+/// Unrolls the receptive fields of `input` for a `K×K'` kernel into a
+/// patch matrix (one group's channels only; call per group for grouped
+/// convolution).
+///
+/// `channel_base` selects the first input channel of the group and
+/// `channels` its depth.
+///
+/// # Panics
+///
+/// Panics if the channel range exceeds the input.
+pub fn im2col(
+    input: &Tensor3<i16>,
+    channel_base: usize,
+    channels: usize,
+    kernel_rows: usize,
+    kernel_cols: usize,
+    geom: Geometry,
+) -> PatchMatrix {
+    assert!(
+        channel_base + channels <= input.shape().channels,
+        "channel range out of bounds"
+    );
+    let out_rows =
+        abm_tensor::shape::conv_out_dim(input.shape().rows, kernel_rows, geom.stride, geom.pad);
+    let out_cols =
+        abm_tensor::shape::conv_out_dim(input.shape().cols, kernel_cols, geom.stride, geom.pad);
+    let patch_len = channels * kernel_rows * kernel_cols;
+    let positions = out_rows * out_cols;
+    let mut data = Vec::with_capacity(patch_len * positions);
+    for orow in 0..out_rows {
+        for ocol in 0..out_cols {
+            for n in 0..channels {
+                for k in 0..kernel_rows {
+                    for kp in 0..kernel_cols {
+                        let pr = (orow * geom.stride + k) as isize - geom.pad as isize;
+                        let pc = (ocol * geom.stride + kp) as isize - geom.pad as isize;
+                        data.push(padded_read(input, channel_base + n, pr, pc) as i16);
+                    }
+                }
+            }
+        }
+    }
+    PatchMatrix { patch_len, positions, data }
+}
+
+/// Exact integer GEMM: `out[m][p] = Σ_i kernels[m][i] · patches[p][i]`.
+///
+/// `kernels` holds `m_count` rows of `patch_len` weights each.
+///
+/// # Panics
+///
+/// Panics if dimensions disagree.
+pub fn gemm_i64(kernels: &[i8], m_count: usize, patches: &PatchMatrix) -> Vec<i64> {
+    assert_eq!(kernels.len(), m_count * patches.patch_len, "kernel matrix shape");
+    let mut out = vec![0i64; m_count * patches.positions];
+    for m in 0..m_count {
+        let krow = &kernels[m * patches.patch_len..(m + 1) * patches.patch_len];
+        for p in 0..patches.positions {
+            let prow = &patches.data[p * patches.patch_len..(p + 1) * patches.patch_len];
+            let mut acc = 0i64;
+            for (w, x) in krow.iter().zip(prow) {
+                acc += (*w as i64) * (*x as i64);
+            }
+            out[m * patches.positions + p] = acc;
+        }
+    }
+    out
+}
+
+/// Convolution via im2col + GEMM, bit-identical to
+/// [`crate::dense::conv2d`].
+///
+/// # Panics
+///
+/// Panics on inconsistent channel counts.
+pub fn conv2d(input: &Tensor3<i16>, weights: &Tensor4<i8>, geom: Geometry) -> Tensor3<i64> {
+    let w = weights.shape();
+    assert_eq!(
+        input.shape().channels,
+        w.in_channels * geom.groups,
+        "input channels {} != weight in_channels {} x groups {}",
+        input.shape().channels,
+        w.in_channels,
+        geom.groups
+    );
+    let out_shape = crate::dense::output_shape(input.shape(), weights, geom);
+    let m_per_group = w.out_channels / geom.groups;
+    let mut out = Tensor3::zeros(out_shape);
+    for g in 0..geom.groups {
+        let patches = im2col(
+            input,
+            g * w.in_channels,
+            w.in_channels,
+            w.kernel_rows,
+            w.kernel_cols,
+            geom,
+        );
+        let kernel_base = g * m_per_group * w.kernel_rows * w.kernel_cols * w.in_channels;
+        let kernels =
+            &weights.as_slice()[kernel_base..kernel_base + m_per_group * patches.patch_len];
+        let product = gemm_i64(kernels, m_per_group, &patches);
+        for m in 0..m_per_group {
+            for p in 0..patches.positions {
+                let (r, c) = (p / out_shape.cols, p % out_shape.cols);
+                out[(g * m_per_group + m, r, c)] = product[m * patches.positions + p];
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense;
+    use abm_tensor::{Shape3, Shape4};
+
+    fn check(input: &Tensor3<i16>, weights: &Tensor4<i8>, geom: Geometry) {
+        let reference = dense::conv2d(input, weights, geom);
+        let gemm = conv2d(input, weights, geom);
+        assert_eq!(reference, gemm);
+    }
+
+    #[test]
+    fn im2col_unrolls_patches() {
+        // 1 channel 3x3 input, 2x2 kernel, valid conv: 4 patches.
+        let input = Tensor3::from_fn(Shape3::new(1, 3, 3), |_, r, c| (r * 3 + c) as i16);
+        let p = im2col(&input, 0, 1, 2, 2, Geometry::new(1, 0));
+        assert_eq!(p.patch_len, 4);
+        assert_eq!(p.positions, 4);
+        assert_eq!(&p.data[0..4], &[0, 1, 3, 4]);
+        assert_eq!(&p.data[12..16], &[4, 5, 7, 8]);
+    }
+
+    #[test]
+    fn im2col_padding_zero_fills() {
+        let input = Tensor3::from_vec(Shape3::new(1, 1, 1), vec![9i16]);
+        let p = im2col(&input, 0, 1, 3, 3, Geometry::new(1, 1));
+        assert_eq!(p.positions, 1);
+        let mut expect = vec![0i16; 9];
+        expect[4] = 9;
+        assert_eq!(p.data, expect);
+    }
+
+    #[test]
+    fn gemm_matches_dense_small() {
+        let input = Tensor3::from_fn(Shape3::new(2, 6, 6), |c, r, col| {
+            ((c * 36 + r * 6 + col) % 13) as i16 - 6
+        });
+        let weights = Tensor4::from_fn(Shape4::new(3, 2, 3, 3), |m, n, k, kp| {
+            (((m * 18 + n * 9 + k * 3 + kp) % 7) as i8) - 3
+        });
+        check(&input, &weights, Geometry::new(1, 1));
+    }
+
+    #[test]
+    fn gemm_matches_dense_strided() {
+        let input = Tensor3::from_fn(Shape3::new(1, 9, 9), |_, r, col| {
+            ((r * 9 + col) % 11) as i16 - 5
+        });
+        let weights = Tensor4::from_fn(Shape4::new(2, 1, 5, 5), |m, _, k, kp| {
+            (((m * 25 + k * 5 + kp) % 5) as i8) - 2
+        });
+        check(&input, &weights, Geometry::new(2, 2));
+    }
+
+    #[test]
+    fn gemm_matches_dense_grouped() {
+        let input = Tensor3::from_fn(Shape3::new(4, 5, 5), |c, r, col| {
+            ((c * 25 + r * 5 + col) % 9) as i16 - 4
+        });
+        let weights = Tensor4::from_fn(Shape4::new(6, 2, 3, 3), |m, n, k, kp| {
+            (((m * 18 + n * 9 + k * 3 + kp) % 5) as i8) - 2
+        });
+        check(&input, &weights, Geometry::new(1, 1).with_groups(2));
+    }
+
+    #[test]
+    fn gemm_fc_case() {
+        let input = Tensor3::from_fn(Shape3::new(32, 1, 1), |c, _, _| c as i16 - 16);
+        let weights = Tensor4::from_fn(Shape4::new(10, 32, 1, 1), |m, n, _, _| {
+            (((m * 32 + n) % 6) as i8) - 3
+        });
+        check(&input, &weights, Geometry::unit());
+    }
+
+    #[test]
+    #[should_panic(expected = "channel range")]
+    fn im2col_checks_channel_range() {
+        let input = Tensor3::<i16>::zeros(Shape3::new(2, 3, 3));
+        let _ = im2col(&input, 1, 2, 2, 2, Geometry::new(1, 0));
+    }
+}

@@ -1,0 +1,207 @@
+//! Host-side layers — pooling, ReLU, LRN and softmax.
+//!
+//! The paper runs these on the CPU ("FPGA executes all convolution and FC
+//! layers, while the remaining layers ... are executed by the host
+//! program"), overlapped with accelerator execution. They operate on the
+//! quantized feature maps the accelerator writes back.
+
+use abm_model::{LrnSpec, PoolKind, PoolSpec};
+use abm_tensor::{QFormat, Shape3, Tensor3};
+
+/// Rectified linear unit on a quantized feature map.
+pub fn relu(input: &Tensor3<i16>) -> Tensor3<i16> {
+    input.map(|&v| v.max(0))
+}
+
+/// Pooling (max or average) with the given spec; no padding, matching
+/// both evaluated CNNs.
+///
+/// Average pooling rounds to nearest (ties away from zero).
+pub fn pool(input: &Tensor3<i16>, spec: PoolSpec) -> Tensor3<i16> {
+    let out_shape = spec.output_shape(input.shape());
+    Tensor3::from_fn(out_shape, |c, orow, ocol| {
+        let r0 = orow * spec.stride;
+        let c0 = ocol * spec.stride;
+        match spec.kind {
+            PoolKind::Max => {
+                let mut best = i16::MIN;
+                for r in r0..(r0 + spec.window).min(input.shape().rows) {
+                    for col in c0..(c0 + spec.window).min(input.shape().cols) {
+                        best = best.max(input[(c, r, col)]);
+                    }
+                }
+                best
+            }
+            PoolKind::Avg => {
+                let mut sum = 0i64;
+                let mut count = 0i64;
+                for r in r0..(r0 + spec.window).min(input.shape().rows) {
+                    for col in c0..(c0 + spec.window).min(input.shape().cols) {
+                        sum += input[(c, r, col)] as i64;
+                        count += 1;
+                    }
+                }
+                if count == 0 {
+                    0
+                } else {
+                    // Round half away from zero (truncating division
+                    // after a sign-matched half-step).
+                    let q = 2 * sum + sum.signum() * count;
+                    (q / (2 * count)) as i16
+                }
+            }
+        }
+    })
+}
+
+/// Local response normalization (AlexNet). Executes in floating point on
+/// the dequantized features — exactly what a host CPU does — and
+/// requantizes into the same format.
+pub fn lrn(input: &Tensor3<i16>, fmt: QFormat, spec: &LrnSpec) -> Tensor3<i16> {
+    let s = input.shape();
+    let half = spec.size / 2;
+    Tensor3::from_fn(s, |c, r, col| {
+        let lo = c.saturating_sub(half);
+        let hi = (c + half).min(s.channels - 1);
+        let mut sumsq = 0f64;
+        for ch in lo..=hi {
+            let v = fmt.dequantize(input[(ch, r, col)] as i32) as f64;
+            sumsq += v * v;
+        }
+        let x = fmt.dequantize(input[(c, r, col)] as i32) as f64;
+        let denom = (spec.k as f64 + spec.alpha as f64 / spec.size as f64 * sumsq)
+            .powf(spec.beta as f64);
+        fmt.quantize_f32((x / denom) as f32) as i16
+    })
+}
+
+/// Numerically stable softmax over dequantized logits.
+pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    if logits.is_empty() {
+        return Vec::new();
+    }
+    let max = logits.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+    let exps: Vec<f32> = logits.iter().map(|&x| (x - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Flattens a feature map into FC input order (channel-major, the layout
+/// both Caffe-era CNNs use).
+pub fn flatten(input: &Tensor3<i16>) -> Tensor3<i16> {
+    Tensor3::from_vec(
+        Shape3::new(input.len(), 1, 1),
+        input.as_slice().to_vec(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let t = Tensor3::from_vec(Shape3::new(1, 2, 2), vec![-3i16, 0, 5, -1]);
+        assert_eq!(relu(&t).as_slice(), &[0, 0, 5, 0]);
+    }
+
+    #[test]
+    fn max_pool_2x2() {
+        let t = Tensor3::from_vec(
+            Shape3::new(1, 4, 4),
+            vec![1i16, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16],
+        );
+        let p = pool(&t, PoolSpec::max(2, 2));
+        assert_eq!(p.shape(), Shape3::new(1, 2, 2));
+        assert_eq!(p.as_slice(), &[6, 8, 14, 16]);
+    }
+
+    #[test]
+    fn overlapped_pool_3x3_stride2() {
+        // AlexNet style on 5x5: output 2x2.
+        let t = Tensor3::from_fn(Shape3::new(1, 5, 5), |_, r, c| (r * 5 + c) as i16);
+        let p = pool(&t, PoolSpec::max(3, 2));
+        assert_eq!(p.shape(), Shape3::new(1, 2, 2));
+        assert_eq!(p.as_slice(), &[12, 14, 22, 24]);
+    }
+
+    #[test]
+    fn avg_pool_rounds() {
+        let t = Tensor3::from_vec(Shape3::new(1, 2, 2), vec![1i16, 2, 3, 5]);
+        let spec = PoolSpec { kind: PoolKind::Avg, window: 2, stride: 2 };
+        let p = pool(&t, spec);
+        // mean 2.75 -> 3.
+        assert_eq!(p.as_slice(), &[3]);
+        let neg = Tensor3::from_vec(Shape3::new(1, 2, 2), vec![-1i16, -2, -3, -5]);
+        assert_eq!(pool(&neg, spec).as_slice(), &[-3]);
+    }
+
+    #[test]
+    fn lrn_preserves_sign_and_reduces_magnitude() {
+        let fmt = QFormat::new(8, 4);
+        let t = Tensor3::from_vec(Shape3::new(5, 1, 1), vec![16i16, -32, 48, 64, 80]);
+        let out = lrn(&t, fmt, &LrnSpec::alexnet());
+        for (o, i) in out.as_slice().iter().zip(t.as_slice()) {
+            assert_eq!(o.signum(), i.signum());
+            assert!(o.abs() <= i.abs());
+        }
+    }
+
+    #[test]
+    fn lrn_matches_the_published_formula() {
+        // Single pixel, 3 channels, size-5 window: verify against the
+        // formula x / (k + alpha/size * sum(x^2))^beta computed in f64.
+        let fmt = QFormat::new(8, 4);
+        let raws = [32i16, -48, 16];
+        let t = Tensor3::from_vec(Shape3::new(3, 1, 1), raws.to_vec());
+        let spec = LrnSpec::alexnet();
+        let out = lrn(&t, fmt, &spec);
+        let vals: Vec<f64> =
+            raws.iter().map(|&r| fmt.dequantize(r as i32) as f64).collect();
+        let sumsq: f64 = vals.iter().map(|v| v * v).sum();
+        for (c, &v) in vals.iter().enumerate() {
+            // All channels fall inside every window here (half = 2).
+            let denom = (spec.k as f64 + spec.alpha as f64 / spec.size as f64 * sumsq)
+                .powf(spec.beta as f64);
+            let expect = fmt.quantize_f32((v / denom) as f32) as i16;
+            assert_eq!(out[(c, 0, 0)], expect, "channel {c}");
+        }
+    }
+
+    #[test]
+    fn lrn_window_is_channel_local() {
+        // Channels far apart must not normalize each other.
+        let fmt = QFormat::new(8, 0);
+        let mut data = vec![0i16; 16];
+        data[0] = 100;
+        data[15] = 100;
+        let t = Tensor3::from_vec(Shape3::new(16, 1, 1), data);
+        let out = lrn(&t, fmt, &LrnSpec::alexnet());
+        // Channel 0's window (0..=2) excludes channel 15 and vice versa,
+        // so both see the same local energy and normalize identically.
+        assert_eq!(out[(0, 0, 0)], out[(15, 0, 0)]);
+        // A neighbour inside the window is suppressed differently from a
+        // distant channel (here both are zero inputs, stay zero).
+        assert_eq!(out[(8, 0, 0)], 0);
+    }
+
+    #[test]
+    fn softmax_is_distribution() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        let sum: f32 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+        assert!(softmax(&[]).is_empty());
+        // Stability with huge logits.
+        let q = softmax(&[1000.0, 1001.0]);
+        assert!(q.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn flatten_is_channel_major() {
+        let t = Tensor3::from_fn(Shape3::new(2, 2, 2), |c, r, col| (c * 4 + r * 2 + col) as i16);
+        let f = flatten(&t);
+        assert_eq!(f.shape(), Shape3::new(8, 1, 1));
+        assert_eq!(f.as_slice(), &[0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+}

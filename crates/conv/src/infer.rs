@@ -1,0 +1,503 @@
+//! End-to-end network inference through any convolution engine.
+//!
+//! Feature maps travel through the network as 8-bit dynamic fixed point
+//! (stored in `i16`, the accelerator's data-path width), accumulators are
+//! exact, and — following the paper's "rounding is performed only once
+//! before writing feature map data back to main memory" — each layer
+//! rescales its full-precision result to the next 8-bit feature format in
+//! a single rounding step.
+//!
+//! Because the per-layer output format is chosen deterministically from
+//! the exact accumulator values, the three integer engines produce
+//! **bit-identical** feature maps at every layer; this is asserted by the
+//! integration tests.
+
+use crate::abm::{self, AbmWork};
+use crate::dense::{self, Geometry};
+use crate::freq;
+use crate::host;
+use crate::sparse as csr_engine;
+use abm_model::{LayerKind, SparseLayer, SparseModel};
+use abm_sparse::{CsrKernel, EncodeError, LayerCode};
+use abm_tensor::fixed::{round_shift, saturate};
+use abm_tensor::quantize::choose_frac;
+use abm_tensor::{QFormat, Rounding, Shape3, Tensor3};
+
+/// Which convolution engine executes the accelerated layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Engine {
+    /// Dense spatial reference (SDConv).
+    Dense,
+    /// im2col + GEMM lowering (the MAC-array designs' substrate).
+    Gemm,
+    /// CSR sparse baseline (SpConv).
+    Sparse,
+    /// Accumulate-before-multiply (the paper's scheme).
+    #[default]
+    Abm,
+    /// Frequency-domain OaA FFT (floating point; matches within
+    /// tolerance).
+    Freq,
+}
+
+/// Per-layer execution trace entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerTrace {
+    /// Layer name.
+    pub name: String,
+    /// Output feature-map shape.
+    pub shape: Shape3,
+    /// Fixed-point format of the output features.
+    pub format: QFormat,
+}
+
+/// The outcome of one inference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferenceResult {
+    /// Dequantized final-layer activations (pre-softmax logits).
+    pub logits: Vec<f32>,
+    /// Softmax probabilities (empty if the network has no softmax).
+    pub probabilities: Vec<f32>,
+    /// ABM work counters (all zero unless the ABM engine ran).
+    pub work: AbmWork,
+    /// Per-layer trace.
+    pub trace: Vec<LayerTrace>,
+    /// Largest real-valued accumulator magnitude per accelerated layer
+    /// (execution order) — the statistic offline calibration consumes.
+    pub layer_max_activation: Vec<f32>,
+    /// Feature values that saturated the fixed output format (always 0
+    /// without a calibration: dynamic formats are chosen to fit).
+    pub saturated_features: u64,
+    /// Total feature values written back by accelerated layers.
+    pub total_features: u64,
+}
+
+impl InferenceResult {
+    /// Index of the highest logit (the predicted class).
+    pub fn argmax(&self) -> Option<usize> {
+        self.logits
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+    }
+}
+
+/// Runs a [`SparseModel`] on quantized inputs with a selectable engine.
+#[derive(Debug, Clone)]
+pub struct Inferencer<'m> {
+    model: &'m SparseModel,
+    engine: Engine,
+    input_format: QFormat,
+    calibration: Option<crate::calibrate::Calibration>,
+}
+
+impl<'m> Inferencer<'m> {
+    /// Creates an inferencer with the default (ABM) engine and an 8-bit
+    /// integer input format (`Q8.0`).
+    pub fn new(model: &'m SparseModel) -> Self {
+        Self {
+            model,
+            engine: Engine::Abm,
+            input_format: QFormat::new(8, 0),
+            calibration: None,
+        }
+    }
+
+    /// Selects the engine.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Sets the fixed-point format of the input features.
+    pub fn input_format(mut self, format: QFormat) -> Self {
+        self.input_format = format;
+        self
+    }
+
+    /// Uses fixed per-layer output formats from an offline
+    /// [`Calibration`](crate::calibrate::Calibration) — the
+    /// hardware-faithful deployment mode. Without one, output formats
+    /// are chosen dynamically per image (convenient for testing, but
+    /// not what the Sum/Round hardware can do).
+    pub fn calibration(mut self, calibration: crate::calibrate::Calibration) -> Self {
+        self.calibration = Some(calibration);
+        self
+    }
+
+    /// Prepares the engine-specific weight representation once, so a
+    /// batch of images does not re-encode per image (the accelerator
+    /// encodes offline; this mirrors that).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodeError`] if a layer's kernels cannot be encoded.
+    pub fn prepare(&self) -> Result<PreparedWeights, EncodeError> {
+        let mut codes = Vec::new();
+        let mut csr = Vec::new();
+        for sl in &self.model.layers {
+            match self.engine {
+                Engine::Abm => codes.push(Some(LayerCode::encode(&sl.weights)?)),
+                Engine::Sparse => csr.push(Some(CsrKernel::encode_layer(&sl.weights))),
+                _ => {}
+            }
+            if self.engine != Engine::Abm {
+                codes.push(None);
+            }
+            if self.engine != Engine::Sparse {
+                csr.push(None);
+            }
+        }
+        Ok(PreparedWeights { codes, csr })
+    }
+
+    /// Runs inference on a batch of images, encoding weights only once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodeError`] if a layer's kernels cannot be encoded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input's shape differs from the network's input
+    /// shape.
+    pub fn run_batch(
+        &self,
+        inputs: &[Tensor3<i16>],
+    ) -> Result<Vec<InferenceResult>, EncodeError> {
+        let prepared = self.prepare()?;
+        inputs.iter().map(|input| self.run_prepared(&prepared, input)).collect()
+    }
+
+    /// Runs inference on a quantized input feature map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodeError`] if a layer's kernels cannot be encoded for
+    /// the ABM engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input`'s shape differs from the network's input shape.
+    pub fn run(&self, input: &Tensor3<i16>) -> Result<InferenceResult, EncodeError> {
+        let prepared = self.prepare()?;
+        self.run_prepared(&prepared, input)
+    }
+
+    /// Runs one image against pre-encoded weights.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible after preparation, but kept fallible for
+    /// future engines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input`'s shape differs from the network's input shape
+    /// or `prepared` came from a differently-configured inferencer.
+    pub fn run_prepared(
+        &self,
+        prepared: &PreparedWeights,
+        input: &Tensor3<i16>,
+    ) -> Result<InferenceResult, EncodeError> {
+        let net = &self.model.network;
+        assert_eq!(
+            input.shape(),
+            net.input_shape(),
+            "input shape {} != network input {}",
+            input.shape(),
+            net.input_shape()
+        );
+        let mut features = input.clone();
+        let mut fmt = self.input_format;
+        let mut work = AbmWork::default();
+        let mut trace = Vec::new();
+        let mut accel_idx = 0usize;
+        let mut pre_softmax: Option<Vec<f32>> = None;
+        let mut probabilities = Vec::new();
+        let mut layer_max_activation = Vec::new();
+        let mut saturated_features = 0u64;
+        let mut total_features = 0u64;
+
+        for layer in net.layers() {
+            match &layer.kind {
+                LayerKind::Conv(spec) => {
+                    let sl = &self.model.layers[accel_idx];
+                    let geom =
+                        Geometry::new(spec.stride, spec.pad).with_groups(spec.groups);
+                    let (out, out_fmt, w, numerics) =
+                        self.conv_layer(&features, fmt, sl, prepared, accel_idx, geom);
+                    layer_max_activation.push(numerics.max_real);
+                    saturated_features += numerics.saturated;
+                    total_features += out.len() as u64;
+                    accel_idx += 1;
+                    work.accumulations += w.accumulations;
+                    work.multiplications += w.multiplications;
+                    work.final_accumulations += w.final_accumulations;
+                    features = out;
+                    fmt = out_fmt;
+                }
+                LayerKind::FullyConnected(_) => {
+                    let sl = &self.model.layers[accel_idx];
+                    let flat = host::flatten(&features);
+                    let (out, out_fmt, w, numerics) = self.conv_layer(
+                        &flat,
+                        fmt,
+                        sl,
+                        prepared,
+                        accel_idx,
+                        Geometry::unit(),
+                    );
+                    layer_max_activation.push(numerics.max_real);
+                    saturated_features += numerics.saturated;
+                    total_features += out.len() as u64;
+                    accel_idx += 1;
+                    work.accumulations += w.accumulations;
+                    work.multiplications += w.multiplications;
+                    work.final_accumulations += w.final_accumulations;
+                    features = out;
+                    fmt = out_fmt;
+                }
+                LayerKind::Pool(spec) => features = host::pool(&features, *spec),
+                LayerKind::Relu => features = host::relu(&features),
+                LayerKind::Lrn(spec) => features = host::lrn(&features, fmt, spec),
+                LayerKind::Softmax => {
+                    let logits: Vec<f32> = features
+                        .as_slice()
+                        .iter()
+                        .map(|&v| fmt.dequantize(v as i32))
+                        .collect();
+                    probabilities = host::softmax(&logits);
+                    pre_softmax = Some(logits);
+                }
+            }
+            trace.push(LayerTrace {
+                name: layer.name.clone(),
+                shape: features.shape(),
+                format: fmt,
+            });
+        }
+
+        let logits = pre_softmax.unwrap_or_else(|| {
+            features.as_slice().iter().map(|&v| fmt.dequantize(v as i32)).collect()
+        });
+        Ok(InferenceResult {
+            logits,
+            probabilities,
+            work,
+            trace,
+            layer_max_activation,
+            saturated_features,
+            total_features,
+        })
+    }
+
+    /// Executes one accelerated layer: convolve exactly, then rescale to
+    /// a fresh 8-bit feature format in one rounding step.
+    fn conv_layer(
+        &self,
+        input: &Tensor3<i16>,
+        fmt: QFormat,
+        sl: &SparseLayer,
+        prepared: &PreparedWeights,
+        layer_idx: usize,
+        geom: Geometry,
+    ) -> (Tensor3<i16>, QFormat, AbmWork, LayerNumerics) {
+        let mut work = AbmWork::default();
+        let acc: Tensor3<i64> = match self.engine {
+            Engine::Dense => dense::conv2d(input, &sl.weights, geom),
+            Engine::Gemm => crate::gemm::conv2d(input, &sl.weights, geom),
+            Engine::Sparse => {
+                let kernels = prepared.csr[layer_idx]
+                    .as_ref()
+                    .expect("prepared with the Sparse engine");
+                csr_engine::conv2d(input, kernels, sl.weights.shape(), geom)
+            }
+            Engine::Abm => {
+                let code = prepared.codes[layer_idx]
+                    .as_ref()
+                    .expect("prepared with the ABM engine");
+                let (out, w) = abm::conv2d_counted(input, code, geom);
+                work = w;
+                out
+            }
+            Engine::Freq => {
+                let f = freq::conv2d(input, &sl.weights, geom);
+                f.map(|&v| v.round() as i64)
+            }
+        };
+        let target = self.calibration.as_ref().map(|c| c.format(layer_idx));
+        let (out, out_fmt, numerics) = requantize(&acc, fmt, sl.format, target);
+        (out, out_fmt, work, numerics)
+    }
+}
+
+/// Numeric side-channel of one accelerated layer's requantization.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LayerNumerics {
+    /// Largest real-valued accumulator magnitude.
+    pub max_real: f32,
+    /// Output values clipped by the fixed format (0 in dynamic mode).
+    pub saturated: u64,
+}
+
+/// Engine-specific pre-encoded weights shared across a batch. Create
+/// with [`Inferencer::prepare`].
+#[derive(Debug, Clone, Default)]
+pub struct PreparedWeights {
+    codes: Vec<Option<LayerCode>>,
+    csr: Vec<Option<Vec<CsrKernel>>>,
+}
+
+/// Rescales an exact accumulator tensor into an 8-bit feature format —
+/// the Sum/Round stage of the data path. With `target = None` the
+/// format is chosen dynamically so the largest magnitude just fits;
+/// with a calibrated format, out-of-range values saturate and are
+/// counted.
+fn requantize(
+    acc: &Tensor3<i64>,
+    feat: QFormat,
+    weight: QFormat,
+    target: Option<QFormat>,
+) -> (Tensor3<i16>, QFormat, LayerNumerics) {
+    let acc_frac = feat.frac() as i32 + weight.frac() as i32;
+    let max_abs = acc.as_slice().iter().map(|&v| v.unsigned_abs()).max().unwrap_or(0);
+    let max_real = (max_abs as f64 * 2f64.powi(-acc_frac)) as f32;
+    let target = target.unwrap_or_else(|| QFormat::new(8, choose_frac(&[max_real], 8)));
+    let shift = acc_frac - target.frac() as i32;
+    let mut saturated = 0u64;
+    let out = acc.map(|&v| {
+        let rounded = round_shift(v, shift, Rounding::NearestTiesAway);
+        let clipped = saturate(rounded, target);
+        if clipped as i64 != rounded {
+            saturated += 1;
+        }
+        clipped as i16
+    });
+    (out, target, LayerNumerics { max_real, saturated })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abm_model::{synthesize_model, zoo, LayerProfile, PruneProfile};
+
+    fn tiny_model() -> SparseModel {
+        let net = zoo::tiny();
+        let profile = PruneProfile::uniform(LayerProfile::new(0.6, 12));
+        synthesize_model(&net, &profile, 99)
+    }
+
+    fn tiny_input() -> Tensor3<i16> {
+        Tensor3::from_fn(Shape3::new(3, 32, 32), |c, r, col| {
+            (((c * 1024 + r * 32 + col) * 37 % 255) as i16) - 127
+        })
+    }
+
+    #[test]
+    fn integer_engines_bit_identical() {
+        let model = tiny_model();
+        let input = tiny_input();
+        let dense = Inferencer::new(&model).engine(Engine::Dense).run(&input).unwrap();
+        let sparse = Inferencer::new(&model).engine(Engine::Sparse).run(&input).unwrap();
+        let abm = Inferencer::new(&model).engine(Engine::Abm).run(&input).unwrap();
+        let gemm = Inferencer::new(&model).engine(Engine::Gemm).run(&input).unwrap();
+        assert_eq!(dense.logits, sparse.logits);
+        assert_eq!(dense.logits, abm.logits);
+        assert_eq!(dense.logits, gemm.logits);
+        assert_eq!(dense.probabilities, abm.probabilities);
+        // Only the ABM run reports two-stage work.
+        assert_eq!(dense.work.accumulations, 0);
+        assert!(abm.work.accumulations > 0);
+        assert!(abm.work.multiplications < abm.work.accumulations);
+    }
+
+    #[test]
+    fn freq_engine_close_to_exact() {
+        let model = tiny_model();
+        let input = tiny_input();
+        let exact = Inferencer::new(&model).engine(Engine::Dense).run(&input).unwrap();
+        let fd = Inferencer::new(&model).engine(Engine::Freq).run(&input).unwrap();
+        assert_eq!(exact.logits.len(), fd.logits.len());
+        // Quantized pipelines can diverge by an LSB per layer; demand
+        // close agreement, not equality.
+        let max_abs = exact.logits.iter().fold(0f32, |a, &b| a.max(b.abs())).max(1e-6);
+        for (a, b) in exact.logits.iter().zip(&fd.logits) {
+            assert!(
+                (a - b).abs() <= 0.25 * max_abs,
+                "freq diverged: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let model = tiny_model();
+        let r = Inferencer::new(&model).run(&tiny_input()).unwrap();
+        assert_eq!(r.probabilities.len(), 10);
+        let sum: f32 = r.probabilities.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        assert!(r.argmax().unwrap() < 10);
+    }
+
+    #[test]
+    fn trace_covers_every_layer() {
+        let model = tiny_model();
+        let r = Inferencer::new(&model).run(&tiny_input()).unwrap();
+        assert_eq!(r.trace.len(), model.network.len());
+        assert_eq!(r.trace.last().unwrap().shape, Shape3::new(10, 1, 1));
+        // Shapes follow the network's shape inference.
+        for (t, s) in r.trace.iter().zip(model.network.shapes()) {
+            assert_eq!(t.shape, s, "layer {}", t.name);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "input shape")]
+    fn wrong_input_shape_panics() {
+        let model = tiny_model();
+        let bad = Tensor3::<i16>::zeros(Shape3::new(1, 8, 8));
+        let _ = Inferencer::new(&model).run(&bad);
+    }
+
+    #[test]
+    fn requantize_all_zero() {
+        let acc = Tensor3::<i64>::zeros(Shape3::new(1, 2, 2));
+        let (out, fmt, numerics) =
+            requantize(&acc, QFormat::new(8, 0), QFormat::new(8, 7), None);
+        assert!(out.as_slice().iter().all(|&v| v == 0));
+        assert_eq!(fmt.bits(), 8);
+        assert_eq!(numerics.saturated, 0);
+        assert_eq!(numerics.max_real, 0.0);
+    }
+
+    #[test]
+    fn batch_matches_individual_runs() {
+        let model = tiny_model();
+        let inputs: Vec<_> = (0..3)
+            .map(|salt| {
+                Tensor3::from_fn(Shape3::new(3, 32, 32), |c, r, col| {
+                    ((((c + salt) * 997 + r * 31 + col) * 13 % 255) as i16) - 127
+                })
+            })
+            .collect();
+        let inf = Inferencer::new(&model).engine(Engine::Abm);
+        let batch = inf.run_batch(&inputs).unwrap();
+        assert_eq!(batch.len(), 3);
+        for (input, result) in inputs.iter().zip(&batch) {
+            assert_eq!(result, &inf.run(input).unwrap());
+        }
+        // Different inputs give different logits.
+        assert_ne!(batch[0].logits, batch[1].logits);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let model = tiny_model();
+        let input = tiny_input();
+        let a = Inferencer::new(&model).run(&input).unwrap();
+        let b = Inferencer::new(&model).run(&input).unwrap();
+        assert_eq!(a, b);
+    }
+}

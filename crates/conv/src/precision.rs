@@ -1,0 +1,216 @@
+//! Finite-precision analysis of the two-stage data path.
+//!
+//! The paper states (Section 4.2): "16-bit accumulator and 16b-by-16b
+//! multiplier are adopted to ensure full-precision fixed-point
+//! computation and no information loss during convolution". This module
+//! makes that claim *testable*: it re-runs ABM-SpConv with a saturating
+//! stage-1 accumulator of configurable width and reports how many
+//! partial sums saturate and how far the outputs diverge from the exact
+//! result.
+//!
+//! The interesting quantity is the stage-1 partial sum
+//! `Σ_{(n,k,k'):W=Ŵp} FI` — with 8-bit features its magnitude is bounded
+//! by `128 · c_p`, so a 16-bit register holds runs up to `c_p = 255`
+//! worst-case and far longer for realistic feature distributions; the
+//! experiment binary (`precision`) measures where the margin actually
+//! sits for the paper's layers.
+
+use crate::dense::{padded_read, Geometry};
+use abm_sparse::LayerCode;
+use abm_tensor::{Shape3, Tensor3};
+
+/// Outcome of a finite-precision run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct PrecisionReport {
+    /// Stage-1 partial sums that hit the saturation rails.
+    pub saturated_partials: u64,
+    /// Total stage-1 partial sums produced.
+    pub total_partials: u64,
+    /// Largest exact partial-sum magnitude observed.
+    pub max_partial_magnitude: i64,
+    /// Output pixels that differ from the exact computation.
+    pub diverged_outputs: u64,
+    /// Total output pixels.
+    pub total_outputs: u64,
+    /// Largest absolute output error.
+    pub max_output_error: i64,
+}
+
+impl PrecisionReport {
+    /// Whether the chosen accumulator width was lossless on this input.
+    pub fn is_lossless(&self) -> bool {
+        self.diverged_outputs == 0
+    }
+
+    /// Headroom in bits: how many more bits the largest partial would
+    /// have needed beyond what it used (negative when saturating).
+    pub fn margin_bits(&self, acc_bits: u32) -> f64 {
+        if self.max_partial_magnitude == 0 {
+            return acc_bits as f64 - 1.0;
+        }
+        let needed = (self.max_partial_magnitude as f64).log2() + 1.0;
+        (acc_bits as f64 - 1.0) - needed
+    }
+}
+
+/// Runs ABM-SpConv with a saturating `acc_bits`-wide stage-1 accumulator
+/// (the hardware register), returning the finite-precision output and
+/// the report. Stage 2 (multiply + final accumulate) stays wide, as in
+/// the real data path's 32-bit product chain.
+///
+/// # Panics
+///
+/// Panics if `acc_bits` is not in `2..=63` or on channel mismatch.
+pub fn conv2d_saturating(
+    input: &Tensor3<i16>,
+    code: &LayerCode,
+    geom: Geometry,
+    acc_bits: u32,
+) -> (Tensor3<i64>, PrecisionReport) {
+    assert!((2..=63).contains(&acc_bits), "acc_bits must be in 2..=63");
+    let w = code.shape();
+    assert_eq!(
+        input.shape().channels,
+        w.in_channels * geom.groups,
+        "input channels {} != weight in_channels {} x groups {}",
+        input.shape().channels,
+        w.in_channels,
+        geom.groups
+    );
+    let max = (1i64 << (acc_bits - 1)) - 1;
+    let min = -(1i64 << (acc_bits - 1));
+    let out_shape = Shape3::new(
+        w.out_channels,
+        abm_tensor::shape::conv_out_dim(input.shape().rows, w.kernel_rows, geom.stride, geom.pad),
+        abm_tensor::shape::conv_out_dim(input.shape().cols, w.kernel_cols, geom.stride, geom.pad),
+    );
+    let m_per_group = w.out_channels / geom.groups.max(1);
+    let mut out = Tensor3::zeros(out_shape);
+    let mut report = PrecisionReport {
+        total_outputs: out_shape.len() as u64,
+        ..PrecisionReport::default()
+    };
+
+    type DecodedGroup = (i8, Vec<(usize, usize, usize)>);
+    for (m, kernel) in code.kernels().iter().enumerate() {
+        let group = m / m_per_group.max(1);
+        let in_base = group * w.in_channels;
+        let decoded: Vec<DecodedGroup> = kernel
+            .groups()
+            .map(|(v, idxs)| (v, idxs.iter().map(|&i| code.unravel(i)).collect()))
+            .collect();
+        for orow in 0..out_shape.rows {
+            for ocol in 0..out_shape.cols {
+                let mut acc = 0i64; // wide stage-2 chain
+                let mut exact_acc = 0i64;
+                for (value, positions) in &decoded {
+                    let mut partial = 0i64; // saturating register
+                    let mut exact = 0i64;
+                    for &(n, k, kp) in positions {
+                        let pr = (orow * geom.stride + k) as isize - geom.pad as isize;
+                        let pc = (ocol * geom.stride + kp) as isize - geom.pad as isize;
+                        let x = padded_read(input, in_base + n, pr, pc);
+                        exact += x;
+                        partial = (partial + x).clamp(min, max);
+                    }
+                    report.total_partials += 1;
+                    report.max_partial_magnitude =
+                        report.max_partial_magnitude.max(exact.abs());
+                    if partial != exact {
+                        report.saturated_partials += 1;
+                    }
+                    acc += (*value as i64) * partial;
+                    exact_acc += (*value as i64) * exact;
+                }
+                if acc != exact_acc {
+                    report.diverged_outputs += 1;
+                    report.max_output_error =
+                        report.max_output_error.max((acc - exact_acc).abs());
+                }
+                out[(m, orow, ocol)] = acc;
+            }
+        }
+    }
+    (out, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{abm, dense};
+    use abm_tensor::{Shape4, Tensor4};
+
+    fn small_case() -> (Tensor3<i16>, Tensor4<i8>) {
+        let input = Tensor3::from_fn(Shape3::new(2, 6, 6), |c, r, col| {
+            ((c * 36 + r * 6 + col) % 255) as i16 - 127
+        });
+        let weights = Tensor4::from_fn(Shape4::new(3, 2, 3, 3), |m, n, k, kp| {
+            let x = (m * 18 + n * 9 + k * 3 + kp) % 4;
+            if x == 0 {
+                0
+            } else {
+                (x as i8) - 2
+            }
+        });
+        (input, weights)
+    }
+
+    #[test]
+    fn wide_accumulator_is_exact() {
+        let (input, weights) = small_case();
+        let code = LayerCode::encode(&weights).unwrap();
+        let geom = Geometry::new(1, 1);
+        let (out, report) = conv2d_saturating(&input, &code, geom, 32);
+        assert_eq!(out, dense::conv2d(&input, &weights, geom));
+        assert!(report.is_lossless());
+        assert_eq!(report.saturated_partials, 0);
+        assert!(report.margin_bits(32) > 0.0);
+    }
+
+    #[test]
+    fn sixteen_bit_suffices_for_8bit_features_and_short_runs() {
+        // 8-bit features, runs of at most 18 (= in-channels*K*K / values):
+        // |partial| <= 18 * 127 < 2^15.
+        let (input, weights) = small_case();
+        let code = LayerCode::encode(&weights).unwrap();
+        let (_, report) = conv2d_saturating(&input, &code, Geometry::new(1, 1), 16);
+        assert!(report.is_lossless(), "{report:?}");
+    }
+
+    #[test]
+    fn narrow_accumulator_saturates_and_diverges() {
+        // Long run of one value with max-magnitude features overflows a
+        // tiny register.
+        let input = Tensor3::from_fn(Shape3::new(4, 3, 3), |_, _, _| 127i16);
+        let weights = Tensor4::from_fn(Shape4::new(1, 4, 3, 3), |_, _, _, _| 3i8);
+        let code = LayerCode::encode(&weights).unwrap();
+        let geom = Geometry::new(1, 0);
+        let (out, report) = conv2d_saturating(&input, &code, geom, 8);
+        // 36 * 127 = 4572 >> 127: saturation must trigger...
+        assert!(report.saturated_partials > 0);
+        assert!(!report.is_lossless());
+        assert!(report.max_output_error > 0);
+        // ...and be bounded by the rails.
+        let exact = abm::conv2d(&input, &code, geom);
+        assert!(out[(0, 0, 0)] < exact[(0, 0, 0)]);
+        assert!(report.margin_bits(8) < 0.0);
+    }
+
+    #[test]
+    fn report_counts_partials() {
+        let (input, weights) = small_case();
+        let code = LayerCode::encode(&weights).unwrap();
+        let (_, report) = conv2d_saturating(&input, &code, Geometry::new(1, 1), 24);
+        let out_pixels = 36u64;
+        assert_eq!(report.total_partials, code.total_distinct() * out_pixels);
+        assert_eq!(report.total_outputs, 3 * 36);
+    }
+
+    #[test]
+    #[should_panic(expected = "acc_bits")]
+    fn rejects_silly_widths() {
+        let (input, weights) = small_case();
+        let code = LayerCode::encode(&weights).unwrap();
+        let _ = conv2d_saturating(&input, &code, Geometry::new(1, 1), 64);
+    }
+}

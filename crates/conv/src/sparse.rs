@@ -1,0 +1,132 @@
+//! CSR-driven sparse convolution (SpConv) — the conventional
+//! prune-and-skip baseline the paper compares against ([1, 2, 8]).
+//!
+//! One multiply-accumulate per non-zero weight per output pixel; exact in
+//! integer arithmetic, bit-identical to the dense reference.
+
+use crate::dense::{padded_read, Geometry};
+use abm_sparse::CsrKernel;
+use abm_tensor::{Shape3, Shape4, Tensor3};
+
+/// Runs CSR sparse convolution.
+///
+/// `kernels` holds one [`CsrKernel`] per output channel and `shape` is
+/// the original `M×N×K×K'` weight shape the kernels were encoded from.
+///
+/// # Panics
+///
+/// Panics on inconsistent channel counts or if `kernels.len()` differs
+/// from `shape.out_channels`.
+pub fn conv2d(
+    input: &Tensor3<i16>,
+    kernels: &[CsrKernel],
+    shape: Shape4,
+    geom: Geometry,
+) -> Tensor3<i64> {
+    assert_eq!(kernels.len(), shape.out_channels, "one CSR kernel per output channel");
+    assert_eq!(
+        input.shape().channels,
+        shape.in_channels * geom.groups,
+        "input channels {} != weight in_channels {} x groups {}",
+        input.shape().channels,
+        shape.in_channels,
+        geom.groups
+    );
+    let out_shape = Shape3::new(
+        shape.out_channels,
+        abm_tensor::shape::conv_out_dim(
+            input.shape().rows,
+            shape.kernel_rows,
+            geom.stride,
+            geom.pad,
+        ),
+        abm_tensor::shape::conv_out_dim(
+            input.shape().cols,
+            shape.kernel_cols,
+            geom.stride,
+            geom.pad,
+        ),
+    );
+    let m_per_group = shape.out_channels / geom.groups;
+    let kk = shape.kernel_rows * shape.kernel_cols;
+    let mut out = Tensor3::zeros(out_shape);
+    for (m, csr) in kernels.iter().enumerate() {
+        let group = m / m_per_group.max(1);
+        let in_base = group * shape.in_channels;
+        let taps: Vec<(usize, usize, usize, i64)> = csr
+            .iter()
+            .map(|(idx, v)| {
+                let i = idx as usize;
+                let n = i / kk;
+                let rem = i % kk;
+                (n, rem / shape.kernel_cols, rem % shape.kernel_cols, v as i64)
+            })
+            .collect();
+        for orow in 0..out_shape.rows {
+            for ocol in 0..out_shape.cols {
+                let mut acc = 0i64;
+                for &(n, k, kp, v) in &taps {
+                    let pr = (orow * geom.stride + k) as isize - geom.pad as isize;
+                    let pc = (ocol * geom.stride + kp) as isize - geom.pad as isize;
+                    acc += v * padded_read(input, in_base + n, pr, pc);
+                }
+                out[(m, orow, ocol)] = acc;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense;
+    use abm_tensor::Tensor4;
+
+    #[test]
+    fn matches_dense() {
+        let input = Tensor3::from_fn(Shape3::new(3, 6, 6), |c, r, col| {
+            ((c * 36 + r * 6 + col) % 17) as i16 - 8
+        });
+        let weights = Tensor4::from_fn(Shape4::new(4, 3, 3, 3), |m, n, k, kp| {
+            let x = (m * 27 + n * 9 + k * 3 + kp) % 6;
+            if x < 3 {
+                0
+            } else {
+                (x as i8) - 4
+            }
+        });
+        let geom = Geometry::new(1, 1);
+        let reference = dense::conv2d(&input, &weights, geom);
+        let kernels = CsrKernel::encode_layer(&weights);
+        let result = conv2d(&input, &kernels, weights.shape(), geom);
+        assert_eq!(reference, result);
+    }
+
+    #[test]
+    fn matches_dense_grouped_strided() {
+        let input = Tensor3::from_fn(Shape3::new(4, 9, 9), |c, r, col| {
+            ((c * 81 + r * 9 + col) % 23) as i16 - 11
+        });
+        let weights = Tensor4::from_fn(Shape4::new(4, 2, 3, 3), |m, n, k, kp| {
+            let x = (m * 18 + n * 9 + k * 3 + kp) % 4;
+            if x == 2 {
+                0
+            } else {
+                (x as i8) - 1
+            }
+        });
+        let geom = Geometry::new(2, 1).with_groups(2);
+        let reference = dense::conv2d(&input, &weights, geom);
+        let kernels = CsrKernel::encode_layer(&weights);
+        let result = conv2d(&input, &kernels, weights.shape(), geom);
+        assert_eq!(reference, result);
+    }
+
+    #[test]
+    #[should_panic(expected = "one CSR kernel per output channel")]
+    fn kernel_count_checked() {
+        let input = Tensor3::<i16>::zeros(Shape3::new(1, 3, 3));
+        let _ = conv2d(&input, &[], Shape4::new(1, 1, 2, 2), Geometry::new(1, 0));
+    }
+}

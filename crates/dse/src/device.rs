@@ -1,0 +1,80 @@
+//! FPGA device descriptors for the platforms appearing in Table 2.
+
+/// An FPGA device's relevant resource counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FpgaDevice {
+    /// Device name.
+    pub name: &'static str,
+    /// Adaptive logic modules.
+    pub alms: u64,
+    /// DSP blocks.
+    pub dsps: u64,
+    /// M20K on-chip memory blocks.
+    pub m20ks: u64,
+    /// 16-bit fixed-point MACs one DSP performs per cycle.
+    pub macs_per_dsp: u64,
+    /// Nominal design frequency in MHz for roofline reasoning.
+    pub nominal_freq_mhz: f64,
+    /// External memory bandwidth in GB/s.
+    pub memory_bandwidth_gbps: f64,
+}
+
+impl FpgaDevice {
+    /// The DE5-Net's Intel Stratix-V GXA7 (Section 6.1): 234,720 ALMs,
+    /// 256 DSPs, 2,560 M20Ks, 12.8 GB/s DDR3.
+    pub fn stratix_v_gxa7() -> Self {
+        Self {
+            name: "Stratix-V GXA7",
+            alms: 234_720,
+            dsps: 256,
+            m20ks: 2_560,
+            macs_per_dsp: 2,
+            nominal_freq_mhz: 200.0,
+            memory_bandwidth_gbps: 12.8,
+        }
+    }
+
+    /// Intel Arria-10 GX1150 (the device of baselines [4, 10, 12]).
+    pub fn arria10_gx1150() -> Self {
+        Self {
+            name: "Arria-10 GX1150",
+            alms: 427_200,
+            dsps: 1_518,
+            m20ks: 2_713,
+            macs_per_dsp: 2,
+            nominal_freq_mhz: 300.0,
+            memory_bandwidth_gbps: 19.2,
+        }
+    }
+
+    /// Peak MAC-array throughput `2 · N_dsp · macs_per_dsp · Freq` in
+    /// GOP/s — the SDConv computational roof of Figure 1 (204.8 GOP/s on
+    /// the GXA7 at 200 MHz).
+    pub fn sdconv_roof_gops(&self) -> f64 {
+        2.0 * self.dsps as f64 * self.macs_per_dsp as f64 * self.nominal_freq_mhz * 1e6
+            / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gxa7_matches_section_6_1() {
+        let d = FpgaDevice::stratix_v_gxa7();
+        assert_eq!(d.alms, 234_720);
+        assert_eq!(d.dsps, 256);
+        assert_eq!(d.m20ks, 2_560);
+        // Figure 1: SDConv roof 204.8 GOP/s.
+        assert!((d.sdconv_roof_gops() - 204.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arria10_is_bigger() {
+        let a = FpgaDevice::arria10_gx1150();
+        let s = FpgaDevice::stratix_v_gxa7();
+        assert!(a.dsps > s.dsps);
+        assert!(a.sdconv_roof_gops() > s.sdconv_roof_gops());
+    }
+}

@@ -1,0 +1,284 @@
+//! The exploration flow (Section 5.2, Figures 5–7).
+//!
+//! Stage 1 ([`explore_nknl`], Figure 6): with `S_ec` and `N_cu` preset,
+//! sweep `N_knl` and pick the value maximizing the *normalized
+//! performance boost* — throughput per DSP, normalized to the
+//! single-kernel design. Batch-tail effects (`ceil(M/N_knl)`) and the
+//! DSP cost trade off; on VGG16 the optimum lands at the paper's 14.
+//!
+//! Stage 2 ([`explore_sec_ncu`], Figure 7): with `N_knl` fixed, sweep
+//! the `S_ec × N_cu` plane under full-DSP/memory and ≤75%-logic
+//! constraints, returning every feasible candidate with its estimated
+//! throughput. The paper selects "several design candidates with close
+//! logic utilization" from this plane; the `(20, 3)` point it implements
+//! ranks among the best.
+
+use crate::device::FpgaDevice;
+use crate::perf::estimate_network;
+use crate::resource::{ResourceEstimate, ResourceModel};
+use abm_model::{Network, PruneProfile};
+use abm_sim::AcceleratorConfig;
+
+/// One evaluated design point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignPoint {
+    /// The configuration evaluated.
+    pub config: AcceleratorConfig,
+    /// Estimated throughput (GOP/s, dense-equivalent).
+    pub gops: f64,
+    /// Estimated resources.
+    pub resources: ResourceEstimate,
+    /// Whether the point fits the device (logic ≤ budget, DSP/M20K ≤
+    /// capacity).
+    pub feasible: bool,
+}
+
+impl DesignPoint {
+    /// Throughput per DSP — Table 2's "performance density" metric.
+    pub fn gops_per_dsp(&self) -> f64 {
+        if self.resources.dsps == 0 {
+            0.0
+        } else {
+            self.gops / self.resources.dsps as f64
+        }
+    }
+}
+
+fn evaluate(
+    net: &Network,
+    profile: &PruneProfile,
+    device: &FpgaDevice,
+    cfg: AcceleratorConfig,
+    logic_budget: f64,
+) -> DesignPoint {
+    let model = ResourceModel::paper();
+    let resources = model.estimate(&cfg);
+    let feasible = resources.fits(device, logic_budget) && cfg.validate().is_ok();
+    // High logic utilization costs clock frequency (Section 5.2); fold
+    // the droop into the throughput estimate.
+    let (alm_u, _, _) = resources.utilization(device);
+    let freq = crate::resource::achievable_freq_mhz(cfg.freq_mhz, alm_u);
+    let derated = AcceleratorConfig { freq_mhz: freq, ..cfg };
+    let gops = estimate_network(net, profile, &derated).gops();
+    DesignPoint { config: cfg, gops, resources, feasible }
+}
+
+/// Figure 6: sweep `N_knl` with preset `S_ec`/`N_cu`, returning one
+/// design point per value (in order).
+pub fn explore_nknl(
+    net: &Network,
+    profile: &PruneProfile,
+    device: &FpgaDevice,
+    base: &AcceleratorConfig,
+    range: std::ops::RangeInclusive<usize>,
+) -> Vec<DesignPoint> {
+    range
+        .map(|n_knl| {
+            evaluate(net, profile, device, AcceleratorConfig { n_knl, ..*base }, 0.75)
+        })
+        .collect()
+}
+
+/// The normalized performance boost of Figure 6: each point's
+/// throughput-per-DSP relative to the first point's.
+pub fn normalized_boost(points: &[DesignPoint]) -> Vec<f64> {
+    let base = points.first().map(|p| p.gops_per_dsp()).unwrap_or(0.0);
+    points
+        .iter()
+        .map(|p| if base == 0.0 { 0.0 } else { p.gops_per_dsp() / base })
+        .collect()
+}
+
+/// Picks the optimal `N_knl` from a sweep: the feasible point with the
+/// highest normalized boost.
+pub fn optimal_nknl(points: &[DesignPoint]) -> Option<&DesignPoint> {
+    points
+        .iter()
+        .filter(|p| p.feasible)
+        .max_by(|a, b| {
+            a.gops_per_dsp()
+                .partial_cmp(&b.gops_per_dsp())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+}
+
+/// Figure 7: sweep the `S_ec × N_cu` plane at fixed `N_knl`/`N`.
+///
+/// `s_ec_values` are filtered to multiples of `base.n` (accumulator
+/// groups must be uniform).
+pub fn explore_sec_ncu(
+    net: &Network,
+    profile: &PruneProfile,
+    device: &FpgaDevice,
+    base: &AcceleratorConfig,
+    s_ec_values: &[usize],
+    n_cu_values: &[usize],
+    logic_budget: f64,
+) -> Vec<DesignPoint> {
+    let mut points = Vec::new();
+    for &s_ec in s_ec_values {
+        if s_ec % base.n != 0 {
+            continue;
+        }
+        for &n_cu in n_cu_values {
+            let cfg = AcceleratorConfig { s_ec, n_cu, ..*base };
+            points.push(evaluate(net, profile, device, cfg, logic_budget));
+        }
+    }
+    points
+}
+
+/// The Pareto-optimal feasible points: no other feasible point has both
+/// higher throughput and lower (or equal) DSP *and* ALM cost. The
+/// candidates a designer actually weighs.
+pub fn pareto_front(points: &[DesignPoint]) -> Vec<&DesignPoint> {
+    let feasible: Vec<&DesignPoint> = points.iter().filter(|p| p.feasible).collect();
+    let dominated = |a: &DesignPoint, b: &DesignPoint| {
+        // b dominates a.
+        b.gops >= a.gops
+            && b.resources.dsps <= a.resources.dsps
+            && b.resources.alms <= a.resources.alms
+            && (b.gops > a.gops
+                || b.resources.dsps < a.resources.dsps
+                || b.resources.alms < a.resources.alms)
+    };
+    let mut front: Vec<&DesignPoint> = feasible
+        .iter()
+        .filter(|a| !feasible.iter().any(|b| dominated(a, b)))
+        .copied()
+        .collect();
+    front.sort_by(|a, b| b.gops.partial_cmp(&a.gops).unwrap_or(std::cmp::Ordering::Equal));
+    front
+}
+
+/// The best feasible points of a sweep, sorted by throughput descending.
+pub fn best_feasible(points: &[DesignPoint], count: usize) -> Vec<&DesignPoint> {
+    let mut feasible: Vec<&DesignPoint> = points.iter().filter(|p| p.feasible).collect();
+    feasible.sort_by(|a, b| b.gops.partial_cmp(&a.gops).unwrap_or(std::cmp::Ordering::Equal));
+    feasible.truncate(count);
+    feasible
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abm_model::zoo;
+
+    fn vgg_setup() -> (Network, PruneProfile, FpgaDevice) {
+        (
+            zoo::vgg16(),
+            PruneProfile::vgg16_deep_compression(),
+            FpgaDevice::stratix_v_gxa7(),
+        )
+    }
+
+    #[test]
+    fn figure6_optimum_near_14() {
+        let (net, profile, dev) = vgg_setup();
+        let base = AcceleratorConfig::paper();
+        let points = explore_nknl(&net, &profile, &dev, &base, 2..=20);
+        let best = optimal_nknl(&points).expect("some feasible point");
+        // The paper selects N_knl = 14; the model's optimum must land in
+        // its neighbourhood.
+        assert!(
+            (12..=16).contains(&best.config.n_knl),
+            "optimal N_knl {}",
+            best.config.n_knl
+        );
+        // DSP infeasibility kicks in for large N_knl at the preset
+        // S_ec=20, N_cu=3 (Figure 6's exploration boundary).
+        assert!(points.iter().any(|p| !p.feasible));
+    }
+
+    #[test]
+    fn figure6_boost_is_normalized() {
+        let (net, profile, dev) = vgg_setup();
+        let base = AcceleratorConfig::paper();
+        let points = explore_nknl(&net, &profile, &dev, &base, 2..=20);
+        let boost = normalized_boost(&points);
+        assert_eq!(boost.len(), points.len());
+        assert!((boost[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn figure7_paper_point_ranks_high() {
+        let (net, profile, dev) = vgg_setup();
+        let base = AcceleratorConfig::paper();
+        let s_ec: Vec<usize> = (4..=40).step_by(4).collect();
+        let n_cu: Vec<usize> = (1..=6).collect();
+        let points = explore_sec_ncu(&net, &profile, &dev, &base, &s_ec, &n_cu, 0.75);
+        assert!(!points.is_empty());
+        let top = best_feasible(&points, 5);
+        assert!(!top.is_empty());
+        // The implemented (S_ec=20, N_cu=3) must be among the top
+        // candidates and within 10% of the best feasible throughput.
+        let paper_point = points
+            .iter()
+            .find(|p| p.config.s_ec == 20 && p.config.n_cu == 3)
+            .expect("paper point evaluated");
+        assert!(paper_point.feasible, "paper design must be feasible");
+        assert!(
+            paper_point.gops >= top[0].gops * 0.9,
+            "paper point {} vs best {}",
+            paper_point.gops,
+            top[0].gops
+        );
+    }
+
+    #[test]
+    fn figure7_infeasible_region_exists() {
+        let (net, profile, dev) = vgg_setup();
+        let base = AcceleratorConfig::paper();
+        let points = explore_sec_ncu(
+            &net,
+            &profile,
+            &dev,
+            &base,
+            &[20, 40],
+            &[4, 5, 6],
+            0.75,
+        );
+        assert!(points.iter().any(|p| !p.feasible), "big configs must not fit");
+    }
+
+    #[test]
+    fn pareto_front_is_non_dominated_and_covers_the_best() {
+        let (net, profile, dev) = vgg_setup();
+        let base = AcceleratorConfig::paper();
+        let s_ec: Vec<usize> = (4..=40).step_by(4).collect();
+        let n_cu: Vec<usize> = (1..=6).collect();
+        let points = explore_sec_ncu(&net, &profile, &dev, &base, &s_ec, &n_cu, 0.75);
+        let front = pareto_front(&points);
+        assert!(!front.is_empty());
+        // The throughput-best feasible point is always on the front.
+        let best = best_feasible(&points, 1)[0];
+        assert!(front.iter().any(|p| p.config == best.config));
+        // No front point dominates another.
+        for a in &front {
+            for b in &front {
+                if a.config != b.config {
+                    let dominates = b.gops >= a.gops
+                        && b.resources.dsps <= a.resources.dsps
+                        && b.resources.alms <= a.resources.alms
+                        && (b.gops > a.gops
+                            || b.resources.dsps < a.resources.dsps
+                            || b.resources.alms < a.resources.alms);
+                    assert!(!dominates, "front contains dominated point");
+                }
+            }
+        }
+        // The front is a subset of the feasible set.
+        assert!(front.iter().all(|p| p.feasible));
+        assert!(front.len() <= points.iter().filter(|p| p.feasible).count());
+    }
+
+    #[test]
+    fn performance_density_beats_mac_designs() {
+        // Table 2: our perf density 4.29 GOP/s/DSP vs 2.58 for [3].
+        let (net, profile, dev) = vgg_setup();
+        let base = AcceleratorConfig::paper();
+        let point = evaluate(&net, &profile, &dev, base, 0.75);
+        let density = point.gops_per_dsp();
+        assert!((3.2..=5.2).contains(&density), "density {density}");
+    }
+}

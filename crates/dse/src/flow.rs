@@ -1,0 +1,194 @@
+//! The complete staged exploration flow of Figure 5, as a library API.
+//!
+//! 1. **Analyze** the network + pruning profile: encoded buffer demands
+//!    and the minimum Acc/Mult ratio, which fixes `N`;
+//! 2. **Sweep `N_knl`** with the performance model under preset
+//!    `S_ec`/`N_cu` (Figure 6) and pick the normalized-boost optimum;
+//! 3. **Sweep the `S_ec × N_cu` plane** under device constraints
+//!    (Figure 7), returning the top candidates;
+//! 4. **Check bandwidth**: each candidate is verified compute-bound on
+//!    the device's external memory.
+
+use crate::bandwidth::is_compute_bound;
+use crate::device::FpgaDevice;
+use crate::explore::{best_feasible, explore_nknl, explore_sec_ncu, optimal_nknl, DesignPoint};
+use crate::perf::expected_distinct;
+use abm_model::{LayerKind, Network, PruneProfile};
+use abm_sim::AcceleratorConfig;
+
+/// Outcome of the staged flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowResult {
+    /// Minimum per-layer Acc/Mult ratio found in stage 1.
+    pub min_acc_mult_ratio: f64,
+    /// The selected accumulators-per-multiplier ratio `N`.
+    pub n: usize,
+    /// The selected `N_knl`.
+    pub n_knl: usize,
+    /// Candidate design points from the `S_ec × N_cu` stage, best first.
+    pub candidates: Vec<DesignPoint>,
+    /// Whether every candidate is compute-bound on the device.
+    pub compute_bound: bool,
+}
+
+impl FlowResult {
+    /// The winning configuration (highest estimated throughput).
+    pub fn best(&self) -> Option<&DesignPoint> {
+        self.candidates.first()
+    }
+}
+
+/// Stage-1 analysis: the expected minimum Acc/Mult ratio of the
+/// network under a profile (model-based; no synthesis needed).
+pub fn min_acc_mult_ratio(net: &Network, profile: &PruneProfile) -> f64 {
+    net.conv_fc_layers()
+        .map(|l| {
+            let p = profile.for_layer(&l.layer.name);
+            let volume = match &l.layer.kind {
+                LayerKind::Conv(c) => c.weight_shape().kernel_len(),
+                LayerKind::FullyConnected(fc) => fc.in_features,
+                _ => unreachable!("accelerated layers only"),
+            };
+            let nnz = volume as f64 * p.density();
+            let q = expected_distinct(p.value_levels as f64, nnz);
+            if q == 0.0 {
+                f64::INFINITY
+            } else {
+                nnz / q
+            }
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Picks `N` as the divisor-friendly candidate nearest the minimum
+/// Acc/Mult ratio (the paper lands on 4 for a ratio of 3.4).
+pub fn select_n(min_ratio: f64) -> usize {
+    [1usize, 2, 4, 5, 10]
+        .into_iter()
+        .min_by(|&a, &b| {
+            (a as f64 - min_ratio)
+                .abs()
+                .partial_cmp(&(b as f64 - min_ratio).abs())
+                .expect("finite")
+        })
+        .expect("non-empty candidate set")
+}
+
+/// Runs the full staged flow for a network/profile on a device,
+/// returning up to `candidate_count` verified candidates.
+pub fn run_flow(
+    net: &Network,
+    profile: &PruneProfile,
+    device: &FpgaDevice,
+    candidate_count: usize,
+) -> FlowResult {
+    // Stage 1.
+    let min_ratio = min_acc_mult_ratio(net, profile);
+    let n = select_n(min_ratio);
+
+    // Stage 2: N_knl sweep at nominal frequency with preset S_ec/N_cu.
+    let base = AcceleratorConfig {
+        n,
+        freq_mhz: device.nominal_freq_mhz,
+        ..AcceleratorConfig::paper()
+    };
+    let sweep = explore_nknl(net, profile, device, &base, 2..=24);
+    let n_knl = optimal_nknl(&sweep).map(|p| p.config.n_knl).unwrap_or(base.n_knl);
+
+    // Stage 3: S_ec x N_cu plane.
+    let base = AcceleratorConfig { n_knl, ..base };
+    let s_ec: Vec<usize> = (n..=2 * 32).step_by(n).collect();
+    let n_cu: Vec<usize> = (1..=6).collect();
+    let grid = explore_sec_ncu(net, profile, device, &base, &s_ec, &n_cu, 0.75);
+    let candidates: Vec<DesignPoint> = best_feasible(&grid, candidate_count)
+        .into_iter()
+        .cloned()
+        .collect();
+
+    // Stage 4: bandwidth verification.
+    let compute_bound = candidates.iter().all(|c| {
+        is_compute_bound(net, profile, &c.config, device.memory_bandwidth_gbps)
+    });
+
+    FlowResult { min_acc_mult_ratio: min_ratio, n, n_knl, candidates, compute_bound }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abm_model::zoo;
+
+    #[test]
+    fn flow_reproduces_the_papers_design_point() {
+        let net = zoo::vgg16();
+        let profile = PruneProfile::vgg16_deep_compression();
+        let dev = FpgaDevice::stratix_v_gxa7();
+        let result = run_flow(&net, &profile, &dev, 5);
+
+        // Stage 1: ratio ~3.4 => N = 4.
+        assert!((3.0..=4.2).contains(&result.min_acc_mult_ratio));
+        assert_eq!(result.n, 4);
+        // Stage 2: N_knl in the paper's neighbourhood.
+        assert!((12..=16).contains(&result.n_knl), "N_knl {}", result.n_knl);
+        // Stage 3: the implemented (20, 3) among candidates.
+        assert!(result
+            .candidates
+            .iter()
+            .any(|c| c.config.s_ec == 20 && c.config.n_cu == 3));
+        // Stage 4: compute-bound on the DE5 (Section 5.2).
+        assert!(result.compute_bound);
+        assert!(result.best().is_some());
+    }
+
+    #[test]
+    fn flow_on_alexnet() {
+        let net = zoo::alexnet();
+        let profile = PruneProfile::alexnet_deep_compression();
+        let dev = FpgaDevice::stratix_v_gxa7();
+        let result = run_flow(&net, &profile, &dev, 3);
+        assert_eq!(result.n, 4);
+        assert!(!result.candidates.is_empty());
+        assert!(result.compute_bound);
+    }
+
+    #[test]
+    fn select_n_rounds_to_divisor_friendly_values() {
+        assert_eq!(select_n(3.4), 4);
+        assert_eq!(select_n(1.2), 1);
+        assert_eq!(select_n(2.4), 2);
+        assert_eq!(select_n(7.0), 5);
+        assert_eq!(select_n(30.0), 10);
+    }
+
+    #[test]
+    fn min_ratio_model_matches_measured_statistics() {
+        // The model-based stage-1 ratio must agree with the measured
+        // ratio on a synthesized model within ~15%.
+        use abm_conv::ops::NetworkOps;
+        use abm_model::synthesize_model;
+        let net = zoo::vgg16();
+        let profile = PruneProfile::vgg16_deep_compression();
+        let modelled = min_acc_mult_ratio(&net, &profile);
+        let measured = NetworkOps::analyze(&synthesize_model(&net, &profile, 2019))
+            .min_acc_mult_ratio();
+        assert!(
+            (modelled - measured).abs() / measured < 0.15,
+            "model {modelled} vs measured {measured}"
+        );
+    }
+
+    #[test]
+    fn bigger_device_scales_the_flow() {
+        let net = zoo::vgg16();
+        let profile = PruneProfile::vgg16_deep_compression();
+        let small = run_flow(&net, &profile, &FpgaDevice::stratix_v_gxa7(), 1);
+        let big = run_flow(&net, &profile, &FpgaDevice::arria10_gx1150(), 1);
+        let (s, b) = (small.best().unwrap(), big.best().unwrap());
+        assert!(
+            b.gops > 1.5 * s.gops,
+            "Arria-10 point {} should dwarf GXA7 point {}",
+            b.gops,
+            s.gops
+        );
+    }
+}

@@ -1,0 +1,195 @@
+//! The Performance Model (Section 5.1, Equations 3–4).
+//!
+//! A closed-form throughput estimate that needs only the network's layer
+//! dimensions and the pruning profile — no synthesized weights — so the
+//! exploration loops stay fast. Per layer `l`:
+//!
+//! ```text
+//! n̄zz  = volume · (1 - P_l)                    expected nnz per kernel
+//! Q̄    = L · (1 - (1 - 1/L)^n̄zz)               expected distinct values
+//! lane  = max(n̄zz, Q̄·N)                        cycles per vector sweep
+//! t_l   = ceil(M/N_knl) · ceil(R'C'/S_ec) · lane · γ / (N_cu · Freq)
+//! ```
+//!
+//! with `γ` a small calibration factor for intra-batch imbalance. FC
+//! layers amortize over an `S_ec`-image batch. The model is validated
+//! against the cycle simulator in the integration tests (within ~15%).
+
+use abm_model::{LayerKind, Network, PruneProfile};
+use abm_sim::AcceleratorConfig;
+
+/// Calibrated intra-batch imbalance factor (max-vs-mean lane load within
+/// a task).
+pub const IMBALANCE_GAMMA: f64 = 1.04;
+
+/// Per-layer estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerEstimate {
+    /// Layer name.
+    pub name: String,
+    /// Estimated compute seconds per image.
+    pub seconds: f64,
+    /// Dense ops (throughput numerator).
+    pub dense_ops: u64,
+    /// Expected accumulations per image.
+    pub acc_ops: f64,
+}
+
+/// Whole-network performance estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfEstimate {
+    layers: Vec<LayerEstimate>,
+}
+
+impl PerfEstimate {
+    /// Per-layer rows.
+    pub fn layers(&self) -> &[LayerEstimate] {
+        &self.layers
+    }
+
+    /// Estimated seconds per image.
+    pub fn total_seconds(&self) -> f64 {
+        self.layers.iter().map(|l| l.seconds).sum()
+    }
+
+    /// Estimated inference rate (images/s) — Equation (4).
+    pub fn images_per_second(&self) -> f64 {
+        let t = self.total_seconds();
+        if t == 0.0 {
+            0.0
+        } else {
+            1.0 / t
+        }
+    }
+
+    /// Estimated dense-equivalent throughput in GOP/s.
+    pub fn gops(&self) -> f64 {
+        let t = self.total_seconds();
+        if t == 0.0 {
+            return 0.0;
+        }
+        let ops: u64 = self.layers.iter().map(|l| l.dense_ops).sum();
+        ops as f64 / t / 1e9
+    }
+}
+
+/// Expected number of distinct values among `nnz` draws from a codebook
+/// of `levels` values (coupon-collector expectation).
+pub fn expected_distinct(levels: f64, nnz: f64) -> f64 {
+    if levels <= 0.0 || nnz <= 0.0 {
+        return 0.0;
+    }
+    levels * (1.0 - (1.0 - 1.0 / levels).powf(nnz))
+}
+
+/// Estimates network throughput for a configuration (Figure 5's
+/// "Performance Model" stage).
+pub fn estimate_network(
+    net: &Network,
+    profile: &PruneProfile,
+    cfg: &AcceleratorConfig,
+) -> PerfEstimate {
+    let layers = net
+        .conv_fc_layers()
+        .map(|l| {
+            let p = profile.for_layer(&l.layer.name);
+            let (volume, m, out_pixels, is_fc) = match &l.layer.kind {
+                LayerKind::Conv(c) => (
+                    c.weight_shape().kernel_len(),
+                    c.out_channels,
+                    l.output_shape.rows * l.output_shape.cols,
+                    false,
+                ),
+                LayerKind::FullyConnected(fc) => (fc.in_features, fc.out_features, 1, true),
+                _ => unreachable!("conv_fc_layers yields accelerated layers"),
+            };
+            let nnz = volume as f64 * p.density();
+            let q = expected_distinct(p.value_levels as f64, nnz);
+            let lane = nnz.max(q * cfg.n as f64);
+            let batches = m.div_ceil(cfg.n_knl) as f64;
+            let vectors = if is_fc {
+                1.0
+            } else {
+                (out_pixels as f64 / cfg.s_ec as f64).ceil().max(1.0)
+            };
+            let cycles =
+                batches * vectors * lane * IMBALANCE_GAMMA / cfg.n_cu as f64;
+            let batch_amortization = if is_fc { cfg.s_ec as f64 } else { 1.0 };
+            let seconds = cycles * cfg.clock_period() / batch_amortization;
+            LayerEstimate {
+                name: l.layer.name.clone(),
+                seconds,
+                dense_ops: l.dense_ops(),
+                acc_ops: nnz * (m * out_pixels) as f64,
+            }
+        })
+        .collect();
+    PerfEstimate { layers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abm_model::zoo;
+
+    #[test]
+    fn expected_distinct_limits() {
+        assert_eq!(expected_distinct(16.0, 0.0), 0.0);
+        // One draw: exactly one distinct value.
+        assert!((expected_distinct(16.0, 1.0) - 1.0).abs() < 1e-9);
+        // Many draws saturate at the codebook size.
+        assert!((expected_distinct(16.0, 10_000.0) - 16.0).abs() < 1e-6);
+        // Monotone in draws.
+        assert!(expected_distinct(16.0, 10.0) < expected_distinct(16.0, 20.0));
+    }
+
+    #[test]
+    fn vgg16_estimate_lands_near_the_paper() {
+        let net = zoo::vgg16();
+        let profile = PruneProfile::vgg16_deep_compression();
+        let est = estimate_network(&net, &profile, &AcceleratorConfig::paper());
+        let gops = est.gops();
+        // Paper: 1029 GOP/s measured; the model should land in the same
+        // regime (the simulator measures ~910).
+        assert!((850.0..=1150.0).contains(&gops), "VGG16 model {gops}");
+        let imgs = est.images_per_second();
+        assert!((25.0..=40.0).contains(&imgs), "VGG16 {imgs} img/s");
+    }
+
+    #[test]
+    fn alexnet_estimate_lands_near_the_paper() {
+        let net = zoo::alexnet();
+        let profile = PruneProfile::alexnet_deep_compression();
+        let est = estimate_network(&net, &profile, &AcceleratorConfig::paper_alexnet());
+        let gops = est.gops();
+        // Paper: 699 GOP/s.
+        assert!((580.0..=820.0).contains(&gops), "AlexNet model {gops}");
+    }
+
+    #[test]
+    fn throughput_scales_with_cu_count() {
+        let net = zoo::vgg16();
+        let profile = PruneProfile::vgg16_deep_compression();
+        let one = estimate_network(
+            &net,
+            &profile,
+            &AcceleratorConfig { n_cu: 1, ..AcceleratorConfig::paper() },
+        );
+        let three = estimate_network(&net, &profile, &AcceleratorConfig::paper());
+        let ratio = three.gops() / one.gops();
+        assert!((2.7..=3.1).contains(&ratio), "CU scaling {ratio}");
+    }
+
+    #[test]
+    fn per_layer_rows_cover_conv_and_fc() {
+        let net = zoo::vgg16();
+        let profile = PruneProfile::vgg16_deep_compression();
+        let est = estimate_network(&net, &profile, &AcceleratorConfig::paper());
+        assert_eq!(est.layers().len(), 16);
+        assert!(est.layers().iter().all(|l| l.seconds > 0.0));
+        // FC layers amortize: FC7 must be far cheaper than CONV1_2.
+        let fc7 = est.layers().iter().find(|l| l.name == "FC7").unwrap();
+        let c12 = est.layers().iter().find(|l| l.name == "CONV1_2").unwrap();
+        assert!(fc7.seconds < c12.seconds / 10.0);
+    }
+}

@@ -1,0 +1,240 @@
+//! The Resource Requirement Model (Section 5.1, Equations 8–10).
+//!
+//! Hardware cost is linear in the design parameters with
+//! platform-dependent constants `C0..C7`:
+//!
+//! ```text
+//! ALM  = C0 + (C1·S_ec + C2·N·N_knl + C3·N_knl) · N_cu
+//! DSP  = C4 + (N_knl·S_ec/N) · N_cu
+//! M20K = C5 + (C6·S_ec + C7·N_knl) · N_cu        (Eq. 10)
+//! ```
+//!
+//! The paper determines the constants by characterizing the target FPGA
+//! with a few fast compilations; we calibrate them against the
+//! utilizations the paper reports for its final designs (Table 2), which
+//! is the same linear-fit methodology applied to the published data
+//! points.
+
+use crate::device::FpgaDevice;
+use abm_sim::AcceleratorConfig;
+
+/// Estimated resource usage of one configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResourceEstimate {
+    /// Adaptive logic modules.
+    pub alms: u64,
+    /// DSP blocks.
+    pub dsps: u64,
+    /// M20K memory blocks.
+    pub m20ks: u64,
+}
+
+impl ResourceEstimate {
+    /// Whether the estimate fits a device with the given logic budget
+    /// (DSP and M20K may fill completely; logic above ~75% breaks
+    /// compilation or frequency, per Section 5.2).
+    pub fn fits(&self, device: &FpgaDevice, logic_budget: f64) -> bool {
+        self.alms as f64 <= device.alms as f64 * logic_budget
+            && self.dsps <= device.dsps
+            && self.m20ks <= device.m20ks
+    }
+
+    /// Utilization fractions `(alm, dsp, m20k)` on a device.
+    pub fn utilization(&self, device: &FpgaDevice) -> (f64, f64, f64) {
+        (
+            self.alms as f64 / device.alms as f64,
+            self.dsps as f64 / device.dsps as f64,
+            self.m20ks as f64 / device.m20ks as f64,
+        )
+    }
+}
+
+/// The linear resource model with constants `C0..C7`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResourceModel {
+    /// Base logic (fetch/store unit, host interface, scheduler).
+    pub c0: f64,
+    /// ALMs per unit of `S_ec` per CU (vector data path).
+    pub c1: f64,
+    /// ALMs per accumulator (`N·N_knl` of them per vector lane group).
+    pub c2: f64,
+    /// ALMs per kernel lane per CU (address generator, loop counter).
+    pub c3: f64,
+    /// Base DSPs (address arithmetic in the fetch/store unit).
+    pub c4: f64,
+    /// Base M20Ks.
+    pub c5: f64,
+    /// M20Ks per unit of `S_ec` per CU (feature banking, double
+    /// buffered).
+    pub c6: f64,
+    /// M20Ks per kernel lane per CU (WT-Buffer/Q-Table banks, FIFOs).
+    pub c7: f64,
+}
+
+impl ResourceModel {
+    /// Constants calibrated on the Stratix-V GXA7 against the paper's
+    /// VGG16 design point (Table 2: 160K ALM, 240 DSP, 2,435 M20K at
+    /// `N_cu=3, N_knl=14, N=4, S_ec=20`).
+    pub fn paper() -> Self {
+        Self {
+            c0: 25_000.0,
+            c1: 600.0,
+            c2: 500.0,
+            c3: 357.0,
+            c4: 30.0,
+            c5: 125.0,
+            c6: 28.0,
+            c7: 15.0,
+        }
+    }
+
+    /// Estimates the resources of a configuration.
+    pub fn estimate(&self, cfg: &AcceleratorConfig) -> ResourceEstimate {
+        let (n_cu, n_knl, n, s_ec) = (
+            cfg.n_cu as f64,
+            cfg.n_knl as f64,
+            cfg.n as f64,
+            cfg.s_ec as f64,
+        );
+        let alms = self.c0 + (self.c1 * s_ec + self.c2 * n * n_knl + self.c3 * n_knl) * n_cu;
+        let dsps = self.c4 + (n_knl * s_ec / n) * n_cu;
+        let m20ks = self.c5 + (self.c6 * s_ec + self.c7 * n_knl) * n_cu;
+        ResourceEstimate {
+            alms: alms.round() as u64,
+            dsps: dsps.ceil() as u64,
+            m20ks: m20ks.round() as u64,
+        }
+    }
+
+    /// Solves the largest total accumulator-lane count (`N_cu·N_knl·S_ec`)
+    /// that fits the device at the given logic budget with DSPs allowed
+    /// to fill — the `N_acc` bound that raises the Figure 1 roof.
+    pub fn max_accumulator_lanes(
+        &self,
+        device: &FpgaDevice,
+        n: usize,
+        logic_budget: f64,
+    ) -> u64 {
+        let mut best = 0u64;
+        for n_cu in 1..=8 {
+            for n_knl in 1..=64 {
+                for s_ec in (n..=64).step_by(n) {
+                    let cfg = AcceleratorConfig {
+                        n_cu,
+                        n_knl,
+                        n,
+                        s_ec,
+                        ..AcceleratorConfig::paper()
+                    };
+                    if self.estimate(&cfg).fits(device, logic_budget) {
+                        best = best.max(cfg.accumulator_lanes() as u64);
+                    }
+                }
+            }
+        }
+        best
+    }
+}
+
+impl Default for ResourceModel {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Achievable clock frequency as a function of logic utilization — the
+/// effect behind Section 5.2's warning that "a strict budget on logic
+/// resource (such as 70%) may lead to ... large degradation in operating
+/// frequency".
+///
+/// Flat at `nominal` until ~72% ALM utilization, then linear droop to
+/// ~70% of nominal at full utilization (typical Stratix-V routing
+/// behaviour).
+///
+/// # Examples
+///
+/// ```
+/// use abm_dse::resource::achievable_freq_mhz;
+/// assert_eq!(achievable_freq_mhz(200.0, 0.5), 200.0);
+/// assert!(achievable_freq_mhz(200.0, 0.9) < 200.0);
+/// ```
+pub fn achievable_freq_mhz(nominal: f64, alm_utilization: f64) -> f64 {
+    const KNEE: f64 = 0.72;
+    const FLOOR_FRACTION: f64 = 0.70;
+    if alm_utilization <= KNEE {
+        nominal
+    } else {
+        let over = ((alm_utilization - KNEE) / (1.0 - KNEE)).min(1.0);
+        nominal * (1.0 - over * (1.0 - FLOOR_FRACTION))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_reproduces_table2_vgg16_row() {
+        let model = ResourceModel::paper();
+        let est = model.estimate(&AcceleratorConfig::paper());
+        // Table 2 (Proposed, VGG16): 160K ALM (68%), 240 DSP (94%),
+        // 2,435 M20K (95%).
+        assert!((est.alms as f64 - 160_000.0).abs() / 160_000.0 < 0.02, "ALM {}", est.alms);
+        assert_eq!(est.dsps, 240);
+        assert_eq!(est.m20ks, 2_435);
+        let dev = FpgaDevice::stratix_v_gxa7();
+        let (alm_u, dsp_u, m20k_u) = est.utilization(&dev);
+        assert!((alm_u - 0.68).abs() < 0.02, "ALM util {alm_u}");
+        assert!((dsp_u - 0.94).abs() < 0.01, "DSP util {dsp_u}");
+        assert!((m20k_u - 0.95).abs() < 0.01, "M20K util {m20k_u}");
+    }
+
+    #[test]
+    fn fits_respects_budgets() {
+        let model = ResourceModel::paper();
+        let dev = FpgaDevice::stratix_v_gxa7();
+        let cfg = AcceleratorConfig::paper();
+        assert!(model.estimate(&cfg).fits(&dev, 0.75));
+        // Doubling CUs blows every budget.
+        let big = AcceleratorConfig { n_cu: 6, ..cfg };
+        assert!(!model.estimate(&big).fits(&dev, 0.75));
+    }
+
+    #[test]
+    fn resources_monotone_in_parameters() {
+        let model = ResourceModel::paper();
+        let base = model.estimate(&AcceleratorConfig::paper());
+        for cfg in [
+            AcceleratorConfig { n_knl: 20, ..AcceleratorConfig::paper() },
+            AcceleratorConfig { s_ec: 24, ..AcceleratorConfig::paper() },
+            AcceleratorConfig { n_cu: 4, ..AcceleratorConfig::paper() },
+        ] {
+            let est = model.estimate(&cfg);
+            assert!(est.alms > base.alms);
+            assert!(est.m20ks > base.m20ks);
+        }
+    }
+
+    #[test]
+    fn freq_droop_model() {
+        assert_eq!(achievable_freq_mhz(200.0, 0.0), 200.0);
+        assert_eq!(achievable_freq_mhz(200.0, 0.72), 200.0);
+        let at_85 = achievable_freq_mhz(200.0, 0.85);
+        assert!(at_85 < 200.0 && at_85 > 140.0);
+        // Monotone non-increasing and floored at 70% of nominal.
+        assert!(achievable_freq_mhz(200.0, 0.95) < at_85);
+        assert!((achievable_freq_mhz(200.0, 1.0) - 140.0).abs() < 1e-9);
+        assert!((achievable_freq_mhz(200.0, 2.0) - 140.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_lanes_exceeds_implemented_design() {
+        // The design space holds more accumulators than the implemented
+        // 840 lanes (the Figure 1 roof is above the achieved point).
+        let model = ResourceModel::paper();
+        let dev = FpgaDevice::stratix_v_gxa7();
+        let max = model.max_accumulator_lanes(&dev, 4, 0.75);
+        assert!(max >= 840, "max lanes {max}");
+        assert!(max <= 4000, "implausibly large {max}");
+    }
+}

@@ -1,0 +1,109 @@
+//! The roofline comparison of design spaces (Figure 1).
+//!
+//! On a Stratix-V GXA7 at 200 MHz the paper draws three computational
+//! roofs for CNN inference throughput (dense-equivalent GOP/s):
+//!
+//! * **SDConv** — `2 · N_mac · Freq` = 204.8 GOP/s (DSP-limited),
+//! * **FDConv / SpConv** — `2 · R_mac · N_mac · Freq` ≈ 675 GOP/s with
+//!   `R_mac = 3.3`,
+//! * **ABM-SpConv** — `2 · N_acc · Freq` ≈ 1046 GOP/s, where `N_acc` is
+//!   the accumulator count the device's *logic* can host (solved from
+//!   the resource model) and the dense-equivalence comes from the
+//!   scheme's op-reduction factor.
+
+use crate::device::FpgaDevice;
+use crate::resource::ResourceModel;
+use abm_conv::ops::FDCONV_PAPER_REDUCTION;
+use abm_model::{Network, PruneProfile};
+
+/// The three computational roofs for one device + network pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Roofline {
+    /// MAC-array (SDConv) roof in GOP/s.
+    pub sdconv_gops: f64,
+    /// Frequency-domain / sparse (FDConv, SpConv) roof in GOP/s.
+    pub fdconv_gops: f64,
+    /// ABM-SpConv roof in GOP/s (dense-equivalent).
+    pub abm_gops: f64,
+    /// Accumulator lanes the device can host (the `N_acc` behind the
+    /// ABM roof).
+    pub n_acc: u64,
+    /// The network's dense-to-accumulation op reduction factor.
+    pub abm_reduction: f64,
+}
+
+impl Roofline {
+    /// The ABM roof's speedup over the FDConv roof.
+    pub fn abm_over_fdconv(&self) -> f64 {
+        self.abm_gops / self.fdconv_gops
+    }
+}
+
+/// Computes the Figure 1 rooflines for a device and workload.
+///
+/// `profile` supplies the pruning statistics that set both the
+/// FDConv-competitive `R_mac` and the ABM op-reduction factor; `n` is
+/// the accumulators-per-multiplier ratio used when solving the feasible
+/// accumulator count.
+pub fn compute(
+    device: &FpgaDevice,
+    net: &Network,
+    profile: &PruneProfile,
+    n: usize,
+    logic_budget: f64,
+) -> Roofline {
+    let sdconv = device.sdconv_roof_gops();
+    let fdconv = sdconv * FDCONV_PAPER_REDUCTION;
+    let model = ResourceModel::paper();
+    let n_acc = model.max_accumulator_lanes(device, n, logic_budget);
+    // Dense ops per accumulation: every surviving weight costs one
+    // accumulation; dense costs 2 ops per original weight position.
+    let abm_reduction = 2.0 * profile.mac_reduction(net);
+    let abm = n_acc as f64 * device.nominal_freq_mhz * 1e6 * abm_reduction / 1e9;
+    Roofline {
+        sdconv_gops: sdconv,
+        fdconv_gops: fdconv,
+        abm_gops: abm,
+        n_acc,
+        abm_reduction,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abm_model::zoo;
+
+    #[test]
+    fn figure1_roofs_on_gxa7() {
+        let dev = FpgaDevice::stratix_v_gxa7();
+        let net = zoo::vgg16();
+        let profile = PruneProfile::vgg16_deep_compression();
+        let r = compute(&dev, &net, &profile, 4, 0.75);
+        // SDConv roof: 204.8 GOP/s exactly.
+        assert!((r.sdconv_gops - 204.8).abs() < 1e-9);
+        // FDConv roof: ~675 GOP/s.
+        assert!((r.fdconv_gops - 675.0).abs() < 10.0, "FDConv roof {}", r.fdconv_gops);
+        // ABM roof: paper draws ~1046; our resource solve lands in the
+        // same regime and strictly above FDConv.
+        assert!(
+            (950.0..=1300.0).contains(&r.abm_gops),
+            "ABM roof {} (n_acc {})",
+            r.abm_gops,
+            r.n_acc
+        );
+        assert!(r.abm_over_fdconv() > 1.3);
+        // VGG16 reduction: 2 * 3.06.
+        assert!((r.abm_reduction - 6.12).abs() < 0.2);
+    }
+
+    #[test]
+    fn bigger_device_raises_all_roofs() {
+        let net = zoo::vgg16();
+        let profile = PruneProfile::vgg16_deep_compression();
+        let small = compute(&FpgaDevice::stratix_v_gxa7(), &net, &profile, 4, 0.75);
+        let big = compute(&FpgaDevice::arria10_gx1150(), &net, &profile, 4, 0.75);
+        assert!(big.sdconv_gops > small.sdconv_gops);
+        assert!(big.abm_gops > small.abm_gops);
+    }
+}

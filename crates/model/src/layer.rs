@@ -1,0 +1,303 @@
+//! Layer descriptors.
+//!
+//! A [`Layer`] pairs a name with a [`LayerKind`]. Convolution and
+//! fully-connected layers carry the dimensional parameters of the paper's
+//! Equation (1); the remaining kinds (pooling, ReLU, LRN, softmax) are the
+//! "host" layers that the paper runs on the CPU.
+
+use abm_tensor::shape::conv_out_dim;
+use abm_tensor::{Shape3, Shape4};
+use std::fmt;
+
+/// Parameters of a convolution layer (`M×N×K×K'` weights applied with
+/// stride `S` and padding `P`, optionally grouped as in AlexNet).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvSpec {
+    /// Input channels `N`.
+    pub in_channels: usize,
+    /// Output channels `M`.
+    pub out_channels: usize,
+    /// Kernel size `K` (square kernels, as in both evaluated CNNs).
+    pub kernel: usize,
+    /// Convolution stride `S`.
+    pub stride: usize,
+    /// Zero padding applied on all four sides.
+    pub pad: usize,
+    /// Channel groups (2 for AlexNet's split layers, 1 otherwise).
+    pub groups: usize,
+}
+
+impl ConvSpec {
+    /// Creates an ungrouped convolution spec.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Self {
+        Self { in_channels, out_channels, kernel, stride, pad, groups: 1 }
+    }
+
+    /// Sets the number of channel groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` does not divide both channel counts.
+    pub fn with_groups(mut self, groups: usize) -> Self {
+        assert!(groups > 0, "groups must be positive");
+        assert_eq!(self.in_channels % groups, 0, "groups must divide in_channels");
+        assert_eq!(self.out_channels % groups, 0, "groups must divide out_channels");
+        self.groups = groups;
+        self
+    }
+
+    /// Shape of the weight tensor. With grouping, the per-kernel input
+    /// depth is `N / groups`.
+    pub fn weight_shape(&self) -> Shape4 {
+        Shape4::new(
+            self.out_channels,
+            self.in_channels / self.groups,
+            self.kernel,
+            self.kernel,
+        )
+    }
+
+    /// Output feature-map shape for the given input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input channel count disagrees with the spec.
+    pub fn output_shape(&self, input: Shape3) -> Shape3 {
+        assert_eq!(input.channels, self.in_channels, "channel mismatch");
+        Shape3::new(
+            self.out_channels,
+            conv_out_dim(input.rows, self.kernel, self.stride, self.pad),
+            conv_out_dim(input.cols, self.kernel, self.stride, self.pad),
+        )
+    }
+
+    /// Dense MAC count for the given input (`M·(N/g)·K²·R'·C'`).
+    pub fn dense_macs(&self, input: Shape3) -> u64 {
+        let out = self.output_shape(input);
+        (self.weight_shape().kernel_len() as u64)
+            * self.out_channels as u64
+            * (out.rows * out.cols) as u64
+    }
+}
+
+/// Parameters of a fully-connected layer, the `R=C=K=1` special case of
+/// Equation (1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FcSpec {
+    /// Input features `N`.
+    pub in_features: usize,
+    /// Output features `M`.
+    pub out_features: usize,
+}
+
+impl FcSpec {
+    /// Creates a fully-connected spec.
+    pub fn new(in_features: usize, out_features: usize) -> Self {
+        Self { in_features, out_features }
+    }
+
+    /// Shape of the weight tensor viewed as 1×1 convolution kernels.
+    pub fn weight_shape(&self) -> Shape4 {
+        Shape4::new(self.out_features, self.in_features, 1, 1)
+    }
+
+    /// Dense MAC count (`M·N`).
+    pub fn dense_macs(&self) -> u64 {
+        self.in_features as u64 * self.out_features as u64
+    }
+}
+
+/// Pooling flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PoolKind {
+    /// Maximum pooling (both evaluated CNNs use max pooling).
+    Max,
+    /// Average pooling.
+    Avg,
+}
+
+/// Parameters of a pooling layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PoolSpec {
+    /// Pooling flavour.
+    pub kind: PoolKind,
+    /// Window size.
+    pub window: usize,
+    /// Stride.
+    pub stride: usize,
+}
+
+impl PoolSpec {
+    /// Creates a max-pooling spec.
+    pub fn max(window: usize, stride: usize) -> Self {
+        Self { kind: PoolKind::Max, window, stride }
+    }
+
+    /// Output shape for the given input (no padding; AlexNet's overlapped
+    /// 3/2 pooling and VGG's 2/2 pooling both fit).
+    pub fn output_shape(&self, input: Shape3) -> Shape3 {
+        Shape3::new(
+            input.channels,
+            conv_out_dim(input.rows, self.window, self.stride, 0),
+            conv_out_dim(input.cols, self.window, self.stride, 0),
+        )
+    }
+}
+
+/// Parameters of AlexNet's local response normalization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LrnSpec {
+    /// Window size across channels.
+    pub size: usize,
+    /// Scale parameter α.
+    pub alpha: f32,
+    /// Exponent β.
+    pub beta: f32,
+    /// Bias κ.
+    pub k: f32,
+}
+
+impl LrnSpec {
+    /// AlexNet's published LRN parameters.
+    pub fn alexnet() -> Self {
+        Self { size: 5, alpha: 1e-4, beta: 0.75, k: 2.0 }
+    }
+}
+
+/// The kind of computation a layer performs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LayerKind {
+    /// Convolution (runs on the accelerator).
+    Conv(ConvSpec),
+    /// Fully connected (runs on the accelerator).
+    FullyConnected(FcSpec),
+    /// Pooling (host).
+    Pool(PoolSpec),
+    /// Rectified linear unit (host, fused in practice).
+    Relu,
+    /// Local response normalization (host).
+    Lrn(LrnSpec),
+    /// Softmax (host).
+    Softmax,
+}
+
+/// A named layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Layer {
+    /// Human-readable layer name (e.g. `CONV4_2`).
+    pub name: String,
+    /// What the layer computes.
+    pub kind: LayerKind,
+}
+
+impl Layer {
+    /// Creates a named layer.
+    pub fn new(name: impl Into<String>, kind: LayerKind) -> Self {
+        Self { name: name.into(), kind }
+    }
+
+    /// Whether this layer runs on the accelerator (conv or FC).
+    pub fn is_accelerated(&self) -> bool {
+        matches!(self.kind, LayerKind::Conv(_) | LayerKind::FullyConnected(_))
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            LayerKind::Conv(c) => write!(
+                f,
+                "{}: conv {}->{} k{} s{} p{}{}",
+                self.name,
+                c.in_channels,
+                c.out_channels,
+                c.kernel,
+                c.stride,
+                c.pad,
+                if c.groups > 1 { format!(" g{}", c.groups) } else { String::new() }
+            ),
+            LayerKind::FullyConnected(fc) => {
+                write!(f, "{}: fc {}->{}", self.name, fc.in_features, fc.out_features)
+            }
+            LayerKind::Pool(p) => {
+                write!(f, "{}: pool {}x{}/{}", self.name, p.window, p.window, p.stride)
+            }
+            LayerKind::Relu => write!(f, "{}: relu", self.name),
+            LayerKind::Lrn(_) => write!(f, "{}: lrn", self.name),
+            LayerKind::Softmax => write!(f, "{}: softmax", self.name),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_shapes() {
+        let spec = ConvSpec::new(3, 64, 3, 1, 1);
+        let out = spec.output_shape(Shape3::new(3, 224, 224));
+        assert_eq!(out, Shape3::new(64, 224, 224));
+        assert_eq!(spec.weight_shape(), Shape4::new(64, 3, 3, 3));
+        // 2 ops/MAC: conv1_1 of VGG16 is 173 MOP.
+        assert_eq!(2 * spec.dense_macs(Shape3::new(3, 224, 224)), 173_408_256);
+    }
+
+    #[test]
+    fn grouped_conv_shapes() {
+        let spec = ConvSpec::new(96, 256, 5, 1, 2).with_groups(2);
+        assert_eq!(spec.weight_shape(), Shape4::new(256, 48, 5, 5));
+        let out = spec.output_shape(Shape3::new(96, 27, 27));
+        assert_eq!(out, Shape3::new(256, 27, 27));
+        // AlexNet conv2: 2*256*48*25*27*27 = 447.9 MMAC
+        assert_eq!(spec.dense_macs(Shape3::new(96, 27, 27)), 223_948_800);
+    }
+
+    #[test]
+    #[should_panic(expected = "groups must divide")]
+    fn bad_groups_panic() {
+        let _ = ConvSpec::new(3, 64, 3, 1, 1).with_groups(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn channel_mismatch_panics() {
+        let spec = ConvSpec::new(3, 64, 3, 1, 1);
+        let _ = spec.output_shape(Shape3::new(4, 8, 8));
+    }
+
+    #[test]
+    fn fc_shapes() {
+        let fc = FcSpec::new(25088, 4096);
+        assert_eq!(fc.weight_shape(), Shape4::new(4096, 25088, 1, 1));
+        assert_eq!(2 * fc.dense_macs(), 205_520_896);
+    }
+
+    #[test]
+    fn pool_shapes() {
+        let p = PoolSpec::max(2, 2);
+        assert_eq!(p.output_shape(Shape3::new(64, 224, 224)), Shape3::new(64, 112, 112));
+        let alex = PoolSpec::max(3, 2);
+        assert_eq!(alex.output_shape(Shape3::new(96, 55, 55)), Shape3::new(96, 27, 27));
+    }
+
+    #[test]
+    fn display_and_accel_flags() {
+        let l = Layer::new("conv1", LayerKind::Conv(ConvSpec::new(3, 64, 3, 1, 1)));
+        assert!(l.is_accelerated());
+        assert!(l.to_string().contains("conv 3->64"));
+        let r = Layer::new("relu1", LayerKind::Relu);
+        assert!(!r.is_accelerated());
+        let g = Layer::new(
+            "conv2",
+            LayerKind::Conv(ConvSpec::new(96, 256, 5, 1, 2).with_groups(2)),
+        );
+        assert!(g.to_string().ends_with("g2"));
+    }
+}

@@ -1,0 +1,41 @@
+//! CNN model descriptors, model zoo, pruning and synthetic sparse models
+//! for the ABM-SpConv reproduction.
+//!
+//! The paper evaluates on AlexNet and VGG16, pruned with the Deep
+//! Compression scheme (Han et al.) and quantized to 8-bit dynamic fixed
+//! point (Ristretto). We cannot ship the trained weights, so this crate
+//! provides two equivalent routes to a sparse quantized model:
+//!
+//! 1. the **full pipeline** — float weights → [`prune`] (magnitude) →
+//!    quantize ([`abm_tensor::quantize_tensor`]), exercised by tests and
+//!    examples on freshly sampled Gaussian weights, and
+//! 2. the **statistical generator** ([`synth`]) — synthesizes quantized
+//!    sparse weights that match the *published* per-layer statistics
+//!    (pruning ratio and distinct-value concentration) so that every
+//!    quantity the paper's evaluation measures is reproduced.
+//!
+//! # Examples
+//!
+//! ```
+//! use abm_model::zoo;
+//! let net = zoo::vgg16();
+//! assert_eq!(net.conv_fc_layers().count(), 16);
+//! let gops = net.total_dense_ops() as f64 / 1e9;
+//! assert!((gops - 30.94).abs() < 0.2, "VGG16 is ~30.9 GOP, got {gops}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod layer;
+pub mod network;
+pub mod prune;
+pub mod stats;
+pub mod synth;
+pub mod zoo;
+
+pub use layer::{ConvSpec, FcSpec, Layer, LayerKind, LrnSpec, PoolKind, PoolSpec};
+pub use network::{Network, ResolvedLayer};
+pub use prune::{prune_magnitude, LayerProfile, PruneProfile};
+pub use stats::{KernelStats, LayerStats};
+pub use synth::{synthesize_from_float, synthesize_model, SparseLayer, SparseModel};

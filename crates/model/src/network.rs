@@ -1,0 +1,251 @@
+//! A feed-forward network: an ordered list of layers plus shape inference.
+
+use crate::layer::{Layer, LayerKind};
+use abm_tensor::Shape3;
+
+/// A feed-forward CNN: named input shape plus an ordered layer list.
+///
+/// # Examples
+///
+/// ```
+/// use abm_model::{Network, Layer, LayerKind, ConvSpec};
+/// use abm_tensor::Shape3;
+///
+/// let mut net = Network::new("toy", Shape3::new(1, 8, 8));
+/// net.push(Layer::new("conv1", LayerKind::Conv(ConvSpec::new(1, 4, 3, 1, 1))));
+/// net.push(Layer::new("relu1", LayerKind::Relu));
+/// assert_eq!(net.shapes().last().unwrap(), &Shape3::new(4, 8, 8));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Network {
+    name: String,
+    input: Shape3,
+    layers: Vec<Layer>,
+}
+
+/// A convolution or FC layer together with its resolved input shape,
+/// yielded by [`Network::conv_fc_layers`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedLayer {
+    /// Index into the network's layer list.
+    pub index: usize,
+    /// The layer itself.
+    pub layer: Layer,
+    /// Feature-map shape entering this layer.
+    pub input_shape: Shape3,
+    /// Feature-map shape leaving this layer.
+    pub output_shape: Shape3,
+}
+
+impl ResolvedLayer {
+    /// Dense MAC count of this layer.
+    pub fn dense_macs(&self) -> u64 {
+        match &self.layer.kind {
+            LayerKind::Conv(c) => c.dense_macs(self.input_shape),
+            LayerKind::FullyConnected(fc) => fc.dense_macs(),
+            _ => 0,
+        }
+    }
+
+    /// Dense operation count (2 ops per MAC, the convention used by every
+    /// accelerator paper compared in Table 2).
+    pub fn dense_ops(&self) -> u64 {
+        2 * self.dense_macs()
+    }
+}
+
+impl Network {
+    /// Creates an empty network with the given input feature-map shape.
+    pub fn new(name: impl Into<String>, input: Shape3) -> Self {
+        Self { name: name.into(), input, layers: Vec::new() }
+    }
+
+    /// The network's name (e.g. `"VGG16"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The input feature-map shape.
+    pub fn input_shape(&self) -> Shape3 {
+        self.input
+    }
+
+    /// Appends a layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer is dimensionally incompatible with the current
+    /// output shape (wrong channel count, or FC applied to a mismatched
+    /// flattened size).
+    pub fn push(&mut self, layer: Layer) {
+        let cur = self.output_shape();
+        match &layer.kind {
+            LayerKind::Conv(c) => {
+                assert_eq!(
+                    cur.channels, c.in_channels,
+                    "layer {}: expects {} input channels, network provides {}",
+                    layer.name, c.in_channels, cur.channels
+                );
+            }
+            LayerKind::FullyConnected(fc) => {
+                assert_eq!(
+                    cur.len(),
+                    fc.in_features,
+                    "layer {}: expects {} input features, network provides {}",
+                    layer.name,
+                    fc.in_features,
+                    cur.len()
+                );
+            }
+            _ => {}
+        }
+        self.layers.push(layer);
+    }
+
+    /// The layers in order.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the network has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Feature-map shapes *after* each layer (same length as
+    /// [`Network::layers`]).
+    pub fn shapes(&self) -> Vec<Shape3> {
+        let mut shapes = Vec::with_capacity(self.layers.len());
+        let mut cur = self.input;
+        for layer in &self.layers {
+            cur = Self::apply_shape(&layer.kind, cur);
+            shapes.push(cur);
+        }
+        shapes
+    }
+
+    /// The final output shape (input shape if the network is empty).
+    pub fn output_shape(&self) -> Shape3 {
+        self.shapes().last().copied().unwrap_or(self.input)
+    }
+
+    fn apply_shape(kind: &LayerKind, input: Shape3) -> Shape3 {
+        match kind {
+            LayerKind::Conv(c) => c.output_shape(input),
+            LayerKind::FullyConnected(fc) => Shape3::new(fc.out_features, 1, 1),
+            LayerKind::Pool(p) => p.output_shape(input),
+            LayerKind::Relu | LayerKind::Lrn(_) | LayerKind::Softmax => input,
+        }
+    }
+
+    /// Iterates over the accelerated (conv + FC) layers with resolved
+    /// shapes, in execution order.
+    pub fn conv_fc_layers(&self) -> impl Iterator<Item = ResolvedLayer> + '_ {
+        let shapes = self.shapes();
+        let input = self.input;
+        self.layers.iter().enumerate().filter_map(move |(i, layer)| {
+            if !layer.is_accelerated() {
+                return None;
+            }
+            let input_shape = if i == 0 { input } else { shapes[i - 1] };
+            Some(ResolvedLayer {
+                index: i,
+                layer: layer.clone(),
+                input_shape,
+                output_shape: shapes[i],
+            })
+        })
+    }
+
+    /// Total dense operation count over conv + FC layers (the `#OP` used
+    /// as the throughput numerator in Table 2).
+    pub fn total_dense_ops(&self) -> u64 {
+        self.conv_fc_layers().map(|l| l.dense_ops()).sum()
+    }
+
+    /// Total number of conv + FC weights (the "original model" parameter
+    /// count in Table 3).
+    pub fn total_weights(&self) -> u64 {
+        self.conv_fc_layers()
+            .map(|l| match &l.layer.kind {
+                LayerKind::Conv(c) => c.weight_shape().len() as u64,
+                LayerKind::FullyConnected(fc) => fc.weight_shape().len() as u64,
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{ConvSpec, FcSpec, PoolSpec};
+
+    fn toy() -> Network {
+        let mut net = Network::new("toy", Shape3::new(3, 8, 8));
+        net.push(Layer::new("conv1", LayerKind::Conv(ConvSpec::new(3, 8, 3, 1, 1))));
+        net.push(Layer::new("relu1", LayerKind::Relu));
+        net.push(Layer::new("pool1", LayerKind::Pool(PoolSpec::max(2, 2))));
+        net.push(Layer::new("fc1", LayerKind::FullyConnected(FcSpec::new(8 * 4 * 4, 10))));
+        net.push(Layer::new("softmax", LayerKind::Softmax));
+        net
+    }
+
+    #[test]
+    fn shape_inference_chain() {
+        let net = toy();
+        let shapes = net.shapes();
+        assert_eq!(shapes[0], Shape3::new(8, 8, 8));
+        assert_eq!(shapes[1], Shape3::new(8, 8, 8));
+        assert_eq!(shapes[2], Shape3::new(8, 4, 4));
+        assert_eq!(shapes[3], Shape3::new(10, 1, 1));
+        assert_eq!(net.output_shape(), Shape3::new(10, 1, 1));
+    }
+
+    #[test]
+    fn conv_fc_iteration() {
+        let net = toy();
+        let accel: Vec<_> = net.conv_fc_layers().collect();
+        assert_eq!(accel.len(), 2);
+        assert_eq!(accel[0].layer.name, "conv1");
+        assert_eq!(accel[0].input_shape, Shape3::new(3, 8, 8));
+        assert_eq!(accel[0].output_shape, Shape3::new(8, 8, 8));
+        assert_eq!(accel[1].layer.name, "fc1");
+        assert_eq!(accel[1].input_shape, Shape3::new(8, 4, 4));
+        // conv: 8*3*9*64 MACs, fc: 128*10 MACs.
+        assert_eq!(net.total_dense_ops(), 2 * (8 * 27 * 64 + 128 * 10) as u64);
+    }
+
+    #[test]
+    fn weight_totals() {
+        let net = toy();
+        assert_eq!(net.total_weights(), (8 * 27 + 128 * 10) as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "input channels")]
+    fn push_checks_channels() {
+        let mut net = Network::new("bad", Shape3::new(3, 8, 8));
+        net.push(Layer::new("conv1", LayerKind::Conv(ConvSpec::new(4, 8, 3, 1, 1))));
+    }
+
+    #[test]
+    #[should_panic(expected = "input features")]
+    fn push_checks_fc_features() {
+        let mut net = Network::new("bad", Shape3::new(3, 8, 8));
+        net.push(Layer::new("fc", LayerKind::FullyConnected(FcSpec::new(100, 10))));
+    }
+
+    #[test]
+    fn empty_network() {
+        let net = Network::new("empty", Shape3::new(1, 1, 1));
+        assert!(net.is_empty());
+        assert_eq!(net.output_shape(), Shape3::new(1, 1, 1));
+        assert_eq!(net.total_dense_ops(), 0);
+    }
+}

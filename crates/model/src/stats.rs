@@ -1,0 +1,195 @@
+//! Weight-tensor statistics driving the ABM-SpConv analysis.
+//!
+//! For each convolution kernel `m` the scheme's cost depends on two
+//! numbers: `nnz(m)` — non-zero weights, one accumulation each — and
+//! `Q(m)` — distinct non-zero values, one multiplication (plus one final
+//! accumulation) each. [`KernelStats`] captures them per kernel;
+//! [`LayerStats`] aggregates a layer.
+
+use abm_tensor::Tensor4;
+
+/// Per-kernel sparsity statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KernelStats {
+    /// Number of non-zero weights (accumulations in ABM stage 1).
+    pub nnz: usize,
+    /// Number of distinct non-zero values (multiplications in stage 2).
+    pub distinct: usize,
+}
+
+impl KernelStats {
+    /// Computes statistics over one kernel's weights.
+    pub fn from_kernel(kernel: &[i8]) -> Self {
+        let mut seen = [false; 256];
+        let mut nnz = 0;
+        let mut distinct = 0;
+        for &w in kernel {
+            if w != 0 {
+                nnz += 1;
+                let idx = (w as u8) as usize;
+                if !seen[idx] {
+                    seen[idx] = true;
+                    distinct += 1;
+                }
+            }
+        }
+        Self { nnz, distinct }
+    }
+
+    /// Accumulate-to-multiply arithmetic-intensity ratio (`∞` for an
+    /// all-zero kernel).
+    pub fn acc_mult_ratio(&self) -> f64 {
+        if self.distinct == 0 {
+            f64::INFINITY
+        } else {
+            self.nnz as f64 / self.distinct as f64
+        }
+    }
+}
+
+/// Aggregated statistics over a layer's kernels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerStats {
+    kernels: Vec<KernelStats>,
+}
+
+impl LayerStats {
+    /// Computes per-kernel statistics for an `M×N×K×K'` weight tensor.
+    pub fn from_weights(weights: &Tensor4<i8>) -> Self {
+        let m = weights.shape().out_channels;
+        let kernels = (0..m).map(|i| KernelStats::from_kernel(weights.kernel(i))).collect();
+        Self { kernels }
+    }
+
+    /// Per-kernel statistics in kernel order.
+    pub fn kernels(&self) -> &[KernelStats] {
+        &self.kernels
+    }
+
+    /// Total non-zero weights.
+    pub fn total_nnz(&self) -> u64 {
+        self.kernels.iter().map(|k| k.nnz as u64).sum()
+    }
+
+    /// Total distinct-value count summed over kernels (`Σ_m Q(m)`).
+    pub fn total_distinct(&self) -> u64 {
+        self.kernels.iter().map(|k| k.distinct as u64).sum()
+    }
+
+    /// Mean non-zero count per kernel.
+    pub fn mean_nnz(&self) -> f64 {
+        if self.kernels.is_empty() {
+            0.0
+        } else {
+            self.total_nnz() as f64 / self.kernels.len() as f64
+        }
+    }
+
+    /// Largest per-kernel non-zero count — the straggler that bounds
+    /// lock-step execution and motivates the semi-synchronous CU design.
+    pub fn max_nnz(&self) -> usize {
+        self.kernels.iter().map(|k| k.nnz).max().unwrap_or(0)
+    }
+
+    /// Layer-level accumulate-to-multiply ratio (the last column of
+    /// Table 1); `∞` when no kernel has a non-zero weight.
+    pub fn acc_mult_ratio(&self) -> f64 {
+        let d = self.total_distinct();
+        if d == 0 {
+            f64::INFINITY
+        } else {
+            self.total_nnz() as f64 / d as f64
+        }
+    }
+
+    /// Smallest per-kernel ratio — the constraint that sizes `N`
+    /// (accumulators per multiplier): the multiplier keeps up only while
+    /// `nnz/Q ≥ N` holds for the kernels sharing it.
+    pub fn min_kernel_ratio(&self) -> f64 {
+        self.kernels
+            .iter()
+            .filter(|k| k.nnz > 0)
+            .map(|k| k.acc_mult_ratio())
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Coefficient of variation of per-kernel nnz — the workload
+    /// imbalance that degrades CU utilization.
+    pub fn nnz_cv(&self) -> f64 {
+        let n = self.kernels.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let mean = self.mean_nnz();
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = self
+            .kernels
+            .iter()
+            .map(|k| {
+                let d = k.nnz as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n as f64;
+        var.sqrt() / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abm_tensor::Shape4;
+
+    #[test]
+    fn kernel_stats_counts() {
+        let k = [0i8, 3, -3, 3, 0, 7, -128, 7, 0];
+        let s = KernelStats::from_kernel(&k);
+        assert_eq!(s.nnz, 6);
+        assert_eq!(s.distinct, 4); // {3, -3, 7, -128}
+        assert!((s.acc_mult_ratio() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_kernel_has_infinite_ratio() {
+        let s = KernelStats::from_kernel(&[0i8; 9]);
+        assert_eq!(s.nnz, 0);
+        assert_eq!(s.distinct, 0);
+        assert!(s.acc_mult_ratio().is_infinite());
+    }
+
+    #[test]
+    fn layer_stats_aggregate() {
+        // Kernel 0: nnz 2, Q 1. Kernel 1: nnz 4, Q 2.
+        let w = Tensor4::from_vec(
+            Shape4::new(2, 1, 2, 2),
+            vec![5, 5, 0, 0, 2, -2, 2, -2],
+        );
+        let s = LayerStats::from_weights(&w);
+        assert_eq!(s.total_nnz(), 6);
+        assert_eq!(s.total_distinct(), 3);
+        assert_eq!(s.mean_nnz(), 3.0);
+        assert_eq!(s.max_nnz(), 4);
+        assert!((s.acc_mult_ratio() - 2.0).abs() < 1e-12);
+        assert!((s.min_kernel_ratio() - 2.0).abs() < 1e-12);
+        assert!(s.nnz_cv() > 0.0);
+    }
+
+    #[test]
+    fn min_ratio_skips_empty_kernels() {
+        let w = Tensor4::from_vec(Shape4::new(2, 1, 2, 2), vec![0, 0, 0, 0, 1, 1, 1, 2]);
+        let s = LayerStats::from_weights(&w);
+        assert!((s.min_kernel_ratio() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_zero_layer() {
+        let w = Tensor4::<i8>::zeros(Shape4::new(2, 1, 2, 2));
+        let s = LayerStats::from_weights(&w);
+        assert_eq!(s.total_nnz(), 0);
+        assert!(s.acc_mult_ratio().is_infinite());
+        assert_eq!(s.nnz_cv(), 0.0);
+        assert_eq!(s.max_nnz(), 0);
+    }
+}

@@ -1,0 +1,237 @@
+//! The model zoo: the two CNNs the paper evaluates (AlexNet, VGG16) plus a
+//! small CIFAR-style network used for fast functional tests.
+
+use crate::layer::{ConvSpec, FcSpec, Layer, LayerKind, LrnSpec, PoolSpec};
+use crate::network::Network;
+use abm_tensor::Shape3;
+
+fn conv(name: &str, spec: ConvSpec) -> Layer {
+    Layer::new(name, LayerKind::Conv(spec))
+}
+
+fn fc(name: &str, spec: FcSpec) -> Layer {
+    Layer::new(name, LayerKind::FullyConnected(spec))
+}
+
+fn relu(name: &str) -> Layer {
+    Layer::new(name, LayerKind::Relu)
+}
+
+fn pool(name: &str, window: usize, stride: usize) -> Layer {
+    Layer::new(name, LayerKind::Pool(PoolSpec::max(window, stride)))
+}
+
+/// VGG16 (Simonyan & Zisserman), the paper's principal benchmark:
+/// 13 conv layers + 3 FC layers, 224×224×3 input, ~30.9 GOP.
+///
+/// # Examples
+///
+/// ```
+/// let net = abm_model::zoo::vgg16();
+/// assert_eq!(net.name(), "VGG16");
+/// ```
+pub fn vgg16() -> Network {
+    let mut net = Network::new("VGG16", Shape3::new(3, 224, 224));
+    let blocks: &[(&str, usize, usize, usize)] = &[
+        // (block, in, out, convs)
+        ("1", 3, 64, 2),
+        ("2", 64, 128, 2),
+        ("3", 128, 256, 3),
+        ("4", 256, 512, 3),
+        ("5", 512, 512, 3),
+    ];
+    for &(block, cin, cout, convs) in blocks {
+        for i in 0..convs {
+            let in_ch = if i == 0 { cin } else { cout };
+            let name = format!("CONV{block}_{}", i + 1);
+            net.push(conv(&name, ConvSpec::new(in_ch, cout, 3, 1, 1)));
+            net.push(relu(&format!("RELU{block}_{}", i + 1)));
+        }
+        net.push(pool(&format!("POOL{block}"), 2, 2));
+    }
+    net.push(fc("FC6", FcSpec::new(512 * 7 * 7, 4096)));
+    net.push(relu("RELU6"));
+    net.push(fc("FC7", FcSpec::new(4096, 4096)));
+    net.push(relu("RELU7"));
+    net.push(fc("FC8", FcSpec::new(4096, 1000)));
+    net.push(Layer::new("SOFTMAX", LayerKind::Softmax));
+    net
+}
+
+/// AlexNet (Krizhevsky et al.) with the original grouped conv2/4/5 and LRN
+/// layers, 227×227×3 input, ~1.45 GOP.
+///
+/// # Examples
+///
+/// ```
+/// let net = abm_model::zoo::alexnet();
+/// assert_eq!(net.conv_fc_layers().count(), 8);
+/// ```
+pub fn alexnet() -> Network {
+    let mut net = Network::new("AlexNet", Shape3::new(3, 227, 227));
+    net.push(conv("CONV1", ConvSpec::new(3, 96, 11, 4, 0)));
+    net.push(relu("RELU1"));
+    net.push(Layer::new("LRN1", LayerKind::Lrn(LrnSpec::alexnet())));
+    net.push(pool("POOL1", 3, 2));
+    net.push(conv("CONV2", ConvSpec::new(96, 256, 5, 1, 2).with_groups(2)));
+    net.push(relu("RELU2"));
+    net.push(Layer::new("LRN2", LayerKind::Lrn(LrnSpec::alexnet())));
+    net.push(pool("POOL2", 3, 2));
+    net.push(conv("CONV3", ConvSpec::new(256, 384, 3, 1, 1)));
+    net.push(relu("RELU3"));
+    net.push(conv("CONV4", ConvSpec::new(384, 384, 3, 1, 1).with_groups(2)));
+    net.push(relu("RELU4"));
+    net.push(conv("CONV5", ConvSpec::new(384, 256, 3, 1, 1).with_groups(2)));
+    net.push(relu("RELU5"));
+    net.push(pool("POOL5", 3, 2));
+    net.push(fc("FC6", FcSpec::new(256 * 6 * 6, 4096)));
+    net.push(relu("RELU6"));
+    net.push(fc("FC7", FcSpec::new(4096, 4096)));
+    net.push(relu("RELU7"));
+    net.push(fc("FC8", FcSpec::new(4096, 1000)));
+    net.push(Layer::new("SOFTMAX", LayerKind::Softmax));
+    net
+}
+
+/// VGG19, the deeper sibling of VGG16 (blocks of 2/2/4/4/4 conv layers)
+/// — not evaluated in the paper, but used by the projection experiments
+/// to show the flow generalizes across workloads.
+///
+/// # Examples
+///
+/// ```
+/// let net = abm_model::zoo::vgg19();
+/// assert_eq!(net.conv_fc_layers().count(), 19);
+/// ```
+pub fn vgg19() -> Network {
+    let mut net = Network::new("VGG19", Shape3::new(3, 224, 224));
+    let blocks: &[(&str, usize, usize, usize)] = &[
+        ("1", 3, 64, 2),
+        ("2", 64, 128, 2),
+        ("3", 128, 256, 4),
+        ("4", 256, 512, 4),
+        ("5", 512, 512, 4),
+    ];
+    for &(block, cin, cout, convs) in blocks {
+        for i in 0..convs {
+            let in_ch = if i == 0 { cin } else { cout };
+            net.push(conv(
+                &format!("CONV{block}_{}", i + 1),
+                ConvSpec::new(in_ch, cout, 3, 1, 1),
+            ));
+            net.push(relu(&format!("RELU{block}_{}", i + 1)));
+        }
+        net.push(pool(&format!("POOL{block}"), 2, 2));
+    }
+    net.push(fc("FC6", FcSpec::new(512 * 7 * 7, 4096)));
+    net.push(relu("RELU6"));
+    net.push(fc("FC7", FcSpec::new(4096, 4096)));
+    net.push(relu("RELU7"));
+    net.push(fc("FC8", FcSpec::new(4096, 1000)));
+    net.push(Layer::new("SOFTMAX", LayerKind::Softmax));
+    net
+}
+
+/// A small LeNet/CIFAR-style network for fast functional and property
+/// tests: two conv blocks and two FC layers on a 3×32×32 input.
+pub fn tiny() -> Network {
+    let mut net = Network::new("TinyNet", Shape3::new(3, 32, 32));
+    net.push(conv("CONV1", ConvSpec::new(3, 16, 3, 1, 1)));
+    net.push(relu("RELU1"));
+    net.push(pool("POOL1", 2, 2));
+    net.push(conv("CONV2", ConvSpec::new(16, 32, 3, 1, 1)));
+    net.push(relu("RELU2"));
+    net.push(pool("POOL2", 2, 2));
+    net.push(fc("FC3", FcSpec::new(32 * 8 * 8, 64)));
+    net.push(relu("RELU3"));
+    net.push(fc("FC4", FcSpec::new(64, 10)));
+    net.push(Layer::new("SOFTMAX", LayerKind::Softmax));
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vgg16_dimensions_match_paper_table1() {
+        let net = vgg16();
+        let layers: Vec<_> = net.conv_fc_layers().collect();
+        assert_eq!(layers.len(), 16);
+        let by_name = |n: &str| layers.iter().find(|l| l.layer.name == n).unwrap().clone();
+
+        // Table 1 rows: (layer, C, R, N, M).
+        let c11 = by_name("CONV1_1");
+        assert_eq!(c11.input_shape, Shape3::new(3, 224, 224));
+        assert_eq!(c11.output_shape, Shape3::new(64, 224, 224));
+        assert_eq!(c11.dense_ops(), 173_408_256); // 173 MOP
+
+        let c12 = by_name("CONV1_2");
+        assert_eq!(c12.dense_ops(), 3_699_376_128); // 3,699 MOP
+
+        let c41 = by_name("CONV4_1");
+        assert_eq!(c41.input_shape, Shape3::new(256, 28, 28));
+        assert_eq!(c41.dense_ops(), 1_849_688_064); // 1,850 MOP
+
+        let c42 = by_name("CONV4_2");
+        assert_eq!(c42.dense_ops(), 3_699_376_128); // 3,699 MOP
+
+        let fc6 = by_name("FC6");
+        assert_eq!(fc6.input_shape.len(), 25088);
+        assert_eq!(fc6.dense_ops(), 205_520_896); // 205 MOP
+
+        let fc7 = by_name("FC7");
+        assert_eq!(fc7.dense_ops(), 33_554_432); // 33.6 MOP
+    }
+
+    #[test]
+    fn vgg16_totals() {
+        let net = vgg16();
+        // Paper Table 1: 30,941 MOP for the entire CNN (conv+FC).
+        let total_mop = net.total_dense_ops() as f64 / 1e6;
+        assert!((total_mop - 30941.0).abs() / 30941.0 < 0.01, "got {total_mop}");
+        // 138M parameters.
+        let params = net.total_weights() as f64 / 1e6;
+        assert!((params - 138.0).abs() < 1.0, "got {params}");
+    }
+
+    #[test]
+    fn alexnet_totals() {
+        let net = alexnet();
+        // AlexNet conv+fc is ~1.45 GOP, 61M parameters (Table 3: 61 MB at
+        // 8 bit... the paper stores "Original 61 MB").
+        let gop = net.total_dense_ops() as f64 / 1e9;
+        assert!((gop - 1.45).abs() < 0.05, "got {gop}");
+        let params = net.total_weights() as f64 / 1e6;
+        assert!((params - 61.0).abs() < 1.0, "got {params}");
+    }
+
+    #[test]
+    fn alexnet_conv_shapes() {
+        let net = alexnet();
+        let layers: Vec<_> = net.conv_fc_layers().collect();
+        assert_eq!(layers[0].output_shape, Shape3::new(96, 55, 55));
+        assert_eq!(layers[1].input_shape, Shape3::new(96, 27, 27));
+        assert_eq!(layers[1].output_shape, Shape3::new(256, 27, 27));
+        assert_eq!(layers[4].output_shape, Shape3::new(256, 13, 13));
+        assert_eq!(layers[5].input_shape.len(), 9216);
+    }
+
+    #[test]
+    fn vgg19_totals() {
+        let net = vgg19();
+        // VGG19 conv+fc is ~39.3 GOP, 143.7M parameters.
+        let gop = net.total_dense_ops() as f64 / 1e9;
+        assert!((gop - 39.3).abs() < 0.4, "got {gop}");
+        let params = net.total_weights() as f64 / 1e6;
+        assert!((params - 143.7).abs() < 1.0, "got {params}");
+        assert_eq!(net.output_shape(), Shape3::new(1000, 1, 1));
+    }
+
+    #[test]
+    fn tiny_is_consistent() {
+        let net = tiny();
+        assert_eq!(net.output_shape(), Shape3::new(10, 1, 1));
+        assert_eq!(net.conv_fc_layers().count(), 4);
+    }
+}

@@ -1,0 +1,307 @@
+//! A cycle-stepped structural model of one kernel lane — the
+//! "second opinion" on timing.
+//!
+//! [`crate::lane`] computes lane timing with a queueing recurrence (fast
+//! enough for DSE loops). This module instead *steps a literal state
+//! machine* — address generator, accumulator bank, partial-sum FIFO and
+//! shared multiplier — one clock at a time, and the property tests
+//! assert the two agree **cycle-exactly** on arbitrary kernels. An
+//! analytic model validated against a structural one (and vice versa) is
+//! the credibility backbone of a software-only reproduction.
+
+use crate::lane::LaneCycles;
+use abm_sparse::KernelCode;
+use std::collections::VecDeque;
+
+/// One in-flight partial-sum set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Deposit {
+    /// Multiplier cycles still owed for this deposit.
+    remaining: u64,
+    /// Whether the multiplier has started on it.
+    started: bool,
+}
+
+/// The lane's per-cycle state.
+#[derive(Debug, Clone)]
+pub struct LaneMachine {
+    /// Remaining index count per value group, in stream order.
+    groups: VecDeque<u64>,
+    /// Indices left in the group being accumulated.
+    in_flight: Option<u64>,
+    /// Completed partial-sum set waiting for a FIFO slot (stall state).
+    blocked_deposit: bool,
+    /// The FIFO between accumulators and the multiplier.
+    fifo: VecDeque<Deposit>,
+    fifo_depth: usize,
+    /// Multiplier cycles per deposit (`N` accumulators round-robin).
+    n: u64,
+    /// Statistics.
+    cycles: u64,
+    acc_busy: u64,
+    acc_stall: u64,
+}
+
+impl LaneMachine {
+    /// Loads a kernel's encoded stream into a fresh machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` or `fifo_depth` is zero.
+    pub fn new(kernel: &KernelCode, n: u64, fifo_depth: usize) -> Self {
+        assert!(n > 0, "n must be positive");
+        assert!(fifo_depth > 0, "fifo_depth must be positive");
+        Self {
+            groups: kernel.entries().iter().map(|e| e.count as u64).collect(),
+            in_flight: None,
+            blocked_deposit: false,
+            fifo: VecDeque::new(),
+            fifo_depth,
+            n,
+            cycles: 0,
+            acc_busy: 0,
+            acc_stall: 0,
+        }
+    }
+
+    /// Whether every accumulation has issued and every multiplication
+    /// retired.
+    pub fn done(&self) -> bool {
+        self.groups.is_empty()
+            && self.in_flight.is_none()
+            && !self.blocked_deposit
+            && self.fifo.is_empty()
+    }
+
+    /// Advances one clock cycle.
+    pub fn step(&mut self) {
+        self.cycles += 1;
+
+        // --- Multiplier: serve the FIFO head (one deposit at a time,
+        // n cycles each; service can start the cycle after a deposit
+        // lands, matching the recurrence's `start >= ready`).
+        if let Some(head) = self.fifo.front_mut() {
+            head.started = true;
+            head.remaining -= 1;
+            if head.remaining == 0 {
+                self.fifo.pop_front();
+            }
+        }
+
+        // --- Accumulate stage.
+        if self.blocked_deposit {
+            // Waiting for a FIFO slot; the pop above may have freed one.
+            if self.fifo.len() < self.fifo_depth {
+                self.fifo.push_back(Deposit { remaining: self.n, started: false });
+                self.blocked_deposit = false;
+                // This cycle still counts as a stall: no index issued.
+            }
+            self.acc_stall += 1;
+            return;
+        }
+        if self.in_flight.is_none() {
+            self.in_flight = self.groups.pop_front();
+        }
+        if let Some(rem) = self.in_flight {
+            // Issue one accumulation.
+            self.acc_busy += 1;
+            let rem = rem - 1;
+            if rem == 0 {
+                self.in_flight = None;
+                // Deposit the completed partial-sum set.
+                if self.fifo.len() < self.fifo_depth {
+                    self.fifo.push_back(Deposit { remaining: self.n, started: false });
+                } else {
+                    self.blocked_deposit = true;
+                }
+            } else {
+                self.in_flight = Some(rem);
+            }
+        }
+    }
+
+    /// Runs to completion, returning the same statistics as
+    /// [`crate::lane::vector_cycles`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine fails to converge within a generous bound
+    /// (would indicate a deadlock bug).
+    pub fn run_to_completion(mut self) -> LaneCycles {
+        let bound = 64 + 4 * (self.groups.iter().sum::<u64>() + self.groups.len() as u64 * self.n);
+        while !self.done() {
+            self.step();
+            assert!(self.cycles <= bound, "lane machine failed to converge");
+        }
+        LaneCycles {
+            acc_busy: self.acc_busy,
+            acc_stall: self.acc_stall,
+            makespan: self.cycles,
+        }
+    }
+}
+
+/// Cycle-stepped equivalent of [`crate::lane::vector_cycles`].
+pub fn vector_cycles_stepped(kernel: &KernelCode, n: u64, fifo_depth: usize) -> LaneCycles {
+    if kernel.total() == 0 {
+        return LaneCycles::default();
+    }
+    LaneMachine::new(kernel, n, fifo_depth).run_to_completion()
+}
+
+/// Cycle-stepped equivalent of [`crate::lane::lane_cycles`]: the same
+/// kernel swept `vectors` times back to back (sweep `i+1` starts
+/// accumulating while sweep `i`'s multiplications drain — exactly what
+/// loading the group list `vectors` times into the machine produces).
+pub fn lane_cycles_stepped(
+    kernel: &KernelCode,
+    vectors: u64,
+    n: u64,
+    fifo_depth: usize,
+) -> u64 {
+    if vectors == 0 || kernel.total() == 0 {
+        return 0;
+    }
+    let mut machine = LaneMachine::new(kernel, n, fifo_depth);
+    let one_sweep: Vec<u64> = machine.groups.iter().copied().collect();
+    for _ in 1..vectors {
+        machine.groups.extend(one_sweep.iter().copied());
+    }
+    machine.run_to_completion().makespan
+}
+
+/// Cycle-stepped cost of one CU task: `N_knl` lanes running their
+/// kernels in parallel, each for `vectors` sweeps; the task retires when
+/// the slowest lane drains. Mirrors
+/// [`crate::task::Workload::window_task_cycles`]'s per-batch maximum
+/// (without the configured task overhead).
+pub fn task_cycles_stepped(
+    kernels: &[&KernelCode],
+    vectors: u64,
+    n: u64,
+    fifo_depth: usize,
+) -> u64 {
+    kernels
+        .iter()
+        .map(|k| lane_cycles_stepped(k, vectors, n, fifo_depth))
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lane;
+
+    fn code(kernel: &[i8]) -> KernelCode {
+        KernelCode::encode(kernel).unwrap()
+    }
+
+    #[test]
+    fn single_long_run() {
+        let k = code(&[7i8; 16]);
+        let stepped = vector_cycles_stepped(&k, 4, 8);
+        let analytic = lane::vector_cycles(&k, 4, 8);
+        assert_eq!(stepped, analytic, "stepped {stepped:?} vs analytic {analytic:?}");
+        assert_eq!(stepped.makespan, 20);
+    }
+
+    #[test]
+    fn many_singleton_runs_multiplier_bound() {
+        let vals: Vec<i8> = (1..=8).collect();
+        let k = code(&vals);
+        let stepped = vector_cycles_stepped(&k, 4, 64);
+        let analytic = lane::vector_cycles(&k, 4, 64);
+        assert_eq!(stepped, analytic);
+    }
+
+    #[test]
+    fn shallow_fifo_stalls_match() {
+        let vals: Vec<i8> = (1..=8).collect();
+        let k = code(&vals);
+        let stepped = vector_cycles_stepped(&k, 4, 1);
+        let analytic = lane::vector_cycles(&k, 4, 1);
+        assert_eq!(stepped, analytic);
+        assert!(stepped.acc_stall > 0);
+    }
+
+    #[test]
+    fn mixed_run_lengths() {
+        // Groups of sizes 5, 1, 3, 1, 7 via repeated values.
+        let mut vals = Vec::new();
+        for (v, c) in [(1i8, 5usize), (2, 1), (3, 3), (4, 1), (5, 7)] {
+            vals.extend(std::iter::repeat_n(v, c));
+        }
+        let k = code(&vals);
+        for n in [1u64, 2, 4, 8] {
+            for depth in [1usize, 2, 4, 16] {
+                let stepped = vector_cycles_stepped(&k, n, depth);
+                let analytic = lane::vector_cycles(&k, n, depth);
+                assert_eq!(stepped, analytic, "n={n} depth={depth}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_kernel() {
+        let k = code(&[0i8; 9]);
+        assert_eq!(vector_cycles_stepped(&k, 4, 8), LaneCycles::default());
+    }
+
+    #[test]
+    fn multi_sweep_matches_analytic_model() {
+        let mut vals = Vec::new();
+        for (v, c) in [(1i8, 6usize), (2, 2), (3, 4), (4, 1)] {
+            vals.extend(std::iter::repeat_n(v, c));
+        }
+        let k = code(&vals);
+        for vectors in [1u64, 2, 5, 12] {
+            for n in [1u64, 2, 4] {
+                let analytic = lane::lane_cycles(&k, vectors, n, 8);
+                let stepped = lane_cycles_stepped(&k, vectors, n, 8);
+                // The analytic steady-state formula collapses sweep
+                // boundaries; allow a per-run bounded deviation.
+                let slack = 2 * k.distinct() as u64 * n;
+                assert!(
+                    analytic.abs_diff(stepped) <= slack,
+                    "vectors={vectors} n={n}: analytic {analytic} vs stepped {stepped}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn acc_bound_multi_sweep_is_exact() {
+        // Accumulate-bound kernels pipeline perfectly: analytic and
+        // stepped agree exactly.
+        let k = code(&[5i8; 24]);
+        for vectors in [1u64, 3, 10] {
+            assert_eq!(
+                lane::lane_cycles(&k, vectors, 4, 8),
+                lane_cycles_stepped(&k, vectors, 4, 8),
+                "vectors {vectors}"
+            );
+        }
+    }
+
+    #[test]
+    fn task_takes_the_slowest_lane() {
+        let light = code(&[1i8; 4]);
+        let heavy = code(&[2i8; 40]);
+        let t = task_cycles_stepped(&[&light, &heavy], 3, 4, 8);
+        assert_eq!(t, lane_cycles_stepped(&heavy, 3, 4, 8));
+        assert_eq!(task_cycles_stepped(&[], 3, 4, 8), 0);
+    }
+
+    #[test]
+    fn machine_reports_done_only_when_drained() {
+        let k = code(&[3i8, 3, 5]);
+        let mut m = LaneMachine::new(&k, 2, 4);
+        assert!(!m.done());
+        for _ in 0..3 {
+            m.step();
+        }
+        // Accumulations issued but multiplications still in flight.
+        assert!(!m.done());
+    }
+}

@@ -1,0 +1,189 @@
+//! Timing model of one kernel lane inside a convolution unit.
+//!
+//! A lane owns `S_ec` pixel accumulators working in lock-step on the same
+//! weight-index stream, organized in groups of `N` that share one
+//! multiplier through a partial-sum FIFO (Figure 2-(b)).
+//!
+//! For one vector of `S_ec` output pixels the lane walks the kernel's
+//! encoded value groups in order. A group with `c_p` indexes takes `c_p`
+//! accumulate cycles, then deposits `S_ec` partial sums into the FIFOs;
+//! the `S_ec/N` multipliers drain one deposit in `N` cycles (round-robin
+//! over their `N` accumulators). When values repeat rarely (`c_p < N` on
+//! average, i.e. the kernel's Acc/Mult ratio is below `N`) the multiplier
+//! becomes the bottleneck; when the FIFO fills, the accumulators stall —
+//! exactly the behaviour that makes the paper pick `N` from the minimum
+//! Acc/Mult ratio (Section 5.2).
+
+use abm_sparse::KernelCode;
+
+/// Cycle cost of one lane processing one `S_ec`-pixel vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct LaneCycles {
+    /// Cycles the accumulators spend doing useful work.
+    pub acc_busy: u64,
+    /// Cycles the accumulators stall on a full FIFO.
+    pub acc_stall: u64,
+    /// Cycle at which the last multiply completes (the vector's makespan
+    /// from the lane's perspective).
+    pub makespan: u64,
+}
+
+impl LaneCycles {
+    /// Total accumulate-stage occupancy (busy + stalled).
+    pub fn acc_total(&self) -> u64 {
+        self.acc_busy + self.acc_stall
+    }
+}
+
+/// Simulates one vector sweep of a lane over a kernel's encoded stream.
+///
+/// `n` is the accumulators-per-multiplier ratio and `fifo_depth` the
+/// number of partial-sum sets the FIFOs can hold.
+///
+/// # Panics
+///
+/// Panics if `n` or `fifo_depth` is zero.
+pub fn vector_cycles(kernel: &KernelCode, n: u64, fifo_depth: usize) -> LaneCycles {
+    assert!(n > 0, "n must be positive");
+    assert!(fifo_depth > 0, "fifo_depth must be positive");
+    let mut acc_time = 0u64; // accumulate-stage clock
+    let mut acc_stall = 0u64;
+    let mut mult_free = 0u64; // when the multiplier finishes its backlog
+    // Completion times of deposits still in the FIFO.
+    let mut fifo: std::collections::VecDeque<u64> = std::collections::VecDeque::new();
+
+    for entry in kernel.entries() {
+        let c_p = entry.count as u64;
+        // The accumulators need c_p cycles for this group...
+        let mut ready = acc_time + c_p;
+        // ...but can only deposit when a FIFO slot is free.
+        while fifo.len() >= fifo_depth {
+            let drained = fifo.pop_front().expect("fifo non-empty");
+            if drained > ready {
+                acc_stall += drained - ready;
+                ready = drained;
+            }
+        }
+        acc_time = ready;
+        // Multiplier consumes this deposit in n cycles once it gets to it.
+        let start = mult_free.max(ready);
+        mult_free = start + n;
+        fifo.push_back(mult_free);
+    }
+    LaneCycles {
+        acc_busy: kernel.total() as u64,
+        acc_stall,
+        makespan: acc_time.max(mult_free),
+    }
+}
+
+/// Cycle cost of a lane computing `vectors` vector sweeps of the same
+/// kernel (the per-vector structure repeats; sweeps pipeline back to
+/// back).
+pub fn lane_cycles(kernel: &KernelCode, vectors: u64, n: u64, fifo_depth: usize) -> u64 {
+    if vectors == 0 || kernel.total() == 0 {
+        return 0;
+    }
+    let v = vector_cycles(kernel, n, fifo_depth);
+    // Steady state: back-to-back sweeps pipeline, so each additional
+    // sweep costs the occupancy of the busier stage — the accumulators
+    // (busy + stall cycles) or the shared multiplier (`Q·N` cycles per
+    // sweep). The final sweep exposes its full makespan.
+    let mult_occupancy = kernel.distinct() as u64 * n;
+    let per_sweep = v.acc_total().max(mult_occupancy);
+    (vectors - 1) * per_sweep + v.makespan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code(kernel: &[i8]) -> KernelCode {
+        KernelCode::encode(kernel).unwrap()
+    }
+
+    #[test]
+    fn long_runs_keep_multiplier_fed() {
+        // One value, 16 occurrences: 16 acc cycles, one deposit, N=4.
+        let k = code(&[7i8; 16]);
+        let v = vector_cycles(&k, 4, 8);
+        assert_eq!(v.acc_busy, 16);
+        assert_eq!(v.acc_stall, 0);
+        assert_eq!(v.makespan, 20); // 16 acc + 4 mult tail
+    }
+
+    #[test]
+    fn short_runs_bottleneck_on_multiplier() {
+        // 8 distinct values, one occurrence each: acc 8 cycles, mult
+        // needs 8*4 = 32.
+        let vals: Vec<i8> = (1..=8).collect();
+        let k = code(&vals);
+        let v = vector_cycles(&k, 4, 64);
+        assert_eq!(v.acc_busy, 8);
+        // Deep FIFO: no stalls, but makespan is multiplier-bound.
+        assert_eq!(v.acc_stall, 0);
+        assert_eq!(v.makespan, 1 + 8 * 4); // first deposit at t=1, then serial
+    }
+
+    #[test]
+    fn shallow_fifo_stalls_accumulators() {
+        let vals: Vec<i8> = (1..=8).collect();
+        let k = code(&vals);
+        let deep = vector_cycles(&k, 4, 64);
+        let shallow = vector_cycles(&k, 4, 1);
+        assert!(shallow.acc_stall > 0, "depth-1 FIFO must stall");
+        // Stalling cannot change the multiplier-bound makespan here.
+        assert_eq!(shallow.makespan, deep.makespan);
+    }
+
+    #[test]
+    fn balanced_ratio_meets_n() {
+        // c_p = N = 4 for every group: perfectly pipelined.
+        let mut vals = Vec::new();
+        for v in 1..=4i8 {
+            vals.extend_from_slice(&[v; 4]);
+        }
+        let k = code(&vals);
+        let v = vector_cycles(&k, 4, 8);
+        assert_eq!(v.acc_busy, 16);
+        assert_eq!(v.acc_stall, 0);
+        assert_eq!(v.makespan, 4 + 16); // mult trails by one group
+    }
+
+    #[test]
+    fn empty_kernel_is_free() {
+        let k = code(&[0i8; 9]);
+        let v = vector_cycles(&k, 4, 8);
+        assert_eq!(v.makespan, 0);
+        assert_eq!(lane_cycles(&k, 100, 4, 8), 0);
+    }
+
+    #[test]
+    fn lane_cycles_scale_with_vectors() {
+        let k = code(&[3i8; 10]);
+        let one = lane_cycles(&k, 1, 4, 8);
+        let ten = lane_cycles(&k, 10, 4, 8);
+        assert!(ten > one);
+        // Steady-state sweeps cost at least the accumulate occupancy.
+        assert!(ten >= 9 * 10 + one);
+        assert_eq!(lane_cycles(&k, 0, 4, 8), 0);
+    }
+
+    #[test]
+    fn acc_bound_kernel_steady_state_is_acc_time() {
+        // nnz=20, Q=2: heavily accumulate-bound, so 100 sweeps ≈ 100*20.
+        let mut vals = vec![1i8; 10];
+        vals.extend_from_slice(&[2i8; 10]);
+        let k = code(&vals);
+        let total = lane_cycles(&k, 100, 4, 8);
+        assert!(total >= 2000);
+        assert!(total < 2000 + 50, "tail overhead should be small, got {total}");
+    }
+
+    #[test]
+    #[should_panic(expected = "n must be positive")]
+    fn zero_n_panics() {
+        let k = code(&[1i8]);
+        let _ = vector_cycles(&k, 0, 8);
+    }
+}

@@ -1,0 +1,466 @@
+//! Entropy compression of the encoded weight streams — the Huffman stage
+//! of Deep Compression (\[7\] in the paper), applied to the ABM encoding.
+//!
+//! The WT-Buffer indexes within one value group are ascending, so their
+//! *deltas* are small and highly skewed — ideal for Huffman coding. The
+//! paper stores plain 16-bit entries on-chip (decode simplicity), but its
+//! Table 3 "encoded" sizes sit below our raw-stream model for AlexNet;
+//! entropy coding the external-memory image recovers that margin and is
+//! exactly what \[7\] proposes. This module implements:
+//!
+//! * a [`BitStream`] writer/reader,
+//! * canonical [`Huffman`] coding built from symbol frequencies,
+//! * [`compress_layer`] — delta-transform + Huffman for a layer's index
+//!   stream, with exact round-trip decoding.
+
+use crate::encode::LayerCode;
+use std::collections::BinaryHeap;
+
+/// Maximum direct delta symbol; larger deltas use the escape symbol
+/// followed by a raw 16-bit value.
+pub const MAX_DELTA: u16 = 254;
+/// The escape symbol.
+pub const ESCAPE: u16 = 255;
+/// Total symbol alphabet size.
+pub const ALPHABET: usize = 256;
+
+/// An append-only bit buffer with sequential read-back.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BitStream {
+    words: Vec<u64>,
+    bits: usize,
+}
+
+impl BitStream {
+    /// Creates an empty stream.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of bits written.
+    pub fn len(&self) -> usize {
+        self.bits
+    }
+
+    /// Whether the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// Size in whole bytes (rounded up).
+    pub fn byte_len(&self) -> usize {
+        self.bits.div_ceil(8)
+    }
+
+    /// Appends the low `count` bits of `value`, most-significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 64`.
+    pub fn push(&mut self, value: u64, count: u32) {
+        assert!(count <= 64, "at most 64 bits per push");
+        for i in (0..count).rev() {
+            let bit = (value >> i) & 1;
+            let word = self.bits / 64;
+            if word == self.words.len() {
+                self.words.push(0);
+            }
+            self.words[word] |= bit << (63 - (self.bits % 64));
+            self.bits += 1;
+        }
+    }
+
+    /// Reads one bit at `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is out of range.
+    pub fn bit(&self, pos: usize) -> u8 {
+        assert!(pos < self.bits, "bit index out of range");
+        ((self.words[pos / 64] >> (63 - (pos % 64))) & 1) as u8
+    }
+}
+
+/// A canonical Huffman code over a fixed alphabet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Huffman {
+    /// Code length per symbol (0 = unused).
+    lengths: Vec<u8>,
+    /// Code bits per symbol.
+    codes: Vec<u32>,
+}
+
+impl Huffman {
+    /// Builds a canonical Huffman code from symbol frequencies.
+    ///
+    /// Unused symbols (frequency zero) get no code. A single-symbol
+    /// alphabet degenerates to one-bit codes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every frequency is zero.
+    pub fn from_frequencies(freqs: &[u64]) -> Self {
+        assert!(freqs.iter().any(|&f| f > 0), "at least one symbol required");
+        // Package-merge-free classic construction on a min-heap of
+        // (weight, tie, node).
+        #[derive(PartialEq, Eq)]
+        struct Node {
+            weight: u64,
+            tie: usize,
+            kind: NodeKind,
+        }
+        #[derive(PartialEq, Eq)]
+        enum NodeKind {
+            Leaf(usize),
+            Internal(Box<Node>, Box<Node>),
+        }
+        impl Ord for Node {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                // Reverse for min-heap.
+                other.weight.cmp(&self.weight).then(other.tie.cmp(&self.tie))
+            }
+        }
+        impl PartialOrd for Node {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        let mut heap: BinaryHeap<Node> = freqs
+            .iter()
+            .enumerate()
+            .filter(|&(_, &f)| f > 0)
+            .map(|(s, &f)| Node { weight: f, tie: s, kind: NodeKind::Leaf(s) })
+            .collect();
+        let mut tie = freqs.len();
+        while heap.len() > 1 {
+            let a = heap.pop().expect("len > 1");
+            let b = heap.pop().expect("len > 1");
+            tie += 1;
+            heap.push(Node {
+                weight: a.weight + b.weight,
+                tie,
+                kind: NodeKind::Internal(Box::new(a), Box::new(b)),
+            });
+        }
+        let root = heap.pop().expect("non-empty");
+
+        let mut lengths = vec![0u8; freqs.len()];
+        fn walk(node: &Node, depth: u8, lengths: &mut [u8]) {
+            match &node.kind {
+                NodeKind::Leaf(s) => lengths[*s] = depth.max(1),
+                NodeKind::Internal(a, b) => {
+                    walk(a, depth + 1, lengths);
+                    walk(b, depth + 1, lengths);
+                }
+            }
+        }
+        walk(&root, 0, &mut lengths);
+
+        // Canonicalize: assign codes in (length, symbol) order.
+        let mut order: Vec<usize> =
+            (0..freqs.len()).filter(|&s| lengths[s] > 0).collect();
+        order.sort_by_key(|&s| (lengths[s], s));
+        let mut codes = vec![0u32; freqs.len()];
+        let mut code = 0u32;
+        let mut prev_len = 0u8;
+        for &s in &order {
+            code <<= lengths[s] - prev_len;
+            codes[s] = code;
+            code += 1;
+            prev_len = lengths[s];
+        }
+        Self { lengths, codes }
+    }
+
+    /// Code length of a symbol in bits (0 if the symbol has no code).
+    pub fn length(&self, symbol: usize) -> u8 {
+        self.lengths[symbol]
+    }
+
+    /// Appends a symbol's code to a stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the symbol has no code.
+    pub fn encode_symbol(&self, symbol: usize, out: &mut BitStream) {
+        let len = self.lengths[symbol];
+        assert!(len > 0, "symbol {symbol} has no code");
+        out.push(self.codes[symbol] as u64, len as u32);
+    }
+
+    /// Decodes one symbol starting at bit `pos`, returning `(symbol,
+    /// next position)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream ends mid-symbol or the prefix matches no
+    /// code.
+    pub fn decode_symbol(&self, stream: &BitStream, mut pos: usize) -> (usize, usize) {
+        let mut code = 0u32;
+        let mut len = 0u8;
+        loop {
+            code = (code << 1) | stream.bit(pos) as u32;
+            pos += 1;
+            len += 1;
+            for s in 0..self.lengths.len() {
+                if self.lengths[s] == len && self.codes[s] == code {
+                    return (s, pos);
+                }
+            }
+            assert!(len < 32, "invalid Huffman stream");
+        }
+    }
+}
+
+/// A compressed layer index stream plus everything needed to decode it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompressedLayer {
+    huffman: Huffman,
+    stream: BitStream,
+    /// Per-kernel, per-group symbol counts (mirrors the Q-Table, which
+    /// is kept uncompressed as in the paper).
+    group_counts: Vec<Vec<u32>>,
+    q_table_bytes: u64,
+}
+
+impl CompressedLayer {
+    /// Compressed payload size in bytes (index stream + uncompressed
+    /// Q-Table + 256-byte code-length table).
+    pub fn total_bytes(&self) -> u64 {
+        self.stream.byte_len() as u64 + self.q_table_bytes + ALPHABET as u64
+    }
+}
+
+fn delta_symbols(indices: &[u16]) -> Vec<(u16, Option<u16>)> {
+    let mut prev = 0u32;
+    let mut first = true;
+    indices
+        .iter()
+        .map(|&i| {
+            let delta = if first { i as u32 } else { i as u32 - prev };
+            first = false;
+            prev = i as u32;
+            if delta <= MAX_DELTA as u32 {
+                (delta as u16, None)
+            } else {
+                (ESCAPE, Some(delta as u16))
+            }
+        })
+        .collect()
+}
+
+/// Compresses a layer's WT-Buffer index streams (delta + Huffman).
+pub fn compress_layer(code: &LayerCode) -> CompressedLayer {
+    // Pass 1: frequencies over all kernels' delta symbols.
+    let mut freqs = vec![0u64; ALPHABET];
+    for kernel in code.kernels() {
+        for (_, idxs) in kernel.groups() {
+            for (sym, _) in delta_symbols(idxs) {
+                freqs[sym as usize] += 1;
+            }
+        }
+    }
+    if freqs.iter().all(|&f| f == 0) {
+        freqs[0] = 1; // empty layer: degenerate one-symbol code
+    }
+    let huffman = Huffman::from_frequencies(&freqs);
+
+    // Pass 2: encode.
+    let mut stream = BitStream::new();
+    let mut group_counts = Vec::with_capacity(code.kernels().len());
+    let mut q_words = 0u64;
+    for kernel in code.kernels() {
+        let mut counts = Vec::with_capacity(kernel.distinct());
+        for (_, idxs) in kernel.groups() {
+            counts.push(idxs.len() as u32);
+            for (sym, raw) in delta_symbols(idxs) {
+                huffman.encode_symbol(sym as usize, &mut stream);
+                if let Some(r) = raw {
+                    stream.push(r as u64, 16);
+                }
+            }
+        }
+        q_words += 2 * kernel.distinct() as u64 + 1;
+        group_counts.push(counts);
+    }
+    CompressedLayer {
+        huffman,
+        stream,
+        group_counts,
+        q_table_bytes: q_words * 2,
+    }
+}
+
+/// Decompresses back to the per-kernel, per-group index streams (exact
+/// inverse of [`compress_layer`]'s index transform).
+pub fn decompress_indices(layer: &CompressedLayer) -> Vec<Vec<Vec<u16>>> {
+    let mut pos = 0usize;
+    let mut kernels = Vec::with_capacity(layer.group_counts.len());
+    for counts in &layer.group_counts {
+        let mut groups = Vec::with_capacity(counts.len());
+        for &count in counts {
+            let mut indices = Vec::with_capacity(count as usize);
+            let mut prev = 0u32;
+            for i in 0..count {
+                let (sym, next) = layer.huffman.decode_symbol(&layer.stream, pos);
+                pos = next;
+                let delta = if sym == ESCAPE as usize {
+                    let mut raw = 0u64;
+                    for _ in 0..16 {
+                        raw = (raw << 1) | layer.stream.bit(pos) as u64;
+                        pos += 1;
+                    }
+                    raw as u32
+                } else {
+                    sym as u32
+                };
+                let idx = if i == 0 { delta } else { prev + delta };
+                prev = idx;
+                indices.push(idx as u16);
+            }
+            groups.push(indices);
+        }
+        kernels.push(groups);
+    }
+    kernels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::KernelCode;
+    use abm_tensor::{Shape4, Tensor4};
+
+    #[test]
+    fn bitstream_round_trip() {
+        let mut s = BitStream::new();
+        s.push(0b101, 3);
+        s.push(0xFFFF, 16);
+        s.push(0, 1);
+        assert_eq!(s.len(), 20);
+        assert_eq!(s.byte_len(), 3);
+        let bits: Vec<u8> = (0..20).map(|i| s.bit(i)).collect();
+        assert_eq!(&bits[0..3], &[1, 0, 1]);
+        assert!(bits[3..19].iter().all(|&b| b == 1));
+        assert_eq!(bits[19], 0);
+    }
+
+    #[test]
+    fn bitstream_crosses_word_boundaries() {
+        let mut s = BitStream::new();
+        for i in 0..130u64 {
+            s.push(i & 1, 1);
+        }
+        assert_eq!(s.len(), 130);
+        for i in 0..130 {
+            assert_eq!(s.bit(i) as u64, (i as u64) & 1);
+        }
+    }
+
+    #[test]
+    fn huffman_skewed_frequencies_give_short_codes() {
+        let mut freqs = vec![0u64; 8];
+        freqs[0] = 1000;
+        freqs[1] = 10;
+        freqs[2] = 1;
+        let h = Huffman::from_frequencies(&freqs);
+        assert!(h.length(0) < h.length(2));
+        assert_eq!(h.length(5), 0);
+    }
+
+    #[test]
+    fn huffman_encode_decode_round_trip() {
+        let freqs = vec![50u64, 30, 10, 5, 5];
+        let h = Huffman::from_frequencies(&freqs);
+        let symbols = [0usize, 1, 0, 2, 4, 3, 0, 1, 1, 2, 0];
+        let mut stream = BitStream::new();
+        for &s in &symbols {
+            h.encode_symbol(s, &mut stream);
+        }
+        let mut pos = 0;
+        for &expect in &symbols {
+            let (s, next) = h.decode_symbol(&stream, pos);
+            assert_eq!(s, expect);
+            pos = next;
+        }
+        assert_eq!(pos, stream.len());
+    }
+
+    #[test]
+    fn huffman_single_symbol() {
+        let freqs = vec![0u64, 7, 0];
+        let h = Huffman::from_frequencies(&freqs);
+        assert_eq!(h.length(1), 1);
+        let mut s = BitStream::new();
+        h.encode_symbol(1, &mut s);
+        let (sym, pos) = h.decode_symbol(&s, 0);
+        assert_eq!((sym, pos), (1, 1));
+    }
+
+    fn sparse_layer() -> LayerCode {
+        let w = Tensor4::from_fn(Shape4::new(6, 16, 3, 3), |m, n, k, kp| {
+            let h = (m * 144 + n * 9 + k * 3 + kp).wrapping_mul(2654435761) % 100;
+            if h < 70 {
+                0
+            } else {
+                (((h * 3) % 12) as i8) - 6
+            }
+        });
+        LayerCode::encode(&w).unwrap()
+    }
+
+    #[test]
+    fn layer_compression_round_trips() {
+        let code = sparse_layer();
+        let compressed = compress_layer(&code);
+        let decoded = decompress_indices(&compressed);
+        assert_eq!(decoded.len(), code.kernels().len());
+        for (kernel, groups) in code.kernels().iter().zip(&decoded) {
+            let expect: Vec<Vec<u16>> =
+                kernel.groups().map(|(_, idxs)| idxs.to_vec()).collect();
+            assert_eq!(groups, &expect);
+        }
+    }
+
+    #[test]
+    fn compression_beats_raw_16bit_indices() {
+        let code = sparse_layer();
+        let compressed = compress_layer(&code);
+        let raw_bytes = code.total_nnz() * 2
+            + (code.total_distinct() * 2 + code.kernels().len() as u64) * 2;
+        assert!(
+            compressed.total_bytes() < raw_bytes,
+            "compressed {} vs raw {raw_bytes}",
+            compressed.total_bytes()
+        );
+    }
+
+    #[test]
+    fn escape_path_round_trips() {
+        // A kernel with huge index gaps forces the escape symbol.
+        let mut kernel = vec![0i8; 60000];
+        kernel[0] = 1;
+        kernel[59000] = 1;
+        kernel[59999] = 2;
+        let k = KernelCode::encode(&kernel).unwrap();
+        let w = LayerCode::encode(&Tensor4::from_vec(
+            Shape4::new(1, 60000, 1, 1),
+            kernel.clone(),
+        ))
+        .unwrap();
+        let compressed = compress_layer(&w);
+        let decoded = decompress_indices(&compressed);
+        let expect: Vec<Vec<u16>> = k.groups().map(|(_, idxs)| idxs.to_vec()).collect();
+        assert_eq!(decoded[0], expect);
+    }
+
+    #[test]
+    fn empty_layer_compresses() {
+        let w = Tensor4::<i8>::zeros(Shape4::new(2, 1, 3, 3));
+        let code = LayerCode::encode(&w).unwrap();
+        let compressed = compress_layer(&code);
+        let decoded = decompress_indices(&compressed);
+        assert_eq!(decoded, vec![Vec::<Vec<u16>>::new(); 2]);
+    }
+}

@@ -1,0 +1,115 @@
+//! Classical CSR-style sparse kernel encoding — the representation used
+//! by conventional SpConv accelerators ([1, 2, 8] in the paper), kept as
+//! a baseline for storage and op-count comparisons.
+
+use abm_tensor::Tensor4;
+
+/// One kernel in (index, value) pair form: the flat position of every
+/// non-zero weight alongside its value, in scan order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct CsrKernel {
+    indices: Vec<u32>,
+    values: Vec<i8>,
+}
+
+impl CsrKernel {
+    /// Encodes a flat kernel slice.
+    pub fn encode(kernel: &[i8]) -> Self {
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for (i, &w) in kernel.iter().enumerate() {
+            if w != 0 {
+                indices.push(i as u32);
+                values.push(w);
+            }
+        }
+        Self { indices, values }
+    }
+
+    /// Encodes every kernel of a weight tensor.
+    pub fn encode_layer(weights: &Tensor4<i8>) -> Vec<Self> {
+        (0..weights.shape().out_channels)
+            .map(|m| Self::encode(weights.kernel(m)))
+            .collect()
+    }
+
+    /// Positions of the non-zero weights.
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// The non-zero weight values, parallel to [`CsrKernel::indices`].
+    pub fn values(&self) -> &[i8] {
+        &self.values
+    }
+
+    /// Number of non-zero weights.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterates `(index, value)` pairs in scan order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, i8)> + '_ {
+        self.indices.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// Decodes back into a flat kernel of `kernel_len` weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a stored index is out of range.
+    pub fn decode(&self, kernel_len: usize) -> Vec<i8> {
+        let mut out = vec![0i8; kernel_len];
+        for (i, v) in self.iter() {
+            out[i as usize] = v;
+        }
+        out
+    }
+
+    /// Storage bytes with 16-bit indexes and 8-bit values — the natural
+    /// packing for the same networks the ABM encoding targets.
+    pub fn storage_bytes(&self) -> u64 {
+        self.nnz() as u64 * 3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abm_tensor::Shape4;
+
+    #[test]
+    fn csr_round_trip() {
+        let kernel = [0i8, 5, 0, -3, 0, 0, 5, 1, 0];
+        let csr = CsrKernel::encode(&kernel);
+        assert_eq!(csr.nnz(), 4);
+        assert_eq!(csr.indices(), &[1, 3, 6, 7]);
+        assert_eq!(csr.values(), &[5, -3, 5, 1]);
+        assert_eq!(csr.decode(9), kernel);
+        assert_eq!(csr.storage_bytes(), 12);
+    }
+
+    #[test]
+    fn csr_empty() {
+        let csr = CsrKernel::encode(&[0i8; 4]);
+        assert_eq!(csr.nnz(), 0);
+        assert_eq!(csr.decode(4), [0i8; 4]);
+        assert_eq!(csr.iter().count(), 0);
+    }
+
+    #[test]
+    fn csr_layer_matches_per_kernel() {
+        let w = Tensor4::from_fn(Shape4::new(3, 2, 2, 2), |m, n, k, kp| {
+            if (n + k + kp) % 2 == 0 {
+                (m as i8) + 1
+            } else {
+                0
+            }
+        });
+        let layer = CsrKernel::encode_layer(&w);
+        assert_eq!(layer.len(), 3);
+        for (m, csr) in layer.iter().enumerate() {
+            assert_eq!(csr.decode(8), w.kernel(m));
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! The Q-Table / WT-Buffer encoder and decoder (Figure 4).
+
+use abm_tensor::{Shape4, Tensor4};
+use std::error::Error;
+use std::fmt;
+
+/// One Q-Table group: a distinct non-zero weight value and how many
+/// kernel positions carry it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QEntry {
+    /// The quantized fixed-point weight value (`VAL`).
+    pub value: i8,
+    /// Number of occurrences of `value` in the kernel (`NUM`).
+    pub count: u32,
+}
+
+/// One encoded convolution kernel: its Q-Table entries plus the
+/// value-grouped WT-Buffer index stream.
+///
+/// The `i`-th group's indexes are `indices[start_i .. start_i+count_i]`
+/// where `start_i` is the running sum of earlier counts; [`groups`] walks
+/// them.
+///
+/// [`groups`]: KernelCode::groups
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct KernelCode {
+    entries: Vec<QEntry>,
+    indices: Vec<u16>,
+}
+
+impl KernelCode {
+    /// Encodes one kernel given as a flat `N·K·K'` slice of quantized
+    /// weights.
+    ///
+    /// Values are grouped in ascending raw-value order; indexes within a
+    /// group stay in ascending scan order, which is what lets the
+    /// accelerator's address generator fetch feature data as a forward
+    /// stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodeError::IndexOverflow`] if the kernel has more than
+    /// `2^16` positions (the WT-Buffer holds 16-bit entries; both
+    /// evaluated CNNs fit — VGG16's largest kernel volume is FC6's
+    /// 25088).
+    pub fn encode(kernel: &[i8]) -> Result<Self, EncodeError> {
+        if kernel.len() > u16::MAX as usize + 1 {
+            return Err(EncodeError::IndexOverflow { kernel_len: kernel.len() });
+        }
+        // Bucket indexes by value. 255 possible non-zero values.
+        let mut buckets: Vec<Vec<u16>> = vec![Vec::new(); 256];
+        for (i, &w) in kernel.iter().enumerate() {
+            if w != 0 {
+                buckets[(w as u8) as usize].push(i as u16);
+            }
+        }
+        let mut entries = Vec::new();
+        let mut indices = Vec::new();
+        // Ascending signed value order: -128..=-1 then 1..=127.
+        for v in i8::MIN..=i8::MAX {
+            if v == 0 {
+                continue;
+            }
+            let bucket = &buckets[(v as u8) as usize];
+            if !bucket.is_empty() {
+                entries.push(QEntry { value: v, count: bucket.len() as u32 });
+                indices.extend_from_slice(bucket);
+            }
+        }
+        Ok(Self { entries, indices })
+    }
+
+    /// The Q-Table entries in ascending value order.
+    pub fn entries(&self) -> &[QEntry] {
+        &self.entries
+    }
+
+    /// The full WT-Buffer index stream (all groups concatenated).
+    pub fn indices(&self) -> &[u16] {
+        &self.indices
+    }
+
+    /// Total number of encoded (non-zero) weights — the kernel's
+    /// accumulation workload and the Q-Table's trailing total field.
+    pub fn total(&self) -> u32 {
+        self.indices.len() as u32
+    }
+
+    /// Number of distinct values — the kernel's multiplication workload
+    /// `Q(m)`.
+    pub fn distinct(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Iterates `(value, indexes)` group by group.
+    pub fn groups(&self) -> Groups<'_> {
+        Groups { code: self, group: 0, offset: 0 }
+    }
+
+    /// Decodes back into a flat kernel of `kernel_len` weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any stored index is out of range for `kernel_len`.
+    pub fn decode(&self, kernel_len: usize) -> Vec<i8> {
+        let mut out = vec![0i8; kernel_len];
+        for (value, idxs) in self.groups() {
+            for &i in idxs {
+                out[i as usize] = value;
+            }
+        }
+        out
+    }
+}
+
+/// Iterator over a kernel's `(value, indexes)` groups.
+///
+/// Created by [`KernelCode::groups`].
+#[derive(Debug, Clone)]
+pub struct Groups<'a> {
+    code: &'a KernelCode,
+    group: usize,
+    offset: usize,
+}
+
+impl<'a> Iterator for Groups<'a> {
+    type Item = (i8, &'a [u16]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let entry = self.code.entries.get(self.group)?;
+        let start = self.offset;
+        let end = start + entry.count as usize;
+        self.group += 1;
+        self.offset = end;
+        Some((entry.value, &self.code.indices[start..end]))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.code.entries.len() - self.group;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Groups<'_> {}
+
+/// A whole layer's encoded kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerCode {
+    shape: Shape4,
+    kernels: Vec<KernelCode>,
+}
+
+impl LayerCode {
+    /// Encodes every kernel of an `M×N×K×K'` quantized weight tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodeError::IndexOverflow`] if the kernel volume
+    /// exceeds the 16-bit index range.
+    pub fn encode(weights: &Tensor4<i8>) -> Result<Self, EncodeError> {
+        let shape = weights.shape();
+        let kernels = (0..shape.out_channels)
+            .map(|m| KernelCode::encode(weights.kernel(m)))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { shape, kernels })
+    }
+
+    /// The encoded weight shape.
+    pub fn shape(&self) -> Shape4 {
+        self.shape
+    }
+
+    /// Per-kernel codes in kernel order.
+    pub fn kernels(&self) -> &[KernelCode] {
+        &self.kernels
+    }
+
+    /// Total non-zero weights in the layer.
+    pub fn total_nnz(&self) -> u64 {
+        self.kernels.iter().map(|k| k.total() as u64).sum()
+    }
+
+    /// Total distinct-value groups summed over kernels (`Σ_m Q(m)`).
+    pub fn total_distinct(&self) -> u64 {
+        self.kernels.iter().map(|k| k.distinct() as u64).sum()
+    }
+
+    /// Decodes the layer back into a dense quantized tensor (exact
+    /// inverse of [`LayerCode::encode`]).
+    pub fn decode(&self) -> Tensor4<i8> {
+        let kl = self.shape.kernel_len();
+        let mut data = Vec::with_capacity(self.shape.len());
+        for k in &self.kernels {
+            data.extend_from_slice(&k.decode(kl));
+        }
+        Tensor4::from_vec(self.shape, data)
+    }
+
+    /// Converts a linear kernel index back to `(n, k, k')` coordinates
+    /// for a kernel of this layer's shape.
+    #[inline]
+    pub fn unravel(&self, index: u16) -> (usize, usize, usize) {
+        let kk = self.shape.kernel_rows * self.shape.kernel_cols;
+        let i = index as usize;
+        let n = i / kk;
+        let rem = i % kk;
+        (n, rem / self.shape.kernel_cols, rem % self.shape.kernel_cols)
+    }
+}
+
+/// Errors produced by the encoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncodeError {
+    /// The kernel volume does not fit the 16-bit WT-Buffer index width.
+    IndexOverflow {
+        /// The offending kernel volume (`N·K·K'`).
+        kernel_len: usize,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::IndexOverflow { kernel_len } => write!(
+                f,
+                "kernel volume {kernel_len} exceeds the 16-bit WT-Buffer index range"
+            ),
+        }
+    }
+}
+
+impl Error for EncodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_groups_by_value() {
+        // Figure 4's flavour: M=1, N=2, K=3 kernel with a few values.
+        #[rustfmt::skip]
+        let kernel: Vec<i8> = vec![
+            2, 0, -1,
+            0, 2, 0,
+            1, 0, 2,
+            //
+            0, -1, 0,
+            1, 0, 0,
+            0, 0, 2,
+        ];
+        let code = KernelCode::encode(&kernel).unwrap();
+        assert_eq!(code.total(), 8);
+        assert_eq!(code.distinct(), 3);
+        let groups: Vec<_> = code.groups().map(|(v, idx)| (v, idx.to_vec())).collect();
+        assert_eq!(groups.len(), 3);
+        // Ascending value order: -1, 1, 2.
+        assert_eq!(groups[0], (-1, vec![2u16, 10]));
+        assert_eq!(groups[1], (1, vec![6u16, 12]));
+        assert_eq!(groups[2], (2, vec![0u16, 4, 8, 17]));
+        // Q-Table counts match group lengths.
+        assert_eq!(code.entries()[2], QEntry { value: 2, count: 4 });
+    }
+
+    #[test]
+    fn round_trip_kernel() {
+        let kernel: Vec<i8> = (0..64)
+            .map(|i| if i % 3 == 0 { 0 } else { ((i * 7) % 255) as i8 })
+            .collect();
+        let code = KernelCode::encode(&kernel).unwrap();
+        assert_eq!(code.decode(64), kernel);
+    }
+
+    #[test]
+    fn empty_kernel() {
+        let code = KernelCode::encode(&[0i8; 27]).unwrap();
+        assert_eq!(code.total(), 0);
+        assert_eq!(code.distinct(), 0);
+        assert_eq!(code.groups().count(), 0);
+        assert_eq!(code.decode(27), vec![0i8; 27]);
+    }
+
+    #[test]
+    fn index_overflow_detected() {
+        let big = vec![1i8; 70000];
+        match KernelCode::encode(&big) {
+            Err(EncodeError::IndexOverflow { kernel_len }) => assert_eq!(kernel_len, 70000),
+            other => panic!("expected overflow, got {other:?}"),
+        }
+        // Error is displayable and a std error.
+        let e = KernelCode::encode(&big).unwrap_err();
+        assert!(e.to_string().contains("16-bit"));
+    }
+
+    #[test]
+    fn boundary_kernel_len_65536_is_ok() {
+        let mut k = vec![0i8; 65536];
+        k[65535] = 7;
+        let code = KernelCode::encode(&k).unwrap();
+        assert_eq!(code.indices(), &[65535u16]);
+        assert_eq!(code.decode(65536), k);
+    }
+
+    #[test]
+    fn layer_round_trip_and_totals() {
+        let shape = Shape4::new(4, 3, 3, 3);
+        let w = Tensor4::from_fn(shape, |m, n, k, kp| {
+            let x = (m * 31 + n * 7 + k * 3 + kp) % 5;
+            if x == 0 {
+                0
+            } else {
+                (x as i8) - 3
+            }
+        });
+        let code = LayerCode::encode(&w).unwrap();
+        assert_eq!(code.decode(), w);
+        let nnz = w.as_slice().iter().filter(|&&x| x != 0).count() as u64;
+        assert_eq!(code.total_nnz(), nnz);
+        assert!(code.total_distinct() <= 4 * 4);
+    }
+
+    #[test]
+    fn unravel_matches_shape_index() {
+        let shape = Shape4::new(1, 4, 3, 2);
+        let w = Tensor4::from_fn(shape, |_, _, _, _| 1i8);
+        let code = LayerCode::encode(&w).unwrap();
+        for n in 0..4 {
+            for k in 0..3 {
+                for kp in 0..2 {
+                    let lin = shape.index(0, n, k, kp) as u16;
+                    assert_eq!(code.unravel(lin), (n, k, kp));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn groups_iterator_is_exact_size() {
+        let code = KernelCode::encode(&[1i8, 2, 1, 3]).unwrap();
+        let it = code.groups();
+        assert_eq!(it.len(), 3);
+    }
+}

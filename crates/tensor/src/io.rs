@@ -1,0 +1,208 @@
+//! Plain-text tensor serialization — a dependency-free dump/load format
+//! for debugging feature maps and pinning golden files.
+//!
+//! Format (one header line, then whitespace-separated values):
+//!
+//! ```text
+//! tensor3 <channels> <rows> <cols>
+//! v v v ...
+//! ```
+
+use crate::shape::{Shape3, Shape4};
+use crate::tensor::{Tensor3, Tensor4};
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+/// Errors produced when parsing the text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseTensorError {
+    /// The header line is missing or malformed.
+    BadHeader(String),
+    /// A value failed to parse as an integer.
+    BadValue(String),
+    /// The number of values does not match the header's shape.
+    WrongLength {
+        /// Elements announced by the header.
+        expected: usize,
+        /// Elements actually present.
+        found: usize,
+    },
+}
+
+impl fmt::Display for ParseTensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseTensorError::BadHeader(h) => write!(f, "bad tensor header: {h}"),
+            ParseTensorError::BadValue(v) => write!(f, "bad tensor value: {v}"),
+            ParseTensorError::WrongLength { expected, found } => {
+                write!(f, "expected {expected} values, found {found}")
+            }
+        }
+    }
+}
+
+impl Error for ParseTensorError {}
+
+/// Serializes a 3-D tensor to the text format.
+pub fn write_tensor3<T: fmt::Display>(t: &Tensor3<T>) -> String {
+    let s = t.shape();
+    let mut out = format!("tensor3 {} {} {}\n", s.channels, s.rows, s.cols);
+    for (i, v) in t.as_slice().iter().enumerate() {
+        if i > 0 {
+            out.push(if i % 16 == 0 { '\n' } else { ' ' });
+        }
+        out.push_str(&v.to_string());
+    }
+    out.push('\n');
+    out
+}
+
+/// Parses a 3-D tensor from the text format.
+///
+/// # Errors
+///
+/// Returns [`ParseTensorError`] on malformed input.
+pub fn read_tensor3<T: FromStr + Default + Clone>(
+    text: &str,
+) -> Result<Tensor3<T>, ParseTensorError> {
+    let mut lines = text.lines();
+    let header = lines.next().unwrap_or("").trim();
+    let mut parts = header.split_whitespace();
+    if parts.next() != Some("tensor3") {
+        return Err(ParseTensorError::BadHeader(header.to_string()));
+    }
+    let dims: Vec<usize> = parts
+        .map(|p| p.parse().map_err(|_| ParseTensorError::BadHeader(header.to_string())))
+        .collect::<Result<_, _>>()?;
+    let [channels, rows, cols]: [usize; 3] = dims
+        .try_into()
+        .map_err(|_| ParseTensorError::BadHeader(header.to_string()))?;
+    let shape = Shape3::new(channels, rows, cols);
+    let values: Vec<T> = lines
+        .flat_map(str::split_whitespace)
+        .map(|v| v.parse::<T>().map_err(|_| ParseTensorError::BadValue(v.to_string())))
+        .collect::<Result<_, _>>()?;
+    if values.len() != shape.len() {
+        return Err(ParseTensorError::WrongLength {
+            expected: shape.len(),
+            found: values.len(),
+        });
+    }
+    Ok(Tensor3::from_vec(shape, values))
+}
+
+/// Serializes a 4-D weight tensor to the text format (`tensor4` header).
+pub fn write_tensor4<T: fmt::Display>(t: &Tensor4<T>) -> String {
+    let s = t.shape();
+    let mut out = format!(
+        "tensor4 {} {} {} {}\n",
+        s.out_channels, s.in_channels, s.kernel_rows, s.kernel_cols
+    );
+    for (i, v) in t.as_slice().iter().enumerate() {
+        if i > 0 {
+            out.push(if i % 16 == 0 { '\n' } else { ' ' });
+        }
+        out.push_str(&v.to_string());
+    }
+    out.push('\n');
+    out
+}
+
+/// Parses a 4-D weight tensor from the text format.
+///
+/// # Errors
+///
+/// Returns [`ParseTensorError`] on malformed input.
+pub fn read_tensor4<T: FromStr + Default + Clone>(
+    text: &str,
+) -> Result<Tensor4<T>, ParseTensorError> {
+    let mut lines = text.lines();
+    let header = lines.next().unwrap_or("").trim();
+    let mut parts = header.split_whitespace();
+    if parts.next() != Some("tensor4") {
+        return Err(ParseTensorError::BadHeader(header.to_string()));
+    }
+    let dims: Vec<usize> = parts
+        .map(|p| p.parse().map_err(|_| ParseTensorError::BadHeader(header.to_string())))
+        .collect::<Result<_, _>>()?;
+    let [m, n, k, kp]: [usize; 4] = dims
+        .try_into()
+        .map_err(|_| ParseTensorError::BadHeader(header.to_string()))?;
+    let shape = Shape4::new(m, n, k, kp);
+    let values: Vec<T> = lines
+        .flat_map(str::split_whitespace)
+        .map(|v| v.parse::<T>().map_err(|_| ParseTensorError::BadValue(v.to_string())))
+        .collect::<Result<_, _>>()?;
+    if values.len() != shape.len() {
+        return Err(ParseTensorError::WrongLength {
+            expected: shape.len(),
+            found: values.len(),
+        });
+    }
+    Ok(Tensor4::from_vec(shape, values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tensor3_round_trip() {
+        let t = Tensor3::from_fn(Shape3::new(2, 3, 5), |c, r, col| {
+            (c * 15 + r * 5 + col) as i32 - 14
+        });
+        let text = write_tensor3(&t);
+        let back: Tensor3<i32> = read_tensor3(&text).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn tensor4_round_trip() {
+        let t = Tensor4::from_fn(Shape4::new(2, 2, 3, 3), |m, n, k, kp| {
+            ((m * 18 + n * 9 + k * 3 + kp) as i8).wrapping_mul(7)
+        });
+        let text = write_tensor4(&t);
+        let back: Tensor4<i8> = read_tensor4(&text).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn header_errors() {
+        assert!(matches!(
+            read_tensor3::<i32>("nonsense 1 2 3\n0"),
+            Err(ParseTensorError::BadHeader(_))
+        ));
+        assert!(matches!(
+            read_tensor3::<i32>("tensor3 1 2\n0 0"),
+            Err(ParseTensorError::BadHeader(_))
+        ));
+        assert!(matches!(
+            read_tensor3::<i32>(""),
+            Err(ParseTensorError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn value_and_length_errors() {
+        assert!(matches!(
+            read_tensor3::<i32>("tensor3 1 1 2\n1 x"),
+            Err(ParseTensorError::BadValue(_))
+        ));
+        assert_eq!(
+            read_tensor3::<i32>("tensor3 1 1 2\n1"),
+            Err(ParseTensorError::WrongLength { expected: 2, found: 1 })
+        );
+        let e = read_tensor3::<i32>("tensor3 1 1 2\n1").unwrap_err();
+        assert!(e.to_string().contains("expected 2"));
+    }
+
+    #[test]
+    fn wrapped_lines_parse() {
+        let t = Tensor3::from_fn(Shape3::new(1, 5, 8), |_, r, c| (r * 8 + c) as i16);
+        let text = write_tensor3(&t);
+        assert!(text.lines().count() > 2, "long tensors wrap");
+        let back: Tensor3<i16> = read_tensor3(&text).unwrap();
+        assert_eq!(t, back);
+    }
+}

@@ -1,0 +1,167 @@
+//! Per-tensor dynamic fixed-point quantization (Ristretto style).
+//!
+//! The paper quantizes weights to 8 bits with a per-layer fractional
+//! length chosen so the largest-magnitude weight just fits (\[6\] in the
+//! paper). [`choose_frac`] implements that rule and [`quantize_tensor`]
+//! applies it, returning the raw integer tensor together with its
+//! [`QFormat`].
+
+use crate::fixed::{QFormat, Rounding};
+use crate::tensor::Tensor4;
+
+/// A quantized weight tensor: raw integers plus the format interpreting
+/// them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedTensor {
+    /// Raw integer weights (each within the format's range).
+    pub weights: Tensor4<i32>,
+    /// The fixed-point format shared by all weights of the tensor.
+    pub format: QFormat,
+}
+
+impl QuantizedTensor {
+    /// Dequantizes back to `f32` values.
+    pub fn dequantize(&self) -> Tensor4<f32> {
+        self.weights.map(|&raw| self.format.dequantize(raw))
+    }
+
+    /// Number of non-zero raw weights.
+    pub fn nnz(&self) -> usize {
+        self.weights.as_slice().iter().filter(|&&w| w != 0).count()
+    }
+}
+
+/// Chooses the fractional length that lets the largest-magnitude value in
+/// `values` fit in a signed `bits`-bit integer (dynamic fixed point).
+///
+/// All-zero input gets `frac = bits - 1` (maximum resolution). The result
+/// is clamped to `[-64, 63]` to stay in `i8`.
+///
+/// # Examples
+///
+/// ```
+/// use abm_tensor::quantize::choose_frac;
+/// // max |v| = 0.9: integer part needs 0 bits beyond sign, so an 8-bit
+/// // format can spend 7 bits on the fraction.
+/// assert_eq!(choose_frac(&[0.1, -0.9], 8), 7);
+/// // max |v| = 3.5: needs 2 integer bits, leaving 5 fractional.
+/// assert_eq!(choose_frac(&[3.5], 8), 5);
+/// ```
+pub fn choose_frac(values: &[f32], bits: u8) -> i8 {
+    let max_abs = values.iter().fold(0f32, |acc, &v| acc.max(v.abs()));
+    if max_abs == 0.0 {
+        return (bits as i8 - 1).clamp(-64, 63);
+    }
+    // Need max_abs * 2^frac <= 2^(bits-1) - 1; approximately
+    // frac <= bits - 1 - ceil(log2(max_abs)).
+    let int_bits = (max_abs as f64).log2().floor() as i32 + 1;
+    let frac = bits as i32 - 1 - int_bits;
+    // Guard against rounding pushing the max value over the edge.
+    let mut frac = frac.clamp(-64, 63) as i8;
+    let fmt = QFormat::new(bits, frac);
+    let scaled = max_abs as f64 * 2f64.powi(frac as i32);
+    if scaled + 0.5 > fmt.max_raw() as f64 + 1.0 {
+        frac -= 1;
+    }
+    frac
+}
+
+/// Quantizes an `f32` weight tensor to `bits`-bit dynamic fixed point,
+/// choosing the fractional length with [`choose_frac`].
+///
+/// Zero weights stay exactly zero, preserving pruning sparsity.
+///
+/// # Examples
+///
+/// ```
+/// use abm_tensor::{quantize_tensor, Tensor4, Shape4};
+/// let w = Tensor4::from_fn(Shape4::new(1, 1, 2, 2), |_, _, k, kp| {
+///     (k as f32) - 0.5 * (kp as f32)
+/// });
+/// let q = quantize_tensor(&w, 8);
+/// assert_eq!(q.weights[(0, 0, 0, 0)], 0); // zero stays zero
+/// ```
+pub fn quantize_tensor(weights: &Tensor4<f32>, bits: u8) -> QuantizedTensor {
+    let frac = choose_frac(weights.as_slice(), bits);
+    let format = QFormat::new(bits, frac);
+    let quantized = weights.map(|&v| {
+        if v == 0.0 {
+            0
+        } else {
+            format.quantize_f32_with(v, Rounding::NearestTiesAway)
+        }
+    });
+    QuantizedTensor { weights: quantized, format }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::Shape4;
+
+    #[test]
+    fn choose_frac_fits_extremes() {
+        for &max in &[0.01f32, 0.3, 0.99, 1.0, 1.5, 7.9, 100.0, 1e-4] {
+            let frac = choose_frac(&[max, -max / 2.0], 8);
+            let fmt = QFormat::new(8, frac);
+            let raw = fmt.quantize_f32(max);
+            // Must not have saturated by more than the rounding step.
+            assert!(
+                (fmt.dequantize(raw) - max).abs() <= fmt.lsb() as f32,
+                "max {max} frac {frac} raw {raw}"
+            );
+        }
+    }
+
+    #[test]
+    fn choose_frac_all_zero() {
+        assert_eq!(choose_frac(&[0.0, 0.0], 8), 7);
+        assert_eq!(choose_frac(&[], 8), 7);
+    }
+
+    #[test]
+    fn quantize_preserves_zeros() {
+        let shape = Shape4::new(2, 2, 3, 3);
+        let w = Tensor4::from_fn(shape, |m, n, k, kp| {
+            if (m + n + k + kp) % 3 == 0 {
+                0.0
+            } else {
+                0.1 * ((m + 1) as f32) - 0.05 * (kp as f32)
+            }
+        });
+        let q = quantize_tensor(&w, 8);
+        for (orig, raw) in w.as_slice().iter().zip(q.weights.as_slice()) {
+            if *orig == 0.0 {
+                assert_eq!(*raw, 0);
+            }
+        }
+        assert!(q.nnz() > 0);
+        assert!(q.nnz() < shape.len());
+    }
+
+    #[test]
+    fn quantize_error_bounded_by_half_lsb() {
+        let shape = Shape4::new(1, 4, 3, 3);
+        let w = Tensor4::from_fn(shape, |_, n, k, kp| {
+            ((n * 9 + k * 3 + kp) as f32 / 36.0) - 0.5
+        });
+        let q = quantize_tensor(&w, 8);
+        let back = q.dequantize();
+        let lsb = q.format.lsb() as f32;
+        for (orig, deq) in w.as_slice().iter().zip(back.as_slice()) {
+            assert!((orig - deq).abs() <= lsb * 0.5 + f32::EPSILON, "{orig} vs {deq}");
+        }
+    }
+
+    #[test]
+    fn raw_values_within_8bit_range() {
+        let shape = Shape4::new(3, 3, 3, 3);
+        let w = Tensor4::from_fn(shape, |m, n, k, kp| {
+            ((m as f32) - 1.0) * 2.5 + (n as f32) * 0.3 - (k as f32) * 0.7 + kp as f32
+        });
+        let q = quantize_tensor(&w, 8);
+        for &raw in q.weights.as_slice() {
+            assert!((-128..=127).contains(&raw));
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Shapes for feature maps and weight tensors.
+//!
+//! The paper's notation (Section 2): an input feature map is `N×R×C`
+//! (channels × rows × cols), an output feature map is `M×R'×C'`, and a
+//! convolution weight tensor is `M×N×K×K` (output channels × input
+//! channels × kernel rows × kernel cols).
+
+use std::fmt;
+
+/// Shape of a 3-D feature map: `(channels, rows, cols)` = `N×R×C`.
+///
+/// # Examples
+///
+/// ```
+/// use abm_tensor::Shape3;
+/// let s = Shape3::new(64, 224, 224);
+/// assert_eq!(s.len(), 64 * 224 * 224);
+/// assert_eq!(s.index(1, 0, 5), 224 * 224 + 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape3 {
+    /// Number of channels (`N` for inputs, `M` for outputs).
+    pub channels: usize,
+    /// Number of rows (`R`).
+    pub rows: usize,
+    /// Number of columns (`C`).
+    pub cols: usize,
+}
+
+impl Shape3 {
+    /// Creates a feature-map shape.
+    pub fn new(channels: usize, rows: usize, cols: usize) -> Self {
+        Self { channels, rows, cols }
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.channels * self.rows * self.cols
+    }
+
+    /// Whether the shape contains no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Linear row-major index of `(channel, row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any coordinate is out of range.
+    #[inline]
+    pub fn index(&self, channel: usize, row: usize, col: usize) -> usize {
+        debug_assert!(channel < self.channels && row < self.rows && col < self.cols);
+        (channel * self.rows + row) * self.cols + col
+    }
+}
+
+impl fmt::Display for Shape3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.channels, self.rows, self.cols)
+    }
+}
+
+/// Shape of a 4-D weight tensor: `(out_channels, in_channels, kernel_rows,
+/// kernel_cols)` = `M×N×K×K'`.
+///
+/// # Examples
+///
+/// ```
+/// use abm_tensor::Shape4;
+/// let s = Shape4::new(64, 3, 3, 3);
+/// assert_eq!(s.len(), 64 * 27);
+/// assert_eq!(s.kernel_len(), 27);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape4 {
+    /// Output channels (`M`): number of convolution kernels.
+    pub out_channels: usize,
+    /// Input channels (`N`).
+    pub in_channels: usize,
+    /// Kernel rows (`K`).
+    pub kernel_rows: usize,
+    /// Kernel columns (`K'`).
+    pub kernel_cols: usize,
+}
+
+impl Shape4 {
+    /// Creates a weight-tensor shape.
+    pub fn new(
+        out_channels: usize,
+        in_channels: usize,
+        kernel_rows: usize,
+        kernel_cols: usize,
+    ) -> Self {
+        Self { out_channels, in_channels, kernel_rows, kernel_cols }
+    }
+
+    /// Total number of weights.
+    pub fn len(&self) -> usize {
+        self.out_channels * self.kernel_len()
+    }
+
+    /// Whether the shape contains no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of weights in a single kernel (`N·K·K'`), i.e. the 3-D MAC
+    /// volume producing one output pixel.
+    pub fn kernel_len(&self) -> usize {
+        self.in_channels * self.kernel_rows * self.kernel_cols
+    }
+
+    /// Linear row-major index of `(m, n, k, k')`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any coordinate is out of range.
+    #[inline]
+    pub fn index(&self, m: usize, n: usize, k: usize, kp: usize) -> usize {
+        debug_assert!(
+            m < self.out_channels
+                && n < self.in_channels
+                && k < self.kernel_rows
+                && kp < self.kernel_cols
+        );
+        ((m * self.in_channels + n) * self.kernel_rows + k) * self.kernel_cols + kp
+    }
+}
+
+impl fmt::Display for Shape4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{}x{}x{}",
+            self.out_channels, self.in_channels, self.kernel_rows, self.kernel_cols
+        )
+    }
+}
+
+/// Computes the output spatial size of a convolution along one axis.
+///
+/// `input` is padded by `pad` on both sides, filtered with a window of
+/// `kernel`, moving by `stride`.
+///
+/// Returns zero when the (padded) input is smaller than the kernel.
+///
+/// # Panics
+///
+/// Panics if `stride` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use abm_tensor::shape::conv_out_dim;
+/// assert_eq!(conv_out_dim(224, 3, 1, 1), 224); // "same" conv
+/// assert_eq!(conv_out_dim(227, 11, 4, 0), 55); // AlexNet conv1
+/// ```
+pub fn conv_out_dim(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+    assert!(stride > 0, "stride must be positive");
+    let padded = input + 2 * pad;
+    if padded < kernel {
+        return 0;
+    }
+    (padded - kernel) / stride + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape3_indexing_is_row_major() {
+        let s = Shape3::new(2, 3, 4);
+        let mut seen = vec![false; s.len()];
+        for c in 0..2 {
+            for r in 0..3 {
+                for col in 0..4 {
+                    let i = s.index(c, r, col);
+                    assert!(!seen[i]);
+                    seen[i] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+        // Adjacent columns are adjacent in memory.
+        assert_eq!(s.index(1, 2, 3) - s.index(1, 2, 2), 1);
+    }
+
+    #[test]
+    fn shape4_indexing_is_row_major() {
+        let s = Shape4::new(2, 3, 2, 2);
+        assert_eq!(s.len(), 24);
+        assert_eq!(s.kernel_len(), 12);
+        assert_eq!(s.index(0, 0, 0, 0), 0);
+        assert_eq!(s.index(1, 0, 0, 0), 12);
+        assert_eq!(s.index(0, 1, 0, 0), 4);
+        assert_eq!(s.index(0, 0, 1, 0), 2);
+        assert_eq!(s.index(0, 0, 0, 1), 1);
+    }
+
+    #[test]
+    fn conv_out_dims() {
+        assert_eq!(conv_out_dim(5, 3, 1, 0), 3);
+        assert_eq!(conv_out_dim(5, 3, 1, 1), 5);
+        assert_eq!(conv_out_dim(5, 3, 2, 0), 2);
+        assert_eq!(conv_out_dim(2, 3, 1, 0), 0);
+        assert_eq!(conv_out_dim(2, 3, 1, 1), 2);
+        assert_eq!(conv_out_dim(224, 3, 1, 1), 224);
+        assert_eq!(conv_out_dim(227, 11, 4, 0), 55);
+        assert_eq!(conv_out_dim(1, 1, 1, 0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride")]
+    fn conv_out_dim_zero_stride_panics() {
+        let _ = conv_out_dim(5, 3, 0, 0);
+    }
+
+    #[test]
+    fn empty_shapes() {
+        assert!(Shape3::new(0, 4, 4).is_empty());
+        assert!(Shape4::new(3, 0, 1, 1).is_empty());
+        assert!(!Shape3::new(1, 1, 1).is_empty());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Shape3::new(3, 224, 224).to_string(), "3x224x224");
+        assert_eq!(Shape4::new(64, 3, 3, 3).to_string(), "64x3x3x3");
+    }
+}

@@ -1,0 +1,103 @@
+//! The full model-preparation pipeline on float weights — what a user
+//! deploying their own CNN would run:
+//!
+//! float weights -> magnitude pruning (Han et al.) -> 8-bit dynamic
+//! fixed-point quantization (Ristretto) -> Q-Table/WT-Buffer encoding ->
+//! functional check -> accelerator simulation.
+//!
+//! ```text
+//! cargo run --release --example pruning_pipeline
+//! ```
+
+use abm_conv::{Engine, Inferencer};
+use abm_model::{synthesize_from_float, zoo, LayerStats, PruneProfile};
+use abm_sim::{simulate_network, AcceleratorConfig};
+use abm_sparse::{LayerCode, SizeModel};
+use abm_tensor::{Shape3, Tensor3};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A CIFAR-scale CNN with a uniform 80% pruning target.
+    let net = zoo::tiny();
+    let profile = PruneProfile::uniform(abm_model::LayerProfile::new(0.8, 32));
+
+    // Gaussian float weights -> prune -> quantize (the value statistics
+    // now *emerge* from quantization instead of being synthesized).
+    let model = synthesize_from_float(&net, &profile, 42);
+
+    println!("pipeline results per layer:");
+    println!(
+        "{:<8} {:>9} {:>8} {:>9} {:>9} {:>10} {:>9}",
+        "layer", "weights", "nnz", "density", "sum Q", "acc/mult", "format"
+    );
+    for layer in &model.layers {
+        let stats = LayerStats::from_weights(&layer.weights);
+        println!(
+            "{:<8} {:>9} {:>8} {:>8.1}% {:>9} {:>10.1} {:>9}",
+            layer.name(),
+            layer.weights.len(),
+            layer.nnz(),
+            100.0 * layer.nnz() as f64 / layer.weights.len() as f64,
+            stats.total_distinct(),
+            stats.acc_mult_ratio(),
+            layer.format
+        );
+    }
+
+    // Encode and report the storage footprint.
+    let size = SizeModel::paper();
+    let enc = size.model_bytes(&model)?;
+    println!(
+        "\nencoded model: {:.1} KB (WT {:.1} KB + Q-Table {:.1} KB) vs {:.1} KB original",
+        enc.total() as f64 / 1024.0,
+        enc.wt_buffer_bytes as f64 / 1024.0,
+        enc.q_table_bytes as f64 / 1024.0,
+        size.original_bytes(net.total_weights()) as f64 / 1024.0
+    );
+    // Round-trip integrity.
+    for layer in &model.layers {
+        let code = LayerCode::encode(&layer.weights)?;
+        assert_eq!(code.decode(), layer.weights, "{}: lossless", layer.name());
+    }
+    println!("encoding round-trip: lossless for every layer");
+
+    // Functional equivalence on a synthetic input.
+    let input = Tensor3::from_fn(Shape3::new(3, 32, 32), |c, r, col| {
+        (((c * 1024 + r * 32 + col) * 53) % 255) as i16 - 127
+    });
+    let abm = Inferencer::new(&model).engine(Engine::Abm).run(&input)?;
+    let dense = Inferencer::new(&model).engine(Engine::Dense).run(&input)?;
+    assert_eq!(abm.logits, dense.logits);
+    println!("inference: ABM == dense, predicted class {:?}", abm.argmax());
+
+    // Deployment mode: calibrate fixed per-layer output formats offline
+    // (what the Sum/Round hardware actually uses), then check held-out
+    // saturation.
+    let calibration_set: Vec<_> = (0..8)
+        .map(|salt| {
+            Tensor3::from_fn(Shape3::new(3, 32, 32), |c, r, col| {
+                ((((c + salt) * 977 + r * 31 + col) * 13 % 255) as i16) - 127
+            })
+        })
+        .collect();
+    let cal = abm_conv::calibrate(&model, &calibration_set, abm_tensor::QFormat::new(8, 0))?;
+    let calibrated = Inferencer::new(&model)
+        .engine(Engine::Abm)
+        .calibration(cal.clone())
+        .run(&input)?;
+    println!(
+        "calibrated deployment: class {:?}, {} / {} features saturated",
+        calibrated.argmax(),
+        calibrated.saturated_features,
+        calibrated.total_features
+    );
+
+    // And how fast would the paper's accelerator run it?
+    let sim = simulate_network(&model, &AcceleratorConfig::paper());
+    println!(
+        "\nsimulated on the GXA7 configuration: {:.3} ms/image ({:.0} images/s, {:.1} GOP/s)",
+        sim.total_seconds() * 1e3,
+        sim.images_per_second(),
+        sim.gops()
+    );
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Simulates the paper's flagship experiment: VGG16 inference on the
+//! Stratix-V GXA7 accelerator configuration of Table 3, reporting
+//! per-layer and whole-network throughput (the numbers behind Table 2's
+//! "Proposed / VGG16" column).
+//!
+//! ```text
+//! cargo run --release --example vgg16_throughput
+//! ```
+
+use abm_model::{synthesize_model, zoo, PruneProfile};
+use abm_sim::{simulate_network, AcceleratorConfig};
+
+fn main() {
+    let net = zoo::vgg16();
+    let profile = PruneProfile::vgg16_deep_compression();
+    let model = synthesize_model(&net, &profile, 2019);
+    let cfg = AcceleratorConfig::paper();
+
+    println!(
+        "accelerator: N_cu={} N_knl={} N={} S_ec={} @ {} MHz  ({} accumulator lanes, {} multipliers)",
+        cfg.n_cu,
+        cfg.n_knl,
+        cfg.n,
+        cfg.s_ec,
+        cfg.freq_mhz,
+        cfg.accumulator_lanes(),
+        cfg.multipliers()
+    );
+    let sim = simulate_network(&model, &cfg);
+
+    println!(
+        "\n{:<10} {:>10} {:>10} {:>9} {:>9} {:>10} {:>6} {:>10} {:>9}",
+        "layer", "cycles", "GOP/s", "comp(ms)", "mem(ms)", "lane-eff", "bound", "mult-bnd%", "host(ms)"
+    );
+    for l in sim.layers() {
+        println!(
+            "{:<10} {:>10} {:>10.1} {:>9.3} {:>9.3} {:>9.1}% {:>6} {:>9.1}% {:>9.3}",
+            l.name,
+            l.compute_cycles,
+            l.gops(),
+            l.compute_seconds * 1e3,
+            l.memory_seconds * 1e3,
+            l.lane_efficiency * 100.0,
+            if l.memory_bound { "mem" } else { "comp" },
+            l.bottleneck.mult_bound_fraction() * 100.0,
+            l.host_seconds * 1e3,
+        );
+    }
+
+    println!("\nwhole network:");
+    println!("  latency          : {:.2} ms/image", sim.total_seconds() * 1e3);
+    println!("  rate             : {:.1} images/s", sim.images_per_second());
+    println!("  throughput       : {:.1} GOP/s  (paper: 1029, [3] baseline: 662)", sim.gops());
+    println!("  lane efficiency  : {:.1}%   (paper: 87%)", sim.lane_efficiency() * 100.0);
+    println!("  CU busy          : {:.1}%", sim.cu_utilization() * 100.0);
+    println!(
+        "  host layers      : {} (paper: hidden by pipelining)",
+        if sim.host_hidden() { "hidden behind accelerator time" } else { "NOT hidden" }
+    );
+}

@@ -1,0 +1,25 @@
+//! The `abm-spconv` command-line tool: analyze, simulate, explore and
+//! run the networks of the ABM-SpConv reproduction.
+//!
+//! Run `abm-spconv` without arguments for usage.
+
+use abm_spconv_repro::cli;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match cli::parse(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match cli::execute(&command) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,395 @@
+//! Command-line interface for the reproduction (hand-rolled parser — no
+//! extra dependencies).
+//!
+//! ```text
+//! abm-spconv analyze  <vgg16|alexnet|vgg19|tiny>
+//! abm-spconv simulate <net> [--n-cu N] [--n-knl N] [--n N] [--s-ec N] [--freq MHZ]
+//! abm-spconv explore  <net> [--device gxa7|arria10]
+//! abm-spconv infer    <net> [--engine dense|gemm|sparse|abm|freq] [--seed S]
+//! ```
+
+use abm_conv::ops::NetworkOps;
+use abm_conv::{Engine, Inferencer};
+use abm_dse::flow::run_flow;
+use abm_dse::FpgaDevice;
+use abm_model::{synthesize_model, zoo, Network, PruneProfile, SparseModel};
+use abm_sim::{simulate_network, AcceleratorConfig};
+use abm_sparse::SizeModel;
+use abm_tensor::Tensor3;
+use std::error::Error;
+use std::fmt;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Static analysis of a network + pruning profile.
+    Analyze {
+        /// Network name.
+        net: String,
+    },
+    /// Cycle simulation on a configuration.
+    Simulate {
+        /// Network name.
+        net: String,
+        /// Accelerator configuration (paper defaults with overrides).
+        config: AcceleratorConfig,
+    },
+    /// The full design-space exploration flow.
+    Explore {
+        /// Network name.
+        net: String,
+        /// Target device.
+        device: FpgaDevice,
+    },
+    /// Functional inference on a synthetic image.
+    Infer {
+        /// Network name.
+        net: String,
+        /// Engine to run.
+        engine: Engine,
+        /// Synthesis seed.
+        seed: u64,
+    },
+}
+
+/// CLI usage / parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsageError(String);
+
+impl fmt::Display for UsageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Error for UsageError {}
+
+fn err(msg: impl Into<String>) -> UsageError {
+    UsageError(msg.into())
+}
+
+/// The usage banner.
+pub const USAGE: &str = "usage: abm-spconv <command> [options]
+commands:
+  analyze  <vgg16|alexnet|vgg19|tiny>
+  simulate <net> [--n-cu N] [--n-knl N] [--n N] [--s-ec N] [--freq MHZ]
+  explore  <net> [--device gxa7|arria10]
+  infer    <net> [--engine dense|gemm|sparse|abm|freq] [--seed S]";
+
+/// Parses an argument vector (without the program name).
+///
+/// # Errors
+///
+/// Returns a [`UsageError`] describing what was wrong.
+pub fn parse(args: &[String]) -> Result<Command, UsageError> {
+    let mut it = args.iter();
+    let cmd = it.next().ok_or_else(|| err(USAGE))?;
+    let net = it.next().ok_or_else(|| err("missing network name"))?.clone();
+    if !["vgg16", "alexnet", "vgg19", "tiny"].contains(&net.as_str()) {
+        return Err(err(format!("unknown network '{net}'")));
+    }
+    match cmd.as_str() {
+        "analyze" => Ok(Command::Analyze { net }),
+        "simulate" => {
+            let mut config = if net == "alexnet" {
+                AcceleratorConfig::paper_alexnet()
+            } else {
+                AcceleratorConfig::paper()
+            };
+            while let Some(flag) = it.next() {
+                let value = it
+                    .next()
+                    .ok_or_else(|| err(format!("flag {flag} needs a value")))?;
+                let parse_usize = |v: &str| {
+                    v.parse::<usize>().map_err(|_| err(format!("bad number '{v}'")))
+                };
+                match flag.as_str() {
+                    "--n-cu" => config.n_cu = parse_usize(value)?,
+                    "--n-knl" => config.n_knl = parse_usize(value)?,
+                    "--n" => config.n = parse_usize(value)?,
+                    "--s-ec" => config.s_ec = parse_usize(value)?,
+                    "--freq" => {
+                        config.freq_mhz = value
+                            .parse::<f64>()
+                            .map_err(|_| err(format!("bad frequency '{value}'")))?
+                    }
+                    other => return Err(err(format!("unknown flag {other}"))),
+                }
+            }
+            config
+                .validate()
+                .map_err(|e| err(format!("invalid configuration: {e}")))?;
+            Ok(Command::Simulate { net, config })
+        }
+        "explore" => {
+            let mut device = FpgaDevice::stratix_v_gxa7();
+            while let Some(flag) = it.next() {
+                let value = it
+                    .next()
+                    .ok_or_else(|| err(format!("flag {flag} needs a value")))?;
+                match flag.as_str() {
+                    "--device" => {
+                        device = match value.as_str() {
+                            "gxa7" => FpgaDevice::stratix_v_gxa7(),
+                            "arria10" => FpgaDevice::arria10_gx1150(),
+                            other => return Err(err(format!("unknown device '{other}'"))),
+                        }
+                    }
+                    other => return Err(err(format!("unknown flag {other}"))),
+                }
+            }
+            Ok(Command::Explore { net, device })
+        }
+        "infer" => {
+            let mut engine = Engine::Abm;
+            let mut seed = 2019u64;
+            while let Some(flag) = it.next() {
+                let value = it
+                    .next()
+                    .ok_or_else(|| err(format!("flag {flag} needs a value")))?;
+                match flag.as_str() {
+                    "--engine" => {
+                        engine = match value.as_str() {
+                            "dense" => Engine::Dense,
+                            "gemm" => Engine::Gemm,
+                            "sparse" => Engine::Sparse,
+                            "abm" => Engine::Abm,
+                            "freq" => Engine::Freq,
+                            other => return Err(err(format!("unknown engine '{other}'"))),
+                        }
+                    }
+                    "--seed" => {
+                        seed = value
+                            .parse::<u64>()
+                            .map_err(|_| err(format!("bad seed '{value}'")))?
+                    }
+                    other => return Err(err(format!("unknown flag {other}"))),
+                }
+            }
+            Ok(Command::Infer { net, engine, seed })
+        }
+        other => Err(err(format!("unknown command '{other}'\n{USAGE}"))),
+    }
+}
+
+/// Resolves a network name to the zoo entry and its pruning profile.
+pub fn lookup(net: &str) -> (Network, PruneProfile) {
+    match net {
+        "vgg16" => (zoo::vgg16(), PruneProfile::vgg16_deep_compression()),
+        "vgg19" => (zoo::vgg19(), PruneProfile::vgg16_deep_compression()),
+        "alexnet" => (zoo::alexnet(), PruneProfile::alexnet_deep_compression()),
+        "tiny" => (
+            zoo::tiny(),
+            PruneProfile::uniform(abm_model::LayerProfile::new(0.6, 16)),
+        ),
+        other => unreachable!("parse() validated the name, got '{other}'"),
+    }
+}
+
+fn build(net: &str, seed: u64) -> (Network, PruneProfile, SparseModel) {
+    let (network, profile) = lookup(net);
+    let model = synthesize_model(&network, &profile, seed);
+    (network, profile, model)
+}
+
+/// Executes a parsed command, writing human-readable output to stdout.
+pub fn execute(command: &Command) -> Result<(), Box<dyn Error>> {
+    match command {
+        Command::Analyze { net } => {
+            let (network, _, model) = build(net, 2019);
+            let ops = NetworkOps::analyze(&model);
+            println!(
+                "{}: {} accelerated layers, {:.2} GOP dense, {:.1}M weights",
+                network.name(),
+                network.conv_fc_layers().count(),
+                network.total_dense_ops() as f64 / 1e9,
+                network.total_weights() as f64 / 1e6
+            );
+            println!(
+                "{:<10} {:>10} {:>10} {:>10} {:>10}",
+                "layer", "SD (MOP)", "Acc (MOP)", "Mult (MOP)", "ratio"
+            );
+            for l in ops.layers() {
+                println!(
+                    "{:<10} {:>10.1} {:>10.1} {:>10.2} {:>10.1}",
+                    l.name,
+                    l.sdconv as f64 / 1e6,
+                    l.abm_acc as f64 / 1e6,
+                    l.abm_mult as f64 / 1e6,
+                    l.acc_mult_ratio()
+                );
+            }
+            let size = SizeModel::paper();
+            let enc = size.model_bytes(&model)?;
+            println!(
+                "op saving vs dense: {:.1}%   encoded weights: {:.1} MB (original {:.1} MB)",
+                ops.abm_saving() * 100.0,
+                enc.total() as f64 / 1e6,
+                size.original_bytes(network.total_weights()) as f64 / 1e6
+            );
+        }
+        Command::Simulate { net, config } => {
+            let (network, _, model) = build(net, 2019);
+            let sim = simulate_network(&model, config);
+            println!(
+                "{} on N_cu={} N_knl={} N={} S_ec={} @ {} MHz:",
+                network.name(),
+                config.n_cu,
+                config.n_knl,
+                config.n,
+                config.s_ec,
+                config.freq_mhz
+            );
+            println!(
+                "  {:.2} ms/image | {:.1} images/s | {:.1} GOP/s | lane efficiency {:.1}%",
+                sim.total_seconds() * 1e3,
+                sim.images_per_second(),
+                sim.gops(),
+                sim.lane_efficiency() * 100.0
+            );
+        }
+        Command::Explore { net, device } => {
+            let (network, profile) = lookup(net);
+            let result = run_flow(&network, &profile, device, 3);
+            println!(
+                "{} on {}: min ratio {:.1} => N={}, N_knl={}",
+                network.name(),
+                device.name,
+                result.min_acc_mult_ratio,
+                result.n,
+                result.n_knl
+            );
+            for c in &result.candidates {
+                println!(
+                    "  S_ec={:>2} N_cu={} -> {:>7.1} GOP/s (ALM {}, DSP {}, M20K {})",
+                    c.config.s_ec,
+                    c.config.n_cu,
+                    c.gops,
+                    c.resources.alms,
+                    c.resources.dsps,
+                    c.resources.m20ks
+                );
+            }
+            println!(
+                "memory: {}",
+                if result.compute_bound { "compute-bound" } else { "MEMORY-BOUND" }
+            );
+        }
+        Command::Infer { net, engine, seed } => {
+            let (network, _, model) = build(net, *seed);
+            let input = Tensor3::from_fn(network.input_shape(), |c, r, col| {
+                ((((c + 1) * (r + 3) * (col + 7)) % 255) as i16) - 127
+            });
+            let result = Inferencer::new(&model).engine(*engine).run(&input)?;
+            println!(
+                "{} via {:?}: predicted class {:?}",
+                network.name(),
+                engine,
+                result.argmax()
+            );
+            if *engine == Engine::Abm {
+                println!(
+                    "  {} accumulations, {} multiplications ({:.1}x fewer mults than MACs)",
+                    result.work.accumulations,
+                    result.work.multiplications,
+                    result.work.accumulations as f64
+                        / result.work.multiplications.max(1) as f64
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parse_analyze() {
+        assert_eq!(
+            parse(&argv("analyze vgg16")).unwrap(),
+            Command::Analyze { net: "vgg16".into() }
+        );
+    }
+
+    #[test]
+    fn parse_simulate_with_overrides() {
+        let cmd = parse(&argv("simulate tiny --n-cu 2 --s-ec 16 --freq 150")).unwrap();
+        match cmd {
+            Command::Simulate { net, config } => {
+                assert_eq!(net, "tiny");
+                assert_eq!(config.n_cu, 2);
+                assert_eq!(config.s_ec, 16);
+                assert_eq!(config.freq_mhz, 150.0);
+                assert_eq!(config.n_knl, 14); // default preserved
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_rejects_invalid_config() {
+        // s_ec 18 not divisible by n 4.
+        let e = parse(&argv("simulate tiny --s-ec 18")).unwrap_err();
+        assert!(e.to_string().contains("divide"));
+    }
+
+    #[test]
+    fn parse_explore_device() {
+        let cmd = parse(&argv("explore alexnet --device arria10")).unwrap();
+        match cmd {
+            Command::Explore { device, .. } => assert_eq!(device.name, "Arria-10 GX1150"),
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse(&argv("explore alexnet --device zynq")).is_err());
+    }
+
+    #[test]
+    fn parse_infer_engine_and_seed() {
+        let cmd = parse(&argv("infer tiny --engine dense --seed 7")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Infer { net: "tiny".into(), engine: Engine::Dense, seed: 7 }
+        );
+    }
+
+    #[test]
+    fn parse_errors_are_helpful() {
+        assert!(parse(&[]).unwrap_err().to_string().contains("usage"));
+        assert!(parse(&argv("bogus tiny")).unwrap_err().to_string().contains("unknown command"));
+        assert!(parse(&argv("analyze resnet")).unwrap_err().to_string().contains("unknown network"));
+        assert!(parse(&argv("simulate tiny --n-cu")).unwrap_err().to_string().contains("needs a value"));
+        assert!(parse(&argv("infer tiny --seed x")).unwrap_err().to_string().contains("bad seed"));
+    }
+
+    #[test]
+    fn execute_fast_paths() {
+        // tiny-network commands complete quickly and without error.
+        execute(&Command::Analyze { net: "tiny".into() }).unwrap();
+        execute(&Command::Simulate {
+            net: "tiny".into(),
+            config: AcceleratorConfig::paper(),
+        })
+        .unwrap();
+        execute(&Command::Infer { net: "tiny".into(), engine: Engine::Abm, seed: 1 })
+            .unwrap();
+        execute(&Command::Explore {
+            net: "tiny".into(),
+            device: FpgaDevice::stratix_v_gxa7(),
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn lookup_covers_every_parseable_network() {
+        for net in ["vgg16", "vgg19", "alexnet", "tiny"] {
+            let (network, _) = lookup(net);
+            assert!(network.conv_fc_layers().count() > 0, "{net}");
+        }
+    }
+}

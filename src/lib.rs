@@ -1,0 +1,24 @@
+//! Meta-crate for the ABM-SpConv (DAC 2019) reproduction.
+//!
+//! Re-exports the workspace crates under one roof for examples and
+//! integration tests:
+//!
+//! * [`tensor`] — fixed point + tensors
+//! * [`model`] — CNN zoo, pruning, synthesis
+//! * [`sparse`] — Q-Table / WT-Buffer encoding
+//! * [`conv`] — SDConv / SpConv / FDConv / ABM-SpConv engines
+//! * [`sim`] — the cycle-approximate accelerator simulator
+//! * [`dse`] — design space exploration
+//!
+//! See the README for a tour and `examples/` for runnable entry points.
+
+#![forbid(unsafe_code)]
+
+pub mod cli;
+
+pub use abm_conv as conv;
+pub use abm_dse as dse;
+pub use abm_model as model;
+pub use abm_sim as sim;
+pub use abm_sparse as sparse;
+pub use abm_tensor as tensor;

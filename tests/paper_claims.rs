@@ -1,0 +1,206 @@
+//! The paper's headline claims, asserted end to end against this
+//! reproduction. EXPERIMENTS.md records the exact numbers; these tests
+//! pin the *shape*: who wins, by roughly what factor, and which
+//! derived statistics match.
+
+use abm_spconv_repro::conv::ops::NetworkOps;
+use abm_spconv_repro::dse::explore::{explore_nknl, optimal_nknl};
+use abm_spconv_repro::dse::{compute_roofline, FpgaDevice, ResourceModel};
+use abm_spconv_repro::model::{synthesize_model, zoo, PruneProfile};
+use abm_spconv_repro::sim::{simulate_network, AcceleratorConfig};
+use abm_spconv_repro::sparse::SizeModel;
+
+fn vgg16() -> abm_spconv_repro::model::SparseModel {
+    synthesize_model(&zoo::vgg16(), &PruneProfile::vgg16_deep_compression(), 2019)
+}
+
+fn alexnet() -> abm_spconv_repro::model::SparseModel {
+    synthesize_model(&zoo::alexnet(), &PruneProfile::alexnet_deep_compression(), 2019)
+}
+
+/// Published baseline: [3] (Zeng et al.) on the same GXA7 device.
+const FDCONV_VGG16_GOPS: f64 = 662.3;
+const FDCONV_ALEXNET_GOPS: f64 = 663.5;
+
+#[test]
+fn table2_vgg16_throughput_beats_fdconv_baseline() {
+    let sim = simulate_network(&vgg16(), &AcceleratorConfig::paper());
+    let gops = sim.gops();
+    // Paper: 1029 GOP/s (1.55x over [3]). Our simulation must preserve
+    // the win with a clear margin and stay in the same regime.
+    assert!(
+        (850.0..=1150.0).contains(&gops),
+        "VGG16 simulated {gops} GOP/s"
+    );
+    let speedup = gops / FDCONV_VGG16_GOPS;
+    assert!(speedup > 1.25, "speedup over [3] only {speedup:.2}x");
+}
+
+#[test]
+fn table2_alexnet_throughput_beats_fdconv_baseline() {
+    let sim = simulate_network(&alexnet(), &AcceleratorConfig::paper_alexnet());
+    let gops = sim.gops();
+    // Paper: 699 GOP/s (+5.4% over [3]).
+    assert!((620.0..=800.0).contains(&gops), "AlexNet simulated {gops} GOP/s");
+    assert!(gops > FDCONV_ALEXNET_GOPS, "must edge out [3]'s 663.5");
+}
+
+#[test]
+fn table2_performance_density_wins() {
+    // Paper: 4.29 GOP/s/DSP vs 2.58 for [3] and <1.3 for all MAC-array
+    // designs.
+    let sim = simulate_network(&vgg16(), &AcceleratorConfig::paper());
+    let est = ResourceModel::paper().estimate(&AcceleratorConfig::paper());
+    let density = sim.gops() / est.dsps as f64;
+    assert!(density > 2.59, "density {density:.2} must beat [3]");
+    assert!(density > 1.30 * 2.0, "and clear MAC designs by a wide margin");
+}
+
+#[test]
+fn section62_execution_efficiency() {
+    // Paper: 87% for VGG16, 81% for AlexNet.
+    let vgg = simulate_network(&vgg16(), &AcceleratorConfig::paper());
+    assert!(
+        (vgg.lane_efficiency() - 0.87).abs() < 0.05,
+        "VGG16 efficiency {}",
+        vgg.lane_efficiency()
+    );
+    let alex = simulate_network(&alexnet(), &AcceleratorConfig::paper_alexnet());
+    assert!(
+        (alex.lane_efficiency() - 0.81).abs() < 0.09,
+        "AlexNet efficiency {}",
+        alex.lane_efficiency()
+    );
+}
+
+#[test]
+fn table1_op_totals() {
+    let ops = NetworkOps::analyze(&vgg16());
+    let t = ops.totals();
+    assert!((t.sdconv as f64 / 1e6 - 30941.0).abs() / 30941.0 < 0.01);
+    assert!((t.spconv as f64 / 1e6 - 10082.0).abs() / 10082.0 < 0.03);
+    assert!((t.abm_acc as f64 / 1e6 - 5040.0).abs() / 5040.0 < 0.03);
+    assert!((ops.abm_saving() - 0.836).abs() < 0.015, "saving {}", ops.abm_saving());
+}
+
+#[test]
+fn table3_encoded_weight_sizes() {
+    let size = SizeModel::paper();
+    let vgg_mb = size.model_bytes(&vgg16()).unwrap().total() as f64 / 1e6;
+    let alex_mb = size.model_bytes(&alexnet()).unwrap().total() as f64 / 1e6;
+    // Paper: 26.4 MB (VGG16), 11.9 MB (AlexNet). Same regime: the
+    // encoding must compress 5-6x from the 138/61 MB originals.
+    assert!((18.0..=30.0).contains(&vgg_mb), "VGG16 encoded {vgg_mb} MB");
+    assert!((9.0..=17.0).contains(&alex_mb), "AlexNet encoded {alex_mb} MB");
+    // And beat CSR.
+    assert!(size.csr_bytes(&vgg16()) as f64 / 1e6 > vgg_mb);
+}
+
+#[test]
+fn figure1_rooflines() {
+    let dev = FpgaDevice::stratix_v_gxa7();
+    let r = compute_roofline(
+        &dev,
+        &zoo::vgg16(),
+        &PruneProfile::vgg16_deep_compression(),
+        4,
+        0.75,
+    );
+    assert!((r.sdconv_gops - 204.8).abs() < 1e-9);
+    assert!((r.fdconv_gops - 675.8).abs() < 5.0);
+    assert!((950.0..=1300.0).contains(&r.abm_gops), "ABM roof {}", r.abm_gops);
+    // Ordering: ABM > FDConv > SDConv.
+    assert!(r.abm_gops > r.fdconv_gops && r.fdconv_gops > r.sdconv_gops);
+}
+
+#[test]
+fn figure6_optimum_matches_paper_choice() {
+    let dev = FpgaDevice::stratix_v_gxa7();
+    let net = zoo::vgg16();
+    let profile = PruneProfile::vgg16_deep_compression();
+    let base = AcceleratorConfig { freq_mhz: 200.0, ..AcceleratorConfig::paper() };
+    let sweep = explore_nknl(&net, &profile, &dev, &base, 2..=20);
+    let best = optimal_nknl(&sweep).unwrap();
+    assert!((12..=16).contains(&best.config.n_knl), "N_knl {}", best.config.n_knl);
+}
+
+#[test]
+fn section52_compute_bound_on_de5() {
+    // "We have verified that our design is compute-bound for most FPGA
+    // devices" — on the DE5's 12.8 GB/s no layer is memory-bound.
+    let sim = simulate_network(&vgg16(), &AcceleratorConfig::paper());
+    for l in sim.layers() {
+        assert!(!l.memory_bound, "{} unexpectedly memory-bound", l.name);
+    }
+}
+
+#[test]
+fn throughput_rises_with_pruning() {
+    // The accumulator-bound design space's defining property: fewer
+    // surviving weights => proportionally higher dense-equivalent
+    // throughput (the sweep binary maps the full plane).
+    use abm_spconv_repro::model::LayerProfile;
+    let net = zoo::alexnet();
+    let cfg = AcceleratorConfig::paper_alexnet();
+    let mut last = 0.0;
+    for prune in [0.0, 0.4, 0.8] {
+        let profile = PruneProfile::uniform(LayerProfile::new(prune, 16));
+        let model = synthesize_model(&net, &profile, 77);
+        let gops = simulate_network(&model, &cfg).gops();
+        assert!(gops > last, "prune {prune}: {gops} <= {last}");
+        last = gops;
+    }
+}
+
+#[test]
+fn value_concentration_only_matters_below_ratio_n() {
+    // With ample Acc/Mult ratio, throughput is insensitive to the
+    // codebook size; once nnz/Q < N the multipliers stall.
+    use abm_spconv_repro::model::LayerProfile;
+    let net = zoo::alexnet();
+    let cfg = AcceleratorConfig::paper_alexnet();
+    let gops_at = |levels: usize| {
+        let profile = PruneProfile::uniform(LayerProfile::new(0.7, levels));
+        let model = synthesize_model(&net, &profile, 77);
+        simulate_network(&model, &cfg).gops()
+    };
+    let concentrated = gops_at(8);
+    let moderate = gops_at(32);
+    let diffuse = gops_at(192);
+    assert!((concentrated - moderate).abs() / concentrated < 0.15);
+    assert!(diffuse < 0.8 * concentrated, "{diffuse} vs {concentrated}");
+}
+
+#[test]
+fn exploration_flow_end_to_end() {
+    use abm_spconv_repro::dse::flow::run_flow;
+    let dev = FpgaDevice::stratix_v_gxa7();
+    let result = run_flow(&zoo::vgg16(), &PruneProfile::vgg16_deep_compression(), &dev, 5);
+    assert_eq!(result.n, 4);
+    assert!((12..=16).contains(&result.n_knl));
+    assert!(result.compute_bound);
+    // Simulate the flow's winner: it must beat [3]'s 662 GOP/s as well.
+    let best = result.best().unwrap();
+    let model = vgg16();
+    let sim = simulate_network(&model, &best.config);
+    assert!(sim.gops() > FDCONV_VGG16_GOPS, "winner {}", sim.gops());
+}
+
+#[test]
+fn host_layers_hidden_by_pipelining() {
+    // Section 6.1: "By adopting pipelined processing, the execution time
+    // of CPU were hidden by FPGA."
+    let vgg = simulate_network(&vgg16(), &AcceleratorConfig::paper());
+    assert!(vgg.host_hidden());
+    let alex = simulate_network(&alexnet(), &AcceleratorConfig::paper_alexnet());
+    assert!(alex.host_hidden());
+}
+
+#[test]
+fn mac_reduction_rates() {
+    // Section 6.2: 3.06x for VGG16, 2.3x for AlexNet.
+    let vgg = PruneProfile::vgg16_deep_compression().mac_reduction(&zoo::vgg16());
+    assert!((vgg - 3.06).abs() < 0.1, "VGG16 Rmac {vgg}");
+    let alex = PruneProfile::alexnet_deep_compression().mac_reduction(&zoo::alexnet());
+    assert!((alex - 2.3).abs() < 0.2, "AlexNet Rmac {alex}");
+}

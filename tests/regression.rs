@@ -1,0 +1,64 @@
+//! Golden-value regression pins: exact deterministic outputs of the
+//! seeded experiments. These protect the reproduction against silent
+//! model drift — any change to the synthesis, encoding, timing or
+//! scheduling logic that shifts a headline number must consciously
+//! update the pins (and EXPERIMENTS.md with them).
+
+use abm_spconv_repro::conv::ops::NetworkOps;
+use abm_spconv_repro::model::{synthesize_model, zoo, PruneProfile};
+use abm_spconv_repro::sim::{simulate_network, AcceleratorConfig};
+use abm_spconv_repro::sparse::SizeModel;
+
+fn vgg16() -> abm_spconv_repro::model::SparseModel {
+    synthesize_model(&zoo::vgg16(), &PruneProfile::vgg16_deep_compression(), 2019)
+}
+
+fn alexnet() -> abm_spconv_repro::model::SparseModel {
+    synthesize_model(&zoo::alexnet(), &PruneProfile::alexnet_deep_compression(), 2019)
+}
+
+/// Asserts `value` lies within ±0.2% of the pinned value — tight enough
+/// to catch any real model change, loose enough to survive float
+/// reassociation across compiler versions.
+fn pin(value: f64, pinned: f64, what: &str) {
+    let rel = (value - pinned).abs() / pinned.abs().max(1e-12);
+    assert!(rel < 2e-3, "{what}: measured {value}, pinned {pinned} (rel {rel:.2e})");
+}
+
+#[test]
+fn pinned_vgg16_statistics() {
+    let model = vgg16();
+    // Model statistics (exact integers, pinned exactly).
+    assert_eq!(model.total_nnz(), 10_535_273);
+    let ops = NetworkOps::analyze(&model);
+    let t = ops.totals();
+    assert_eq!(t.sdconv, 30_940_528_640);
+    assert_eq!(t.abm_acc, 5_049_676_664);
+    pin(t.abm_mult as f64, 337_452_768.0, "VGG16 Mult total");
+    // Encoded size.
+    let enc = SizeModel::paper().model_bytes(&model).unwrap();
+    pin(enc.total() as f64, 21_748_126.0, "VGG16 encoded bytes");
+}
+
+#[test]
+fn pinned_vgg16_simulation() {
+    let sim = simulate_network(&vgg16(), &AcceleratorConfig::paper());
+    pin(sim.gops(), 912.1, "VGG16 simulated GOP/s");
+    pin(sim.total_seconds() * 1e3, 33.92, "VGG16 ms/image");
+    pin(sim.lane_efficiency(), 0.869, "VGG16 lane efficiency");
+}
+
+#[test]
+fn pinned_alexnet_simulation() {
+    let sim = simulate_network(&alexnet(), &AcceleratorConfig::paper_alexnet());
+    pin(sim.gops(), 707.5, "AlexNet simulated GOP/s");
+    pin(sim.total_seconds() * 1e3, 2.0477, "AlexNet ms/image");
+}
+
+#[test]
+fn pinned_alexnet_statistics() {
+    let model = alexnet();
+    pin(model.total_nnz() as f64, 6_793_721.0, "AlexNet nnz");
+    let enc = SizeModel::paper().model_bytes(&model).unwrap();
+    pin(enc.total() as f64, 14_054_202.0, "AlexNet encoded bytes");
+}

@@ -29,7 +29,9 @@ fn bench_encode(c: &mut Criterion) {
         b.iter(|| LayerCode::encode(&weights).unwrap())
     });
     group.bench_function("abm_decode", |b| b.iter(|| code.decode()));
-    group.bench_function("csr_encode", |b| b.iter(|| CsrKernel::encode_layer(&weights)));
+    group.bench_function("csr_encode", |b| {
+        b.iter(|| CsrKernel::encode_layer(&weights))
+    });
     group.bench_function("size_model", |b| {
         b.iter(|| SizeModel::paper().layer_bytes(&code))
     });

@@ -37,7 +37,9 @@ fn bench_engines(c: &mut Criterion) {
     group.bench_function("csr_spconv", |b| {
         b.iter(|| sparse::conv2d(&input, &csr, weights.shape(), geom))
     });
-    group.bench_function("abm_spconv", |b| b.iter(|| abm::conv2d(&input, &code, geom)));
+    group.bench_function("abm_spconv", |b| {
+        b.iter(|| abm::conv2d(&input, &code, geom))
+    });
     group.bench_function("fft_fdconv", |b| {
         b.iter_batched(
             || (),

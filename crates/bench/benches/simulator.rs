@@ -15,7 +15,9 @@ fn bench_simulator(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("simulation");
     group.sample_size(10);
-    group.bench_function("simulate_vgg16", |b| b.iter(|| simulate_network(&vgg, &cfg)));
+    group.bench_function("simulate_vgg16", |b| {
+        b.iter(|| simulate_network(&vgg, &cfg))
+    });
     group.bench_function("simulate_alexnet", |b| {
         b.iter(|| simulate_network(&alex, &AcceleratorConfig::paper_alexnet()))
     });

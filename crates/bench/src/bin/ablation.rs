@@ -12,8 +12,7 @@
 use abm_bench::{rule, vgg16_model};
 use abm_dse::ResourceModel;
 use abm_sim::{
-    simulate_network, simulate_network_with, AcceleratorConfig, MemorySystem,
-    SchedulingPolicy,
+    simulate_network, simulate_network_with, AcceleratorConfig, MemorySystem, SchedulingPolicy,
 };
 
 fn main() {
@@ -24,10 +23,16 @@ fn main() {
     println!("Ablation 1: accumulators per multiplier (N), VGG16, S_ec=20");
     println!("(small N wastes DSPs; N above the min Acc/Mult ratio (~3.4) stalls multipliers)");
     rule(72);
-    println!("{:>4} {:>10} {:>8} {:>12} {:>14}", "N", "GOP/s", "DSPs", "GOP/s/DSP", "fits GXA7?");
+    println!(
+        "{:>4} {:>10} {:>8} {:>12} {:>14}",
+        "N", "GOP/s", "DSPs", "GOP/s/DSP", "fits GXA7?"
+    );
     rule(72);
     for n in [1usize, 2, 4, 5, 10, 20] {
-        let cfg = AcceleratorConfig { n, ..AcceleratorConfig::paper() };
+        let cfg = AcceleratorConfig {
+            n,
+            ..AcceleratorConfig::paper()
+        };
         let sim = simulate_network(&model, &cfg);
         let est = resources.estimate(&cfg);
         println!(
@@ -46,7 +51,10 @@ fn main() {
     println!("{:>6} {:>10}", "depth", "GOP/s");
     rule(40);
     for fifo_depth in [1usize, 2, 4, 8, 16] {
-        let cfg = AcceleratorConfig { fifo_depth, ..AcceleratorConfig::paper() };
+        let cfg = AcceleratorConfig {
+            fifo_depth,
+            ..AcceleratorConfig::paper()
+        };
         let sim = simulate_network(&model, &cfg);
         println!("{:>6} {:>10.1}", fifo_depth, sim.gops());
     }
@@ -58,8 +66,7 @@ fn main() {
         ("semi-synchronous", SchedulingPolicy::SemiSynchronous),
         ("lock-step", SchedulingPolicy::LockStep),
     ] {
-        let sim =
-            simulate_network_with(&model, &AcceleratorConfig::paper(), &mem, policy);
+        let sim = simulate_network_with(&model, &AcceleratorConfig::paper(), &mem, policy);
         println!(
             "{:<18} {:>8.1} GOP/s   CU busy {:>5.1}%   lane efficiency {:>5.1}%",
             name,

@@ -16,11 +16,23 @@ fn main() {
     rule(108);
     println!(
         "{:<9} {:<12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
-        "CNN", "design", "acc (mJ)", "mult (mJ)", "sram (mJ)", "dram (mJ)", "static", "total", "GOP/J"
+        "CNN",
+        "design",
+        "acc (mJ)",
+        "mult (mJ)",
+        "sram (mJ)",
+        "dram (mJ)",
+        "static",
+        "total",
+        "GOP/J"
     );
     rule(108);
     for (name, sparse_model, cfg) in [
-        ("AlexNet", alexnet_model(), AcceleratorConfig::paper_alexnet()),
+        (
+            "AlexNet",
+            alexnet_model(),
+            AcceleratorConfig::paper_alexnet(),
+        ),
         ("VGG16", vgg16_model(), AcceleratorConfig::paper()),
     ] {
         let sim = simulate_network(&sparse_model, &cfg);
@@ -31,8 +43,10 @@ fn main() {
         // the same device (204.8 GOP/s).
         let dense_seconds = dense_ops as f64 / 204.8e9;
         let dense = dense_reference_energy(dense_ops, dense_seconds, dram, &model);
-        for (design, e, ops) in [("ABM-SpConv", abm, dense_ops), ("MAC array", dense, dense_ops)]
-        {
+        for (design, e, ops) in [
+            ("ABM-SpConv", abm, dense_ops),
+            ("MAC array", dense, dense_ops),
+        ] {
             println!(
                 "{:<9} {:<12} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.1}",
                 name,
@@ -50,7 +64,8 @@ fn main() {
         let dense_total = dense.total();
         println!(
             "{:<9} -> {:.1}x less energy per inference\n",
-            "", dense_total / abm_total
+            "",
+            dense_total / abm_total
         );
     }
     println!(

@@ -20,7 +20,10 @@ fn main() {
     let profile = PruneProfile::vgg16_deep_compression();
     let r = compute_roofline(&dev, &net, &profile, 4, 0.75);
 
-    println!("Figure 1: computational roofs on {} at {} MHz (VGG16 workload)", dev.name, dev.nominal_freq_mhz);
+    println!(
+        "Figure 1: computational roofs on {} at {} MHz (VGG16 workload)",
+        dev.name, dev.nominal_freq_mhz
+    );
     rule(96);
     let scale = 25.0; // GOP/s per '#'
     println!(
@@ -51,7 +54,11 @@ fn main() {
         sim.gops(),
         bar(sim.gops(), scale)
     );
-    println!("Achieved by [3] (published):     {:>7.1} GOP/s  {}", 669.1, bar(669.1, scale));
+    println!(
+        "Achieved by [3] (published):     {:>7.1} GOP/s  {}",
+        669.1,
+        bar(669.1, scale)
+    );
     println!(
         "Speedup of the new design space roof over FDConv roof: {:.2}x (paper: ~1.55x achieved)",
         r.abm_over_fdconv()

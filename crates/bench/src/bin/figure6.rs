@@ -15,7 +15,10 @@ fn main() {
     let dev = FpgaDevice::stratix_v_gxa7();
     let net = zoo::vgg16();
     let profile = PruneProfile::vgg16_deep_compression();
-    let base = AcceleratorConfig { freq_mhz: 200.0, ..AcceleratorConfig::paper() };
+    let base = AcceleratorConfig {
+        freq_mhz: 200.0,
+        ..AcceleratorConfig::paper()
+    };
 
     let points = explore_nknl(&net, &profile, &dev, &base, 2..=20);
     let boost = normalized_boost(&points);

@@ -16,7 +16,10 @@ fn main() {
     let dev = FpgaDevice::stratix_v_gxa7();
     let net = zoo::vgg16();
     let profile = PruneProfile::vgg16_deep_compression();
-    let base = AcceleratorConfig { freq_mhz: 200.0, ..AcceleratorConfig::paper() };
+    let base = AcceleratorConfig {
+        freq_mhz: 200.0,
+        ..AcceleratorConfig::paper()
+    };
     let s_ec: Vec<usize> = (4..=40).step_by(4).collect();
     let n_cu: Vec<usize> = (1..=6).collect();
 
@@ -66,9 +69,7 @@ fn main() {
     }
 
     let front = pareto_front(&points);
-    println!(
-        "\nPareto front (throughput vs DSP vs logic — the candidates a designer weighs):"
-    );
+    println!("\nPareto front (throughput vs DSP vs logic — the candidates a designer weighs):");
     for p in front {
         println!(
             "  S_ec={:>2} N_cu={} -> {:>6.1} GOP/s, {:>3} DSP, {:>6} ALM",

@@ -21,7 +21,9 @@ fn main() {
     let net = zoo::alexnet(); // small enough to sweep densely
     let cfg = AcceleratorConfig::paper_alexnet();
 
-    println!("ABM-SpConv throughput (GOP/s) vs pruning ratio x value levels (AlexNet, paper config)");
+    println!(
+        "ABM-SpConv throughput (GOP/s) vs pruning ratio x value levels (AlexNet, paper config)"
+    );
     rule(86);
     let prune_ratios = [0.0, 0.3, 0.5, 0.7, 0.9];
     let value_levels = [4usize, 16, 64, 192];

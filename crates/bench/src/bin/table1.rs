@@ -24,7 +24,10 @@ fn main() {
     let ops = NetworkOps::analyze(&model);
 
     println!("Table 1: #OP required by different convolution approaches (VGG16, MOP)");
-    println!("(measured on the synthetic deep-compression model, seed {})", abm_bench::SEED);
+    println!(
+        "(measured on the synthetic deep-compression model, seed {})",
+        abm_bench::SEED
+    );
     rule(100);
     println!(
         "{:<10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10}   (paper: SD/FD/Sp/Acc/Mult/ratio)",

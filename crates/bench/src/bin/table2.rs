@@ -40,34 +40,94 @@ type BaselineRow = (
 );
 
 const BASELINES: &[BaselineRow] = &[
-    ("[13]", "SDConv", "AlexNet", "Stratix-V GXA7", 100.0, 256, 100, 134.1),
-    ("[12]", "SDConv", "VGG16", "Arria-10 GT1150", 231.0, 1500, 98, 1171.0),
-    ("[4]", "SDConv", "VGG16", "Arria-10 GX1150", 385.0, 1378, 91, 1790.0),
-    ("[10]", "FDConv", "AlexNet", "Arria-10 GX1150", 303.0, 1476, 97, 1382.0),
-    ("[3]", "FDConv", "AlexNet", "Stratix-V GXA7", 200.0, 256, 100, 663.5),
-    ("[3]", "FDConv", "VGG16", "Stratix-V GXA7", 200.0, 256, 100, 662.3),
+    (
+        "[13]",
+        "SDConv",
+        "AlexNet",
+        "Stratix-V GXA7",
+        100.0,
+        256,
+        100,
+        134.1,
+    ),
+    (
+        "[12]",
+        "SDConv",
+        "VGG16",
+        "Arria-10 GT1150",
+        231.0,
+        1500,
+        98,
+        1171.0,
+    ),
+    (
+        "[4]",
+        "SDConv",
+        "VGG16",
+        "Arria-10 GX1150",
+        385.0,
+        1378,
+        91,
+        1790.0,
+    ),
+    (
+        "[10]",
+        "FDConv",
+        "AlexNet",
+        "Arria-10 GX1150",
+        303.0,
+        1476,
+        97,
+        1382.0,
+    ),
+    (
+        "[3]",
+        "FDConv",
+        "AlexNet",
+        "Stratix-V GXA7",
+        200.0,
+        256,
+        100,
+        663.5,
+    ),
+    (
+        "[3]",
+        "FDConv",
+        "VGG16",
+        "Stratix-V GXA7",
+        200.0,
+        256,
+        100,
+        662.3,
+    ),
 ];
 
 fn main() {
     let mut rows: Vec<Row> = BASELINES
         .iter()
-        .map(|&(design, scheme, model, fpga, freq, dsp, dsp_pct, gops)| Row {
-            design,
-            scheme,
-            model,
-            fpga,
-            freq,
-            dsp: format!("{dsp} ({dsp_pct}%)"),
-            gops,
-            density: gops / dsp as f64,
-            source: "paper (published)",
-        })
+        .map(
+            |&(design, scheme, model, fpga, freq, dsp, dsp_pct, gops)| Row {
+                design,
+                scheme,
+                model,
+                fpga,
+                freq,
+                dsp: format!("{dsp} ({dsp_pct}%)"),
+                gops,
+                density: gops / dsp as f64,
+                source: "paper (published)",
+            },
+        )
         .collect();
 
     let dev = FpgaDevice::stratix_v_gxa7();
     let resources = ResourceModel::paper();
     for (name, model, cfg) in [
-        ("AlexNet", alexnet_model(), AcceleratorConfig::paper_alexnet()),
+        (
+            "AlexNet",
+            alexnet_model(),
+            AcceleratorConfig::paper_alexnet(),
+        ),
         ("VGG16", vgg16_model(), AcceleratorConfig::paper()),
     ] {
         let sim = simulate_network(&model, &cfg);
@@ -102,9 +162,14 @@ fn main() {
     rule(118);
 
     // Headline claims.
-    let vgg = rows.iter().find(|r| r.design == "Proposed" && r.model == "VGG16").unwrap();
-    let alex =
-        rows.iter().find(|r| r.design == "Proposed" && r.model == "AlexNet").unwrap();
+    let vgg = rows
+        .iter()
+        .find(|r| r.design == "Proposed" && r.model == "VGG16")
+        .unwrap();
+    let alex = rows
+        .iter()
+        .find(|r| r.design == "Proposed" && r.model == "AlexNet")
+        .unwrap();
     println!(
         "VGG16 speedup over [3]: {:.2}x  (paper reports 1.55x; paper measured 1029 GOP/s)",
         vgg.gops / 662.3
@@ -126,7 +191,11 @@ fn main() {
     );
     for (name, model, cfg) in [
         ("VGG16", vgg16_model(), AcceleratorConfig::paper()),
-        ("AlexNet", alexnet_model(), AcceleratorConfig::paper_alexnet()),
+        (
+            "AlexNet",
+            alexnet_model(),
+            AcceleratorConfig::paper_alexnet(),
+        ),
     ] {
         let sim = simulate_network(&model, &cfg);
         println!(

@@ -33,7 +33,12 @@ fn main() {
     rule(96);
     let size = SizeModel::paper();
     for (model, cfg, paper_orig, paper_enc) in [
-        (alexnet_model(), AcceleratorConfig::paper_alexnet(), 61.0, 11.9),
+        (
+            alexnet_model(),
+            AcceleratorConfig::paper_alexnet(),
+            61.0,
+            11.9,
+        ),
         (vgg16_model(), AcceleratorConfig::paper(), 138.0, 26.4),
     ] {
         let original = size.original_bytes(model.network.total_weights()) as f64 / 1e6;

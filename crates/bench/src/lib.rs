@@ -29,7 +29,11 @@ pub fn vgg16_model() -> SparseModel {
 
 /// The synthetic pruned+quantized AlexNet.
 pub fn alexnet_model() -> SparseModel {
-    synthesize_model(&zoo::alexnet(), &PruneProfile::alexnet_deep_compression(), SEED)
+    synthesize_model(
+        &zoo::alexnet(),
+        &PruneProfile::alexnet_deep_compression(),
+        SEED,
+    )
 }
 
 /// Formats an op count in MOP with the precision Table 1 uses.

@@ -83,9 +83,7 @@ pub fn conv2d_counted(
         let in_base = group * w.in_channels;
         let decoded: Vec<DecodedGroup> = kernel
             .groups()
-            .map(|(value, idxs)| {
-                (value, idxs.iter().map(|&i| code.unravel(i)).collect())
-            })
+            .map(|(value, idxs)| (value, idxs.iter().map(|&i| code.unravel(i)).collect()))
             .collect();
         for orow in 0..out_shape.rows {
             for ocol in 0..out_shape.cols {
@@ -125,8 +123,7 @@ mod tests {
         assert_eq!(reference, result);
         // Work accounting sanity: accumulations = nnz * output pixels,
         // multiplications = sum of Q(m) * output pixels per kernel.
-        let out_pixels =
-            (reference.shape().rows * reference.shape().cols) as u64;
+        let out_pixels = (reference.shape().rows * reference.shape().cols) as u64;
         assert_eq!(work.accumulations, code.total_nnz() * out_pixels);
         assert_eq!(work.multiplications, code.total_distinct() * out_pixels);
     }
@@ -206,8 +203,7 @@ mod tests {
     #[test]
     fn work_totals_add_up() {
         let input = Tensor3::from_fn(Shape3::new(1, 3, 3), |_, r, c| (r * 3 + c) as i16);
-        let weights =
-            Tensor4::from_vec(Shape4::new(1, 1, 2, 2), vec![3i8, 3, -1, 0]);
+        let weights = Tensor4::from_vec(Shape4::new(1, 1, 2, 2), vec![3i8, 3, -1, 0]);
         let code = LayerCode::encode(&weights).unwrap();
         let (_, work) = conv2d_counted(&input, &code, Geometry::new(1, 0));
         // 4 output pixels, nnz=3, Q=2.

@@ -128,7 +128,11 @@ pub fn saturation_rate(
         saturated += r.saturated_features;
         total += r.total_features;
     }
-    Ok(if total == 0 { 0.0 } else { saturated as f64 / total as f64 })
+    Ok(if total == 0 {
+        0.0
+    } else {
+        saturated as f64 / total as f64
+    })
 }
 
 #[cfg(test)]
@@ -192,8 +196,7 @@ mod tests {
     fn held_out_inputs_saturate_rarely() {
         let (model, inputs) = setup();
         let cal = calibrate(&model, &inputs[..2], QFormat::new(8, 0)).unwrap();
-        let rate =
-            saturation_rate(&model, &cal, &inputs[2..], QFormat::new(8, 0)).unwrap();
+        let rate = saturation_rate(&model, &cal, &inputs[2..], QFormat::new(8, 0)).unwrap();
         assert!(rate < 0.05, "saturation rate {rate}");
     }
 
@@ -202,13 +205,8 @@ mod tests {
         // The fixed formats must not depend on the inference image: two
         // different images go through identical per-layer formats.
         let (model, inputs) = setup();
-        let (inf, _) = calibrated_inferencer(
-            &model,
-            &inputs,
-            QFormat::new(8, 0),
-            Engine::Abm,
-        )
-        .unwrap();
+        let (inf, _) =
+            calibrated_inferencer(&model, &inputs, QFormat::new(8, 0), Engine::Abm).unwrap();
         let a = inf.run(&inputs[0]).unwrap();
         let b = inf.run(&inputs[1]).unwrap();
         let fa: Vec<_> = a.trace.iter().map(|t| t.format).collect();

@@ -24,7 +24,11 @@ impl Geometry {
     /// Panics if `stride` is zero.
     pub fn new(stride: usize, pad: usize) -> Self {
         assert!(stride > 0, "stride must be positive");
-        Self { stride, pad, groups: 1 }
+        Self {
+            stride,
+            pad,
+            groups: 1,
+        }
     }
 
     /// Sets the group count.
@@ -130,8 +134,7 @@ pub fn conv2d(input: &Tensor3<i16>, weights: &Tensor4<i8>, geom: Geometry) -> Te
                             if wv == 0 {
                                 continue;
                             }
-                            let pc =
-                                (ocol * geom.stride + kp) as isize - geom.pad as isize;
+                            let pc = (ocol * geom.stride + kp) as isize - geom.pad as isize;
                             acc += wv * padded_read(input, in_base + n, pr, pc);
                         }
                     }
@@ -144,11 +147,7 @@ pub fn conv2d(input: &Tensor3<i16>, weights: &Tensor4<i8>, geom: Geometry) -> Te
 }
 
 /// Dense convolution on `f64` data — the reference for the FFT engine.
-pub fn conv2d_f64(
-    input: &Tensor3<f64>,
-    weights: &Tensor4<f64>,
-    geom: Geometry,
-) -> Tensor3<f64> {
+pub fn conv2d_f64(input: &Tensor3<f64>, weights: &Tensor4<f64>, geom: Geometry) -> Tensor3<f64> {
     let w = weights.shape();
     assert_eq!(input.shape().channels, w.in_channels * geom.groups);
     let out_shape = Shape3::new(

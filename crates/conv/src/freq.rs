@@ -65,7 +65,10 @@ impl std::ops::Mul for Complex {
 /// Panics if the length is not a power of two.
 pub fn fft(data: &mut [Complex], inverse: bool) {
     let n = data.len();
-    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "FFT length must be a power of two, got {n}"
+    );
     if n <= 1 {
         return;
     }
@@ -193,8 +196,10 @@ pub fn conv2d_oaa(
             for k in 0..w.kernel_rows {
                 for kp in 0..w.kernel_cols {
                     // Flip so that circular convolution == correlation.
-                    buf[k * l + kp] =
-                        Complex::new(weights[(m, n, w.kernel_rows - 1 - k, w.kernel_cols - 1 - kp)] as f64, 0.0);
+                    buf[k * l + kp] = Complex::new(
+                        weights[(m, n, w.kernel_rows - 1 - k, w.kernel_cols - 1 - kp)] as f64,
+                        0.0,
+                    );
                 }
             }
             fft2(&mut buf, l, false);
@@ -252,7 +257,9 @@ pub fn conv2d_oaa(
     }
 
     // Stride subsampling.
-    Tensor3::from_fn(out_shape, |m, r, c| full[(m, r * geom.stride, c * geom.stride)])
+    Tensor3::from_fn(out_shape, |m, r, c| {
+        full[(m, r * geom.stride, c * geom.stride)]
+    })
 }
 
 /// Convenience wrapper choosing the smallest power-of-two FFT that fits
@@ -334,8 +341,9 @@ mod tests {
 
     #[test]
     fn fft_roundtrip() {
-        let mut data: Vec<Complex> =
-            (0..16).map(|i| Complex::new(i as f64, -(i as f64) / 3.0)).collect();
+        let mut data: Vec<Complex> = (0..16)
+            .map(|i| Complex::new(i as f64, -(i as f64) / 3.0))
+            .collect();
         let orig = data.clone();
         fft(&mut data, false);
         fft(&mut data, true);
@@ -363,8 +371,7 @@ mod tests {
 
     #[test]
     fn fft2_roundtrip() {
-        let mut data: Vec<Complex> =
-            (0..64).map(|i| Complex::new((i % 7) as f64, 0.0)).collect();
+        let mut data: Vec<Complex> = (0..64).map(|i| Complex::new((i % 7) as f64, 0.0)).collect();
         let orig = data.clone();
         fft2(&mut data, 8, false);
         fft2(&mut data, 8, true);
@@ -373,20 +380,12 @@ mod tests {
         }
     }
 
-    fn check_against_dense(
-        input: &Tensor3<i16>,
-        weights: &Tensor4<i8>,
-        geom: Geometry,
-        l: usize,
-    ) {
+    fn check_against_dense(input: &Tensor3<i16>, weights: &Tensor4<i8>, geom: Geometry, l: usize) {
         let reference = dense::conv2d(input, weights, geom);
         let fd = conv2d_oaa(input, weights, geom, l);
         assert_eq!(reference.shape(), fd.shape());
         for (a, b) in reference.as_slice().iter().zip(fd.as_slice()) {
-            assert!(
-                (*a as f64 - b).abs() < 1e-6,
-                "dense {a} vs fdconv {b}"
-            );
+            assert!((*a as f64 - b).abs() < 1e-6, "dense {a} vs fdconv {b}");
         }
     }
 

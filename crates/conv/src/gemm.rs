@@ -65,7 +65,11 @@ pub fn im2col(
             }
         }
     }
-    PatchMatrix { patch_len, positions, data }
+    PatchMatrix {
+        patch_len,
+        positions,
+        data,
+    }
 }
 
 /// Exact integer GEMM: `out[m][p] = Σ_i kernels[m][i] · patches[p][i]`.
@@ -76,7 +80,11 @@ pub fn im2col(
 ///
 /// Panics if dimensions disagree.
 pub fn gemm_i64(kernels: &[i8], m_count: usize, patches: &PatchMatrix) -> Vec<i64> {
-    assert_eq!(kernels.len(), m_count * patches.patch_len, "kernel matrix shape");
+    assert_eq!(
+        kernels.len(),
+        m_count * patches.patch_len,
+        "kernel matrix shape"
+    );
     let mut out = vec![0i64; m_count * patches.positions];
     for m in 0..m_count {
         let krow = &kernels[m * patches.patch_len..(m + 1) * patches.patch_len];

@@ -69,8 +69,8 @@ pub fn lrn(input: &Tensor3<i16>, fmt: QFormat, spec: &LrnSpec) -> Tensor3<i16> {
             sumsq += v * v;
         }
         let x = fmt.dequantize(input[(c, r, col)] as i32) as f64;
-        let denom = (spec.k as f64 + spec.alpha as f64 / spec.size as f64 * sumsq)
-            .powf(spec.beta as f64);
+        let denom =
+            (spec.k as f64 + spec.alpha as f64 / spec.size as f64 * sumsq).powf(spec.beta as f64);
         fmt.quantize_f32((x / denom) as f32) as i16
     })
 }
@@ -89,10 +89,7 @@ pub fn softmax(logits: &[f32]) -> Vec<f32> {
 /// Flattens a feature map into FC input order (channel-major, the layout
 /// both Caffe-era CNNs use).
 pub fn flatten(input: &Tensor3<i16>) -> Tensor3<i16> {
-    Tensor3::from_vec(
-        Shape3::new(input.len(), 1, 1),
-        input.as_slice().to_vec(),
-    )
+    Tensor3::from_vec(Shape3::new(input.len(), 1, 1), input.as_slice().to_vec())
 }
 
 #[cfg(test)]
@@ -128,7 +125,11 @@ mod tests {
     #[test]
     fn avg_pool_rounds() {
         let t = Tensor3::from_vec(Shape3::new(1, 2, 2), vec![1i16, 2, 3, 5]);
-        let spec = PoolSpec { kind: PoolKind::Avg, window: 2, stride: 2 };
+        let spec = PoolSpec {
+            kind: PoolKind::Avg,
+            window: 2,
+            stride: 2,
+        };
         let p = pool(&t, spec);
         // mean 2.75 -> 3.
         assert_eq!(p.as_slice(), &[3]);
@@ -156,8 +157,10 @@ mod tests {
         let t = Tensor3::from_vec(Shape3::new(3, 1, 1), raws.to_vec());
         let spec = LrnSpec::alexnet();
         let out = lrn(&t, fmt, &spec);
-        let vals: Vec<f64> =
-            raws.iter().map(|&r| fmt.dequantize(r as i32) as f64).collect();
+        let vals: Vec<f64> = raws
+            .iter()
+            .map(|&r| fmt.dequantize(r as i32) as f64)
+            .collect();
         let sumsq: f64 = vals.iter().map(|v| v * v).sum();
         for (c, &v) in vals.iter().enumerate() {
             // All channels fall inside every window here (half = 2).
@@ -199,7 +202,9 @@ mod tests {
 
     #[test]
     fn flatten_is_channel_major() {
-        let t = Tensor3::from_fn(Shape3::new(2, 2, 2), |c, r, col| (c * 4 + r * 2 + col) as i16);
+        let t = Tensor3::from_fn(Shape3::new(2, 2, 2), |c, r, col| {
+            (c * 4 + r * 2 + col) as i16
+        });
         let f = flatten(&t);
         assert_eq!(f.shape(), Shape3::new(8, 1, 1));
         assert_eq!(f.as_slice(), &[0, 1, 2, 3, 4, 5, 6, 7]);

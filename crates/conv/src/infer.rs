@@ -16,6 +16,7 @@ use crate::abm::{self, AbmWork};
 use crate::dense::{self, Geometry};
 use crate::freq;
 use crate::host;
+use crate::parallel::{parallel_map, Parallelism};
 use crate::sparse as csr_engine;
 use abm_model::{LayerKind, SparseLayer, SparseModel};
 use abm_sparse::{CsrKernel, EncodeError, LayerCode};
@@ -90,23 +91,33 @@ pub struct Inferencer<'m> {
     engine: Engine,
     input_format: QFormat,
     calibration: Option<crate::calibrate::Calibration>,
+    parallelism: Parallelism,
 }
 
 impl<'m> Inferencer<'m> {
-    /// Creates an inferencer with the default (ABM) engine and an 8-bit
-    /// integer input format (`Q8.0`).
+    /// Creates an inferencer with the default (ABM) engine, an 8-bit
+    /// integer input format (`Q8.0`), and automatic batch parallelism.
     pub fn new(model: &'m SparseModel) -> Self {
         Self {
             model,
             engine: Engine::Abm,
             input_format: QFormat::new(8, 0),
             calibration: None,
+            parallelism: Parallelism::Auto,
         }
     }
 
     /// Selects the engine.
     pub fn engine(mut self, engine: Engine) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Sets how [`run_batch`](Self::run_batch) fans images out across
+    /// host threads. Results are bit-identical for every setting; this
+    /// only changes wall-clock time.
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
         self
     }
 
@@ -152,7 +163,14 @@ impl<'m> Inferencer<'m> {
         Ok(PreparedWeights { codes, csr })
     }
 
-    /// Runs inference on a batch of images, encoding weights only once.
+    /// Runs inference on a batch of images, encoding weights only once
+    /// and fanning images out across the configured
+    /// [`Parallelism`] (see [`parallelism`](Self::parallelism)).
+    ///
+    /// The batch is deterministic: results are returned in input order
+    /// and are bit-identical to running each image serially — parallel
+    /// workers only share the read-only [`PreparedWeights`], never
+    /// intermediate state.
     ///
     /// # Errors
     ///
@@ -162,12 +180,46 @@ impl<'m> Inferencer<'m> {
     ///
     /// Panics if any input's shape differs from the network's input
     /// shape.
-    pub fn run_batch(
+    pub fn run_batch(&self, inputs: &[Tensor3<i16>]) -> Result<Vec<InferenceResult>, EncodeError> {
+        let prepared = self.prepare()?;
+        self.run_batch_prepared(&prepared, inputs)
+    }
+
+    /// [`run_batch`](Self::run_batch) against weights prepared earlier
+    /// with [`prepare`](Self::prepare) — the "prepare once, infer many"
+    /// serving path.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible after preparation, but kept fallible for
+    /// future engines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input's shape differs from the network's input
+    /// shape or `prepared` came from a differently-configured
+    /// inferencer.
+    pub fn run_batch_prepared(
         &self,
+        prepared: &PreparedWeights,
         inputs: &[Tensor3<i16>],
     ) -> Result<Vec<InferenceResult>, EncodeError> {
-        let prepared = self.prepare()?;
-        inputs.iter().map(|input| self.run_prepared(&prepared, input)).collect()
+        // Validate shapes up front so the panic carries a clean message
+        // from the calling thread instead of crossing a worker join.
+        for input in inputs {
+            assert_eq!(
+                input.shape(),
+                self.model.network.input_shape(),
+                "input shape {} != network input {}",
+                input.shape(),
+                self.model.network.input_shape()
+            );
+        }
+        parallel_map(self.parallelism, inputs, |_, input| {
+            self.run_prepared(prepared, input)
+        })
+        .into_iter()
+        .collect()
     }
 
     /// Runs inference on a quantized input feature map.
@@ -224,8 +276,7 @@ impl<'m> Inferencer<'m> {
             match &layer.kind {
                 LayerKind::Conv(spec) => {
                     let sl = &self.model.layers[accel_idx];
-                    let geom =
-                        Geometry::new(spec.stride, spec.pad).with_groups(spec.groups);
+                    let geom = Geometry::new(spec.stride, spec.pad).with_groups(spec.groups);
                     let (out, out_fmt, w, numerics) =
                         self.conv_layer(&features, fmt, sl, prepared, accel_idx, geom);
                     layer_max_activation.push(numerics.max_real);
@@ -241,14 +292,8 @@ impl<'m> Inferencer<'m> {
                 LayerKind::FullyConnected(_) => {
                     let sl = &self.model.layers[accel_idx];
                     let flat = host::flatten(&features);
-                    let (out, out_fmt, w, numerics) = self.conv_layer(
-                        &flat,
-                        fmt,
-                        sl,
-                        prepared,
-                        accel_idx,
-                        Geometry::unit(),
-                    );
+                    let (out, out_fmt, w, numerics) =
+                        self.conv_layer(&flat, fmt, sl, prepared, accel_idx, Geometry::unit());
                     layer_max_activation.push(numerics.max_real);
                     saturated_features += numerics.saturated;
                     total_features += out.len() as u64;
@@ -280,7 +325,11 @@ impl<'m> Inferencer<'m> {
         }
 
         let logits = pre_softmax.unwrap_or_else(|| {
-            features.as_slice().iter().map(|&v| fmt.dequantize(v as i32)).collect()
+            features
+                .as_slice()
+                .iter()
+                .map(|&v| fmt.dequantize(v as i32))
+                .collect()
         });
         Ok(InferenceResult {
             logits,
@@ -362,7 +411,12 @@ fn requantize(
     target: Option<QFormat>,
 ) -> (Tensor3<i16>, QFormat, LayerNumerics) {
     let acc_frac = feat.frac() as i32 + weight.frac() as i32;
-    let max_abs = acc.as_slice().iter().map(|&v| v.unsigned_abs()).max().unwrap_or(0);
+    let max_abs = acc
+        .as_slice()
+        .iter()
+        .map(|&v| v.unsigned_abs())
+        .max()
+        .unwrap_or(0);
     let max_real = (max_abs as f64 * 2f64.powi(-acc_frac)) as f32;
     let target = target.unwrap_or_else(|| QFormat::new(8, choose_frac(&[max_real], 8)));
     let shift = acc_frac - target.frac() as i32;
@@ -375,7 +429,14 @@ fn requantize(
         }
         clipped as i16
     });
-    (out, target, LayerNumerics { max_real, saturated })
+    (
+        out,
+        target,
+        LayerNumerics {
+            max_real,
+            saturated,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -399,10 +460,22 @@ mod tests {
     fn integer_engines_bit_identical() {
         let model = tiny_model();
         let input = tiny_input();
-        let dense = Inferencer::new(&model).engine(Engine::Dense).run(&input).unwrap();
-        let sparse = Inferencer::new(&model).engine(Engine::Sparse).run(&input).unwrap();
-        let abm = Inferencer::new(&model).engine(Engine::Abm).run(&input).unwrap();
-        let gemm = Inferencer::new(&model).engine(Engine::Gemm).run(&input).unwrap();
+        let dense = Inferencer::new(&model)
+            .engine(Engine::Dense)
+            .run(&input)
+            .unwrap();
+        let sparse = Inferencer::new(&model)
+            .engine(Engine::Sparse)
+            .run(&input)
+            .unwrap();
+        let abm = Inferencer::new(&model)
+            .engine(Engine::Abm)
+            .run(&input)
+            .unwrap();
+        let gemm = Inferencer::new(&model)
+            .engine(Engine::Gemm)
+            .run(&input)
+            .unwrap();
         assert_eq!(dense.logits, sparse.logits);
         assert_eq!(dense.logits, abm.logits);
         assert_eq!(dense.logits, gemm.logits);
@@ -417,17 +490,24 @@ mod tests {
     fn freq_engine_close_to_exact() {
         let model = tiny_model();
         let input = tiny_input();
-        let exact = Inferencer::new(&model).engine(Engine::Dense).run(&input).unwrap();
-        let fd = Inferencer::new(&model).engine(Engine::Freq).run(&input).unwrap();
+        let exact = Inferencer::new(&model)
+            .engine(Engine::Dense)
+            .run(&input)
+            .unwrap();
+        let fd = Inferencer::new(&model)
+            .engine(Engine::Freq)
+            .run(&input)
+            .unwrap();
         assert_eq!(exact.logits.len(), fd.logits.len());
         // Quantized pipelines can diverge by an LSB per layer; demand
         // close agreement, not equality.
-        let max_abs = exact.logits.iter().fold(0f32, |a, &b| a.max(b.abs())).max(1e-6);
+        let max_abs = exact
+            .logits
+            .iter()
+            .fold(0f32, |a, &b| a.max(b.abs()))
+            .max(1e-6);
         for (a, b) in exact.logits.iter().zip(&fd.logits) {
-            assert!(
-                (a - b).abs() <= 0.25 * max_abs,
-                "freq diverged: {a} vs {b}"
-            );
+            assert!((a - b).abs() <= 0.25 * max_abs, "freq diverged: {a} vs {b}");
         }
     }
 
@@ -464,8 +544,7 @@ mod tests {
     #[test]
     fn requantize_all_zero() {
         let acc = Tensor3::<i64>::zeros(Shape3::new(1, 2, 2));
-        let (out, fmt, numerics) =
-            requantize(&acc, QFormat::new(8, 0), QFormat::new(8, 7), None);
+        let (out, fmt, numerics) = requantize(&acc, QFormat::new(8, 0), QFormat::new(8, 7), None);
         assert!(out.as_slice().iter().all(|&v| v == 0));
         assert_eq!(fmt.bits(), 8);
         assert_eq!(numerics.saturated, 0);

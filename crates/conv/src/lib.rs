@@ -55,12 +55,14 @@ pub mod gemm;
 pub mod host;
 pub mod infer;
 pub mod ops;
+pub mod parallel;
 pub mod precision;
 pub mod sparse;
 pub mod winograd;
 
 pub use abm::conv2d as abm_conv2d;
-pub use dense::{conv2d as dense_conv2d, Geometry};
 pub use calibrate::{calibrate, Calibration};
+pub use dense::{conv2d as dense_conv2d, Geometry};
 pub use infer::{Engine, InferenceResult, Inferencer, PreparedWeights};
 pub use ops::{LayerOps, NetworkOps};
+pub use parallel::{parallel_map, Parallelism};

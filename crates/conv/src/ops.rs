@@ -215,12 +215,28 @@ mod tests {
         let ops = vgg_ops();
         let row = ops.layer("CONV1_1").unwrap();
         let mop = |x: u64| x as f64 / 1e6;
-        assert!((mop(row.sdconv) - 173.0).abs() < 1.0, "SDConv {}", mop(row.sdconv));
+        assert!(
+            (mop(row.sdconv) - 173.0).abs() < 1.0,
+            "SDConv {}",
+            mop(row.sdconv)
+        );
         // Pruning 42% ⇒ SpConv ≈ 100 MOP, Acc ≈ 50.3.
-        assert!((mop(row.spconv) - 100.0).abs() < 4.0, "SpConv {}", mop(row.spconv));
-        assert!((mop(row.abm_acc) - 50.3).abs() < 2.0, "Acc {}", mop(row.abm_acc));
+        assert!(
+            (mop(row.spconv) - 100.0).abs() < 4.0,
+            "SpConv {}",
+            mop(row.spconv)
+        );
+        assert!(
+            (mop(row.abm_acc) - 50.3).abs() < 2.0,
+            "Acc {}",
+            mop(row.abm_acc)
+        );
         // Mult ≈ 12.1 MOP; the synthetic codebook is calibrated for this.
-        assert!((mop(row.abm_mult) - 12.1).abs() < 1.5, "Mult {}", mop(row.abm_mult));
+        assert!(
+            (mop(row.abm_mult) - 12.1).abs() < 1.5,
+            "Mult {}",
+            mop(row.abm_mult)
+        );
         let ratio = row.acc_mult_ratio();
         assert!((ratio - 4.1).abs() < 0.6, "ratio {ratio}");
     }
@@ -231,9 +247,17 @@ mod tests {
         let row = ops.layer("CONV4_2").unwrap();
         let mop = |x: u64| x as f64 / 1e6;
         assert!((mop(row.sdconv) - 3699.0).abs() < 10.0);
-        assert!((mop(row.spconv) - 998.0).abs() / 998.0 < 0.03, "SpConv {}", mop(row.spconv));
+        assert!(
+            (mop(row.spconv) - 998.0).abs() / 998.0 < 0.03,
+            "SpConv {}",
+            mop(row.spconv)
+        );
         assert!((mop(row.abm_acc) - 499.0).abs() / 499.0 < 0.03);
-        assert!((mop(row.abm_mult) - 7.95).abs() < 1.0, "Mult {}", mop(row.abm_mult));
+        assert!(
+            (mop(row.abm_mult) - 7.95).abs() < 1.0,
+            "Mult {}",
+            mop(row.abm_mult)
+        );
         let ratio = row.acc_mult_ratio();
         assert!((ratio - 62.7).abs() < 8.0, "ratio {ratio}");
     }
@@ -246,13 +270,29 @@ mod tests {
         assert!((mop(fc6.sdconv) - 205.0).abs() < 1.0);
         // FDConv gets no FFT benefit on FC layers.
         assert_eq!(fc6.fdconv_paper, fc6.sdconv);
-        assert!((mop(fc6.spconv) - 8.23).abs() < 0.5, "SpConv {}", mop(fc6.spconv));
+        assert!(
+            (mop(fc6.spconv) - 8.23).abs() < 0.5,
+            "SpConv {}",
+            mop(fc6.spconv)
+        );
         assert!((mop(fc6.abm_acc) - 4.11).abs() < 0.25);
-        assert!((mop(fc6.abm_mult) - 0.037).abs() < 0.005, "Mult {}", mop(fc6.abm_mult));
+        assert!(
+            (mop(fc6.abm_mult) - 0.037).abs() < 0.005,
+            "Mult {}",
+            mop(fc6.abm_mult)
+        );
         // Table 1: FC6 ratio 111, FC7 ratio 31.9.
-        assert!((fc6.acc_mult_ratio() - 111.0).abs() < 25.0, "FC6 ratio {}", fc6.acc_mult_ratio());
+        assert!(
+            (fc6.acc_mult_ratio() - 111.0).abs() < 25.0,
+            "FC6 ratio {}",
+            fc6.acc_mult_ratio()
+        );
         let fc7 = ops.layer("FC7").unwrap();
-        assert!((fc7.acc_mult_ratio() - 31.9).abs() < 8.0, "FC7 ratio {}", fc7.acc_mult_ratio());
+        assert!(
+            (fc7.acc_mult_ratio() - 31.9).abs() < 8.0,
+            "FC7 ratio {}",
+            fc7.acc_mult_ratio()
+        );
     }
 
     #[test]
@@ -260,9 +300,21 @@ mod tests {
         let ops = vgg_ops();
         let t = ops.totals();
         let gop = |x: u64| x as f64 / 1e9;
-        assert!((gop(t.sdconv) - 30.94).abs() < 0.1, "SDConv {}", gop(t.sdconv));
-        assert!((gop(t.spconv) - 10.08).abs() / 10.08 < 0.03, "SpConv {}", gop(t.spconv));
-        assert!((gop(t.abm_acc) - 5.04).abs() / 5.04 < 0.03, "Acc {}", gop(t.abm_acc));
+        assert!(
+            (gop(t.sdconv) - 30.94).abs() < 0.1,
+            "SDConv {}",
+            gop(t.sdconv)
+        );
+        assert!(
+            (gop(t.spconv) - 10.08).abs() / 10.08 < 0.03,
+            "SpConv {}",
+            gop(t.spconv)
+        );
+        assert!(
+            (gop(t.abm_acc) - 5.04).abs() / 5.04 < 0.03,
+            "Acc {}",
+            gop(t.abm_acc)
+        );
         // #OP saved vs SDConv: ~83.6% (we count Acc+Mult).
         let saving = ops.abm_saving();
         assert!((saving - 0.83).abs() < 0.02, "saving {saving}");
@@ -288,7 +340,10 @@ mod tests {
         assert!((2.5..=4.2).contains(&r), "modeled FDConv reduction {r}");
         // Paper-rate column reproduces Table 1's 9,531 MOP total.
         let fd_paper_gop = t.fdconv_paper as f64 / 1e9;
-        assert!((fd_paper_gop - 9.53).abs() < 0.1, "FDConv paper {fd_paper_gop}");
+        assert!(
+            (fd_paper_gop - 9.53).abs() < 0.1,
+            "FDConv paper {fd_paper_gop}"
+        );
     }
 
     #[test]

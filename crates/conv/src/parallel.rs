@@ -1,0 +1,208 @@
+//! Work-stealing parallel execution for the inference host.
+//!
+//! The paper's accelerator scales by letting idle compute units grab
+//! the next task the moment they finish ("semi-synchronous"
+//! scheduling, Section 4). The host-side analogue implemented here is
+//! a work-stealing worker pool: tasks go into a shared
+//! [`crossbeam::deque::Injector`], worker threads steal one at a time,
+//! and results are reassembled **by task index**, so the output is a
+//! pure function of the inputs — bit-identical to serial execution
+//! regardless of thread count or interleaving. That determinism
+//! invariant is enforced by `tests/concurrency.rs`.
+//!
+//! [`Parallelism`] is the knob threaded through
+//! [`Inferencer`](crate::Inferencer), the simulator's network runner,
+//! the CLI and the examples.
+
+use crossbeam::deque::{Injector, Steal};
+use std::fmt;
+
+/// How much host-thread parallelism to use for batch-level work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Parallelism {
+    /// Everything on the calling thread, in order.
+    Serial,
+    /// A fixed-size worker pool (clamped to at least one worker).
+    Threads(usize),
+    /// One worker per available hardware thread.
+    #[default]
+    Auto,
+}
+
+impl Parallelism {
+    /// The number of workers this setting resolves to on this host.
+    pub fn worker_count(self) -> usize {
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Threads(n) => n.max(1),
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        }
+    }
+
+    /// Parses a CLI spelling: `serial`, `auto`, or a thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the bad value.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "serial" => Ok(Parallelism::Serial),
+            "auto" => Ok(Parallelism::Auto),
+            n => n
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+                .map(Parallelism::Threads)
+                .ok_or_else(|| format!("bad parallelism '{n}' (expected serial|auto|N)")),
+        }
+    }
+}
+
+impl fmt::Display for Parallelism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Parallelism::Serial => write!(f, "serial"),
+            Parallelism::Threads(n) => write!(f, "{n}"),
+            Parallelism::Auto => write!(f, "auto({})", self.worker_count()),
+        }
+    }
+}
+
+/// Applies `f` to every item, fanning out across a work-stealing pool,
+/// and returns the results **in item order**.
+///
+/// Each worker repeatedly steals the next unclaimed index from a shared
+/// injector queue, computes `f(index, &items[index])`, and sends the
+/// result home tagged with its index; the pool therefore load-balances
+/// uneven items exactly like the paper's semi-synchronous CU scheduler
+/// balances uneven kernel batches. Falls back to a plain serial map
+/// when the pool would not help (one worker or fewer than two items).
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the pool's scope joins all workers
+/// first).
+pub fn parallel_map<T, R, F>(parallelism: Parallelism, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = parallelism.worker_count().min(items.len());
+    if workers <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+
+    let injector: Injector<usize> = Injector::new();
+    for i in 0..items.len() {
+        injector.push(i);
+    }
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let injector = &injector;
+            let f = &f;
+            scope.spawn(move || loop {
+                match injector.steal() {
+                    Steal::Success(i) => {
+                        // A send only fails if the receiver is gone,
+                        // which means the main thread already panicked.
+                        if tx.send((i, f(i, &items[i]))).is_err() {
+                            return;
+                        }
+                    }
+                    Steal::Empty => return,
+                    Steal::Retry => {}
+                }
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+        for (i, result) in rx.iter() {
+            slots[i] = Some(result);
+        }
+        slots
+            .into_iter()
+            .map(|r| r.expect("every index was queued exactly once"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_keep_item_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial = parallel_map(Parallelism::Serial, &items, |i, &x| x * 3 + i as u64);
+        for par in [
+            Parallelism::Threads(2),
+            Parallelism::Threads(7),
+            Parallelism::Auto,
+        ] {
+            let parallel = parallel_map(par, &items, |i, &x| x * 3 + i as u64);
+            assert_eq!(parallel, serial, "{par}");
+        }
+    }
+
+    #[test]
+    fn every_item_visited_exactly_once() {
+        let items: Vec<usize> = (0..500).collect();
+        let visits = AtomicUsize::new(0);
+        let out = parallel_map(Parallelism::Threads(8), &items, |_, &x| {
+            visits.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(visits.load(Ordering::Relaxed), 500);
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn uneven_items_balance() {
+        // Items with wildly different costs still come back in order.
+        let items: Vec<u64> = (0..40)
+            .map(|i| if i % 7 == 0 { 200_000 } else { 10 })
+            .collect();
+        let spin = |_: usize, &n: &u64| (0..n).fold(0u64, |a, b| a.wrapping_add(b));
+        assert_eq!(
+            parallel_map(Parallelism::Threads(4), &items, spin),
+            parallel_map(Parallelism::Serial, &items, spin),
+        );
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(parallel_map(Parallelism::Auto, &empty, |_, &x| x).is_empty());
+        assert_eq!(
+            parallel_map(Parallelism::Auto, &[9u8], |_, &x| x + 1),
+            vec![10]
+        );
+    }
+
+    #[test]
+    fn worker_counts_resolve() {
+        assert_eq!(Parallelism::Serial.worker_count(), 1);
+        assert_eq!(Parallelism::Threads(3).worker_count(), 3);
+        assert_eq!(Parallelism::Threads(0).worker_count(), 1);
+        assert!(Parallelism::Auto.worker_count() >= 1);
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        assert_eq!(Parallelism::parse("serial"), Ok(Parallelism::Serial));
+        assert_eq!(Parallelism::parse("auto"), Ok(Parallelism::Auto));
+        assert_eq!(Parallelism::parse("6"), Ok(Parallelism::Threads(6)));
+        assert!(Parallelism::parse("0").is_err());
+        assert!(Parallelism::parse("fast").is_err());
+    }
+}

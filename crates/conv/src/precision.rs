@@ -114,8 +114,7 @@ pub fn conv2d_saturating(
                         partial = (partial + x).clamp(min, max);
                     }
                     report.total_partials += 1;
-                    report.max_partial_magnitude =
-                        report.max_partial_magnitude.max(exact.abs());
+                    report.max_partial_magnitude = report.max_partial_magnitude.max(exact.abs());
                     if partial != exact {
                         report.saturated_partials += 1;
                     }
@@ -124,8 +123,7 @@ pub fn conv2d_saturating(
                 }
                 if acc != exact_acc {
                     report.diverged_outputs += 1;
-                    report.max_output_error =
-                        report.max_output_error.max((acc - exact_acc).abs());
+                    report.max_output_error = report.max_output_error.max((acc - exact_acc).abs());
                 }
                 out[(m, orow, ocol)] = acc;
             }

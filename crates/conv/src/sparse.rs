@@ -23,7 +23,11 @@ pub fn conv2d(
     shape: Shape4,
     geom: Geometry,
 ) -> Tensor3<i64> {
-    assert_eq!(kernels.len(), shape.out_channels, "one CSR kernel per output channel");
+    assert_eq!(
+        kernels.len(),
+        shape.out_channels,
+        "one CSR kernel per output channel"
+    );
     assert_eq!(
         input.shape().channels,
         shape.in_channels * geom.groups,
@@ -59,7 +63,12 @@ pub fn conv2d(
                 let i = idx as usize;
                 let n = i / kk;
                 let rem = i % kk;
-                (n, rem / shape.kernel_cols, rem % shape.kernel_cols, v as i64)
+                (
+                    n,
+                    rem / shape.kernel_cols,
+                    rem % shape.kernel_cols,
+                    v as i64,
+                )
             })
             .collect();
         for orow in 0..out_shape.rows {

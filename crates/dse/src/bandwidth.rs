@@ -48,13 +48,15 @@ pub fn estimate_traffic(
                 feature += l.input_shape.len() as f64 + l.output_shape.len() as f64;
                 let nnz = fc.in_features as f64 * p.density();
                 let q = expected_distinct(p.value_levels as f64, nnz);
-                weight += fc.out_features as f64 * (2.0 * nnz + 4.0 * q + 2.0)
-                    / cfg.s_ec as f64;
+                weight += fc.out_features as f64 * (2.0 * nnz + 4.0 * q + 2.0) / cfg.s_ec as f64;
             }
             _ => {}
         }
     }
-    TrafficEstimate { feature_bytes: feature, weight_bytes: weight }
+    TrafficEstimate {
+        feature_bytes: feature,
+        weight_bytes: weight,
+    }
 }
 
 /// Average bandwidth demand in GB/s given the estimated compute time.
@@ -128,7 +130,10 @@ mod tests {
 
     #[test]
     fn demand_is_finite_and_positive() {
-        let t = TrafficEstimate { feature_bytes: 1e6, weight_bytes: 1e6 };
+        let t = TrafficEstimate {
+            feature_bytes: 1e6,
+            weight_bytes: 1e6,
+        };
         let d = bandwidth_demand_gbps(&t, 1e-3);
         assert!((d - 2.0).abs() < 1e-9);
         assert!(bandwidth_demand_gbps(&t, 0.0).is_infinite());

@@ -51,8 +51,7 @@ impl FpgaDevice {
     /// GOP/s — the SDConv computational roof of Figure 1 (204.8 GOP/s on
     /// the GXA7 at 200 MHz).
     pub fn sdconv_roof_gops(&self) -> f64 {
-        2.0 * self.dsps as f64 * self.macs_per_dsp as f64 * self.nominal_freq_mhz * 1e6
-            / 1e9
+        2.0 * self.dsps as f64 * self.macs_per_dsp as f64 * self.nominal_freq_mhz * 1e6 / 1e9
     }
 }
 

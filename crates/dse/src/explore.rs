@@ -58,9 +58,17 @@ fn evaluate(
     // the droop into the throughput estimate.
     let (alm_u, _, _) = resources.utilization(device);
     let freq = crate::resource::achievable_freq_mhz(cfg.freq_mhz, alm_u);
-    let derated = AcceleratorConfig { freq_mhz: freq, ..cfg };
+    let derated = AcceleratorConfig {
+        freq_mhz: freq,
+        ..cfg
+    };
     let gops = estimate_network(net, profile, &derated).gops();
-    DesignPoint { config: cfg, gops, resources, feasible }
+    DesignPoint {
+        config: cfg,
+        gops,
+        resources,
+        feasible,
+    }
 }
 
 /// Figure 6: sweep `N_knl` with preset `S_ec`/`N_cu`, returning one
@@ -74,7 +82,13 @@ pub fn explore_nknl(
 ) -> Vec<DesignPoint> {
     range
         .map(|n_knl| {
-            evaluate(net, profile, device, AcceleratorConfig { n_knl, ..*base }, 0.75)
+            evaluate(
+                net,
+                profile,
+                device,
+                AcceleratorConfig { n_knl, ..*base },
+                0.75,
+            )
         })
         .collect()
 }
@@ -85,21 +99,24 @@ pub fn normalized_boost(points: &[DesignPoint]) -> Vec<f64> {
     let base = points.first().map(|p| p.gops_per_dsp()).unwrap_or(0.0);
     points
         .iter()
-        .map(|p| if base == 0.0 { 0.0 } else { p.gops_per_dsp() / base })
+        .map(|p| {
+            if base == 0.0 {
+                0.0
+            } else {
+                p.gops_per_dsp() / base
+            }
+        })
         .collect()
 }
 
 /// Picks the optimal `N_knl` from a sweep: the feasible point with the
 /// highest normalized boost.
 pub fn optimal_nknl(points: &[DesignPoint]) -> Option<&DesignPoint> {
-    points
-        .iter()
-        .filter(|p| p.feasible)
-        .max_by(|a, b| {
-            a.gops_per_dsp()
-                .partial_cmp(&b.gops_per_dsp())
-                .unwrap_or(std::cmp::Ordering::Equal)
-        })
+    points.iter().filter(|p| p.feasible).max_by(|a, b| {
+        a.gops_per_dsp()
+            .partial_cmp(&b.gops_per_dsp())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    })
 }
 
 /// Figure 7: sweep the `S_ec × N_cu` plane at fixed `N_knl`/`N`.
@@ -121,7 +138,11 @@ pub fn explore_sec_ncu(
             continue;
         }
         for &n_cu in n_cu_values {
-            let cfg = AcceleratorConfig { s_ec, n_cu, ..*base };
+            let cfg = AcceleratorConfig {
+                s_ec,
+                n_cu,
+                ..*base
+            };
             points.push(evaluate(net, profile, device, cfg, logic_budget));
         }
     }
@@ -147,14 +168,22 @@ pub fn pareto_front(points: &[DesignPoint]) -> Vec<&DesignPoint> {
         .filter(|a| !feasible.iter().any(|b| dominated(a, b)))
         .copied()
         .collect();
-    front.sort_by(|a, b| b.gops.partial_cmp(&a.gops).unwrap_or(std::cmp::Ordering::Equal));
+    front.sort_by(|a, b| {
+        b.gops
+            .partial_cmp(&a.gops)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     front
 }
 
 /// The best feasible points of a sweep, sorted by throughput descending.
 pub fn best_feasible(points: &[DesignPoint], count: usize) -> Vec<&DesignPoint> {
     let mut feasible: Vec<&DesignPoint> = points.iter().filter(|p| p.feasible).collect();
-    feasible.sort_by(|a, b| b.gops.partial_cmp(&a.gops).unwrap_or(std::cmp::Ordering::Equal));
+    feasible.sort_by(|a, b| {
+        b.gops
+            .partial_cmp(&a.gops)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     feasible.truncate(count);
     feasible
 }
@@ -229,16 +258,11 @@ mod tests {
     fn figure7_infeasible_region_exists() {
         let (net, profile, dev) = vgg_setup();
         let base = AcceleratorConfig::paper();
-        let points = explore_sec_ncu(
-            &net,
-            &profile,
-            &dev,
-            &base,
-            &[20, 40],
-            &[4, 5, 6],
-            0.75,
+        let points = explore_sec_ncu(&net, &profile, &dev, &base, &[20, 40], &[4, 5, 6], 0.75);
+        assert!(
+            points.iter().any(|p| !p.feasible),
+            "big configs must not fit"
         );
-        assert!(points.iter().any(|p| !p.feasible), "big configs must not fit");
     }
 
     #[test]

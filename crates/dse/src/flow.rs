@@ -93,7 +93,9 @@ pub fn run_flow(
         ..AcceleratorConfig::paper()
     };
     let sweep = explore_nknl(net, profile, device, &base, 2..=24);
-    let n_knl = optimal_nknl(&sweep).map(|p| p.config.n_knl).unwrap_or(base.n_knl);
+    let n_knl = optimal_nknl(&sweep)
+        .map(|p| p.config.n_knl)
+        .unwrap_or(base.n_knl);
 
     // Stage 3: S_ec x N_cu plane.
     let base = AcceleratorConfig { n_knl, ..base };
@@ -106,11 +108,17 @@ pub fn run_flow(
         .collect();
 
     // Stage 4: bandwidth verification.
-    let compute_bound = candidates.iter().all(|c| {
-        is_compute_bound(net, profile, &c.config, device.memory_bandwidth_gbps)
-    });
+    let compute_bound = candidates
+        .iter()
+        .all(|c| is_compute_bound(net, profile, &c.config, device.memory_bandwidth_gbps));
 
-    FlowResult { min_acc_mult_ratio: min_ratio, n, n_knl, candidates, compute_bound }
+    FlowResult {
+        min_acc_mult_ratio: min_ratio,
+        n,
+        n_knl,
+        candidates,
+        compute_bound,
+    }
 }
 
 #[cfg(test)]
@@ -169,8 +177,8 @@ mod tests {
         let net = zoo::vgg16();
         let profile = PruneProfile::vgg16_deep_compression();
         let modelled = min_acc_mult_ratio(&net, &profile);
-        let measured = NetworkOps::analyze(&synthesize_model(&net, &profile, 2019))
-            .min_acc_mult_ratio();
+        let measured =
+            NetworkOps::analyze(&synthesize_model(&net, &profile, 2019)).min_acc_mult_ratio();
         assert!(
             (modelled - measured).abs() / measured < 0.15,
             "model {modelled} vs measured {measured}"

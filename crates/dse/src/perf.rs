@@ -112,8 +112,7 @@ pub fn estimate_network(
             } else {
                 (out_pixels as f64 / cfg.s_ec as f64).ceil().max(1.0)
             };
-            let cycles =
-                batches * vectors * lane * IMBALANCE_GAMMA / cfg.n_cu as f64;
+            let cycles = batches * vectors * lane * IMBALANCE_GAMMA / cfg.n_cu as f64;
             let batch_amortization = if is_fc { cfg.s_ec as f64 } else { 1.0 };
             let seconds = cycles * cfg.clock_period() / batch_amortization;
             LayerEstimate {
@@ -173,7 +172,10 @@ mod tests {
         let one = estimate_network(
             &net,
             &profile,
-            &AcceleratorConfig { n_cu: 1, ..AcceleratorConfig::paper() },
+            &AcceleratorConfig {
+                n_cu: 1,
+                ..AcceleratorConfig::paper()
+            },
         );
         let three = estimate_network(&net, &profile, &AcceleratorConfig::paper());
         let ratio = three.gops() / one.gops();

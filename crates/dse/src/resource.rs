@@ -109,12 +109,7 @@ impl ResourceModel {
     /// Solves the largest total accumulator-lane count (`N_cu·N_knl·S_ec`)
     /// that fits the device at the given logic budget with DSPs allowed
     /// to fill — the `N_acc` bound that raises the Figure 1 roof.
-    pub fn max_accumulator_lanes(
-        &self,
-        device: &FpgaDevice,
-        n: usize,
-        logic_budget: f64,
-    ) -> u64 {
+    pub fn max_accumulator_lanes(&self, device: &FpgaDevice, n: usize, logic_budget: f64) -> u64 {
         let mut best = 0u64;
         for n_cu in 1..=8 {
             for n_knl in 1..=64 {
@@ -179,7 +174,11 @@ mod tests {
         let est = model.estimate(&AcceleratorConfig::paper());
         // Table 2 (Proposed, VGG16): 160K ALM (68%), 240 DSP (94%),
         // 2,435 M20K (95%).
-        assert!((est.alms as f64 - 160_000.0).abs() / 160_000.0 < 0.02, "ALM {}", est.alms);
+        assert!(
+            (est.alms as f64 - 160_000.0).abs() / 160_000.0 < 0.02,
+            "ALM {}",
+            est.alms
+        );
         assert_eq!(est.dsps, 240);
         assert_eq!(est.m20ks, 2_435);
         let dev = FpgaDevice::stratix_v_gxa7();
@@ -205,9 +204,18 @@ mod tests {
         let model = ResourceModel::paper();
         let base = model.estimate(&AcceleratorConfig::paper());
         for cfg in [
-            AcceleratorConfig { n_knl: 20, ..AcceleratorConfig::paper() },
-            AcceleratorConfig { s_ec: 24, ..AcceleratorConfig::paper() },
-            AcceleratorConfig { n_cu: 4, ..AcceleratorConfig::paper() },
+            AcceleratorConfig {
+                n_knl: 20,
+                ..AcceleratorConfig::paper()
+            },
+            AcceleratorConfig {
+                s_ec: 24,
+                ..AcceleratorConfig::paper()
+            },
+            AcceleratorConfig {
+                n_cu: 4,
+                ..AcceleratorConfig::paper()
+            },
         ] {
             let est = model.estimate(&cfg);
             assert!(est.alms > base.alms);

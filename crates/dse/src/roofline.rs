@@ -83,7 +83,11 @@ mod tests {
         // SDConv roof: 204.8 GOP/s exactly.
         assert!((r.sdconv_gops - 204.8).abs() < 1e-9);
         // FDConv roof: ~675 GOP/s.
-        assert!((r.fdconv_gops - 675.0).abs() < 10.0, "FDConv roof {}", r.fdconv_gops);
+        assert!(
+            (r.fdconv_gops - 675.0).abs() < 10.0,
+            "FDConv roof {}",
+            r.fdconv_gops
+        );
         // ABM roof: paper draws ~1046; our resource solve lands in the
         // same regime and strictly above FDConv.
         assert!(

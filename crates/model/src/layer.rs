@@ -36,7 +36,14 @@ impl ConvSpec {
         stride: usize,
         pad: usize,
     ) -> Self {
-        Self { in_channels, out_channels, kernel, stride, pad, groups: 1 }
+        Self {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            pad,
+            groups: 1,
+        }
     }
 
     /// Sets the number of channel groups.
@@ -46,8 +53,16 @@ impl ConvSpec {
     /// Panics if `groups` does not divide both channel counts.
     pub fn with_groups(mut self, groups: usize) -> Self {
         assert!(groups > 0, "groups must be positive");
-        assert_eq!(self.in_channels % groups, 0, "groups must divide in_channels");
-        assert_eq!(self.out_channels % groups, 0, "groups must divide out_channels");
+        assert_eq!(
+            self.in_channels % groups,
+            0,
+            "groups must divide in_channels"
+        );
+        assert_eq!(
+            self.out_channels % groups,
+            0,
+            "groups must divide out_channels"
+        );
         self.groups = groups;
         self
     }
@@ -99,7 +114,10 @@ pub struct FcSpec {
 impl FcSpec {
     /// Creates a fully-connected spec.
     pub fn new(in_features: usize, out_features: usize) -> Self {
-        Self { in_features, out_features }
+        Self {
+            in_features,
+            out_features,
+        }
     }
 
     /// Shape of the weight tensor viewed as 1×1 convolution kernels.
@@ -136,7 +154,11 @@ pub struct PoolSpec {
 impl PoolSpec {
     /// Creates a max-pooling spec.
     pub fn max(window: usize, stride: usize) -> Self {
-        Self { kind: PoolKind::Max, window, stride }
+        Self {
+            kind: PoolKind::Max,
+            window,
+            stride,
+        }
     }
 
     /// Output shape for the given input (no padding; AlexNet's overlapped
@@ -166,7 +188,12 @@ pub struct LrnSpec {
 impl LrnSpec {
     /// AlexNet's published LRN parameters.
     pub fn alexnet() -> Self {
-        Self { size: 5, alpha: 1e-4, beta: 0.75, k: 2.0 }
+        Self {
+            size: 5,
+            alpha: 1e-4,
+            beta: 0.75,
+            k: 2.0,
+        }
     }
 }
 
@@ -199,7 +226,10 @@ pub struct Layer {
 impl Layer {
     /// Creates a named layer.
     pub fn new(name: impl Into<String>, kind: LayerKind) -> Self {
-        Self { name: name.into(), kind }
+        Self {
+            name: name.into(),
+            kind,
+        }
     }
 
     /// Whether this layer runs on the accelerator (conv or FC).
@@ -220,13 +250,25 @@ impl fmt::Display for Layer {
                 c.kernel,
                 c.stride,
                 c.pad,
-                if c.groups > 1 { format!(" g{}", c.groups) } else { String::new() }
+                if c.groups > 1 {
+                    format!(" g{}", c.groups)
+                } else {
+                    String::new()
+                }
             ),
             LayerKind::FullyConnected(fc) => {
-                write!(f, "{}: fc {}->{}", self.name, fc.in_features, fc.out_features)
+                write!(
+                    f,
+                    "{}: fc {}->{}",
+                    self.name, fc.in_features, fc.out_features
+                )
             }
             LayerKind::Pool(p) => {
-                write!(f, "{}: pool {}x{}/{}", self.name, p.window, p.window, p.stride)
+                write!(
+                    f,
+                    "{}: pool {}x{}/{}",
+                    self.name, p.window, p.window, p.stride
+                )
             }
             LayerKind::Relu => write!(f, "{}: relu", self.name),
             LayerKind::Lrn(_) => write!(f, "{}: lrn", self.name),
@@ -282,9 +324,15 @@ mod tests {
     #[test]
     fn pool_shapes() {
         let p = PoolSpec::max(2, 2);
-        assert_eq!(p.output_shape(Shape3::new(64, 224, 224)), Shape3::new(64, 112, 112));
+        assert_eq!(
+            p.output_shape(Shape3::new(64, 224, 224)),
+            Shape3::new(64, 112, 112)
+        );
         let alex = PoolSpec::max(3, 2);
-        assert_eq!(alex.output_shape(Shape3::new(96, 55, 55)), Shape3::new(96, 27, 27));
+        assert_eq!(
+            alex.output_shape(Shape3::new(96, 55, 55)),
+            Shape3::new(96, 27, 27)
+        );
     }
 
     #[test]

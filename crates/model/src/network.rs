@@ -57,7 +57,11 @@ impl ResolvedLayer {
 impl Network {
     /// Creates an empty network with the given input feature-map shape.
     pub fn new(name: impl Into<String>, input: Shape3) -> Self {
-        Self { name: name.into(), input, layers: Vec::new() }
+        Self {
+            name: name.into(),
+            input,
+            layers: Vec::new(),
+        }
     }
 
     /// The network's name (e.g. `"VGG16"`).
@@ -148,18 +152,21 @@ impl Network {
     pub fn conv_fc_layers(&self) -> impl Iterator<Item = ResolvedLayer> + '_ {
         let shapes = self.shapes();
         let input = self.input;
-        self.layers.iter().enumerate().filter_map(move |(i, layer)| {
-            if !layer.is_accelerated() {
-                return None;
-            }
-            let input_shape = if i == 0 { input } else { shapes[i - 1] };
-            Some(ResolvedLayer {
-                index: i,
-                layer: layer.clone(),
-                input_shape,
-                output_shape: shapes[i],
+        self.layers
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, layer)| {
+                if !layer.is_accelerated() {
+                    return None;
+                }
+                let input_shape = if i == 0 { input } else { shapes[i - 1] };
+                Some(ResolvedLayer {
+                    index: i,
+                    layer: layer.clone(),
+                    input_shape,
+                    output_shape: shapes[i],
+                })
             })
-        })
     }
 
     /// Total dense operation count over conv + FC layers (the `#OP` used
@@ -188,10 +195,16 @@ mod tests {
 
     fn toy() -> Network {
         let mut net = Network::new("toy", Shape3::new(3, 8, 8));
-        net.push(Layer::new("conv1", LayerKind::Conv(ConvSpec::new(3, 8, 3, 1, 1))));
+        net.push(Layer::new(
+            "conv1",
+            LayerKind::Conv(ConvSpec::new(3, 8, 3, 1, 1)),
+        ));
         net.push(Layer::new("relu1", LayerKind::Relu));
         net.push(Layer::new("pool1", LayerKind::Pool(PoolSpec::max(2, 2))));
-        net.push(Layer::new("fc1", LayerKind::FullyConnected(FcSpec::new(8 * 4 * 4, 10))));
+        net.push(Layer::new(
+            "fc1",
+            LayerKind::FullyConnected(FcSpec::new(8 * 4 * 4, 10)),
+        ));
         net.push(Layer::new("softmax", LayerKind::Softmax));
         net
     }
@@ -231,14 +244,20 @@ mod tests {
     #[should_panic(expected = "input channels")]
     fn push_checks_channels() {
         let mut net = Network::new("bad", Shape3::new(3, 8, 8));
-        net.push(Layer::new("conv1", LayerKind::Conv(ConvSpec::new(4, 8, 3, 1, 1))));
+        net.push(Layer::new(
+            "conv1",
+            LayerKind::Conv(ConvSpec::new(4, 8, 3, 1, 1)),
+        ));
     }
 
     #[test]
     #[should_panic(expected = "input features")]
     fn push_checks_fc_features() {
         let mut net = Network::new("bad", Shape3::new(3, 8, 8));
-        net.push(Layer::new("fc", LayerKind::FullyConnected(FcSpec::new(100, 10))));
+        net.push(Layer::new(
+            "fc",
+            LayerKind::FullyConnected(FcSpec::new(100, 10)),
+        ));
     }
 
     #[test]

@@ -40,7 +40,10 @@ impl LayerProfile {
             "value_levels must be within 1..=254 (distinct non-zero signed \
              8-bit values), got {value_levels}"
         );
-        Self { prune_ratio, value_levels }
+        Self {
+            prune_ratio,
+            value_levels,
+        }
     }
 
     /// Fraction of weights kept.
@@ -63,12 +66,18 @@ impl PruneProfile {
         entries: impl IntoIterator<Item = (String, LayerProfile)>,
         default: LayerProfile,
     ) -> Self {
-        Self { entries: entries.into_iter().collect(), default }
+        Self {
+            entries: entries.into_iter().collect(),
+            default,
+        }
     }
 
     /// A uniform profile applying the same statistics to every layer.
     pub fn uniform(profile: LayerProfile) -> Self {
-        Self { entries: Vec::new(), default: profile }
+        Self {
+            entries: Vec::new(),
+            default: profile,
+        }
     }
 
     /// Looks up the profile for a layer name (falling back to the
@@ -132,7 +141,8 @@ impl PruneProfile {
 
     fn from_rows(rows: &[(&str, f64, usize)]) -> Self {
         Self::new(
-            rows.iter().map(|&(n, p, v)| (n.to_string(), LayerProfile::new(p, v))),
+            rows.iter()
+                .map(|&(n, p, v)| (n.to_string(), LayerProfile::new(p, v))),
             LayerProfile::new(0.5, 32),
         )
     }
@@ -178,7 +188,10 @@ impl PruneProfile {
 /// assert_eq!(p.as_slice(), &[0.0, 0.0, 3.0, 4.0]);
 /// ```
 pub fn prune_magnitude(weights: &Tensor4<f32>, ratio: f64) -> Tensor4<f32> {
-    assert!((0.0..=1.0).contains(&ratio), "ratio must be within [0,1], got {ratio}");
+    assert!(
+        (0.0..=1.0).contains(&ratio),
+        "ratio must be within [0,1], got {ratio}"
+    );
     let n = weights.len();
     let prune_count = (n as f64 * ratio).round() as usize;
     if prune_count == 0 {
@@ -226,7 +239,11 @@ pub fn prune_network(
     profile: &PruneProfile,
 ) -> Vec<(String, Tensor4<f32>)> {
     let layers: Vec<_> = net.conv_fc_layers().collect();
-    assert_eq!(layers.len(), weights.len(), "one weight tensor per conv/FC layer");
+    assert_eq!(
+        layers.len(),
+        weights.len(),
+        "one weight tensor per conv/FC layer"
+    );
     layers
         .iter()
         .zip(weights)
@@ -236,7 +253,12 @@ pub fn prune_network(
                 LayerKind::FullyConnected(fc) => fc.weight_shape(),
                 _ => unreachable!("conv_fc_layers yields only accelerated layers"),
             };
-            assert_eq!(w.shape(), expect, "layer {}: weight shape mismatch", l.layer.name);
+            assert_eq!(
+                w.shape(),
+                expect,
+                "layer {}: weight shape mismatch",
+                l.layer.name
+            );
             let p = profile.for_layer(&l.layer.name);
             (l.layer.name.clone(), prune_magnitude(w, p.prune_ratio))
         })
@@ -263,10 +285,7 @@ mod tests {
 
     #[test]
     fn prune_removes_smallest() {
-        let w = Tensor4::from_vec(
-            Shape4::new(1, 1, 2, 2),
-            vec![0.1, -5.0, 0.01, 2.0],
-        );
+        let w = Tensor4::from_vec(Shape4::new(1, 1, 2, 2), vec![0.1, -5.0, 0.01, 2.0]);
         let p = prune_magnitude(&w, 0.5);
         assert_eq!(p.as_slice(), &[0.0, -5.0, 0.0, 2.0]);
     }

@@ -57,7 +57,9 @@ impl LayerStats {
     /// Computes per-kernel statistics for an `M×N×K×K'` weight tensor.
     pub fn from_weights(weights: &Tensor4<i8>) -> Self {
         let m = weights.shape().out_channels;
-        let kernels = (0..m).map(|i| KernelStats::from_kernel(weights.kernel(i))).collect();
+        let kernels = (0..m)
+            .map(|i| KernelStats::from_kernel(weights.kernel(i)))
+            .collect();
         Self { kernels }
     }
 
@@ -162,10 +164,7 @@ mod tests {
     #[test]
     fn layer_stats_aggregate() {
         // Kernel 0: nnz 2, Q 1. Kernel 1: nnz 4, Q 2.
-        let w = Tensor4::from_vec(
-            Shape4::new(2, 1, 2, 2),
-            vec![5, 5, 0, 0, 2, -2, 2, -2],
-        );
+        let w = Tensor4::from_vec(Shape4::new(2, 1, 2, 2), vec![5, 5, 0, 0, 2, -2, 2, -2]);
         let s = LayerStats::from_weights(&w);
         assert_eq!(s.total_nnz(), 6);
         assert_eq!(s.total_distinct(), 3);

@@ -181,10 +181,17 @@ pub fn synthesize_model(net: &Network, profile: &PruneProfile, seed: u64) -> Spa
             // Dynamic fixed point: pick a plausible per-layer fractional
             // length (weights in roughly [-1, 1] ⇒ frac near 7).
             let format = QFormat::new(8, 7);
-            SparseLayer { layer, weights, format }
+            SparseLayer {
+                layer,
+                weights,
+                format,
+            }
         })
         .collect();
-    SparseModel { network: net.clone(), layers }
+    SparseModel {
+        network: net.clone(),
+        layers,
+    }
 }
 
 /// Runs the full float → magnitude-prune → 8-bit-quantize pipeline on
@@ -194,11 +201,7 @@ pub fn synthesize_model(net: &Network, profile: &PruneProfile, seed: u64) -> Spa
 /// Unlike [`synthesize_model`], the distinct-value statistics emerge from
 /// quantization instead of being dialled in; this path exists to exercise
 /// the production pipeline end to end.
-pub fn synthesize_from_float(
-    net: &Network,
-    profile: &PruneProfile,
-    seed: u64,
-) -> SparseModel {
+pub fn synthesize_from_float(net: &Network, profile: &PruneProfile, seed: u64) -> SparseModel {
     let mut rng = StdRng::seed_from_u64(seed);
     let layers = net
         .conv_fc_layers()
@@ -221,10 +224,17 @@ pub fn synthesize_from_float(
                 debug_assert!((-128..=127).contains(&w));
                 w as i8
             });
-            SparseLayer { layer, weights, format: q.format }
+            SparseLayer {
+                layer,
+                weights,
+                format: q.format,
+            }
         })
         .collect();
-    SparseModel { network: net.clone(), layers }
+    SparseModel {
+        network: net.clone(),
+        layers,
+    }
 }
 
 #[cfg(test)]
@@ -273,7 +283,12 @@ mod tests {
                 .collect();
             distinct.sort_unstable();
             distinct.dedup();
-            assert!(distinct.len() <= 8, "{}: {} distinct", layer.name(), distinct.len());
+            assert!(
+                distinct.len() <= 8,
+                "{}: {} distinct",
+                layer.name(),
+                distinct.len()
+            );
         }
     }
 

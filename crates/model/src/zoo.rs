@@ -73,15 +73,24 @@ pub fn alexnet() -> Network {
     net.push(relu("RELU1"));
     net.push(Layer::new("LRN1", LayerKind::Lrn(LrnSpec::alexnet())));
     net.push(pool("POOL1", 3, 2));
-    net.push(conv("CONV2", ConvSpec::new(96, 256, 5, 1, 2).with_groups(2)));
+    net.push(conv(
+        "CONV2",
+        ConvSpec::new(96, 256, 5, 1, 2).with_groups(2),
+    ));
     net.push(relu("RELU2"));
     net.push(Layer::new("LRN2", LayerKind::Lrn(LrnSpec::alexnet())));
     net.push(pool("POOL2", 3, 2));
     net.push(conv("CONV3", ConvSpec::new(256, 384, 3, 1, 1)));
     net.push(relu("RELU3"));
-    net.push(conv("CONV4", ConvSpec::new(384, 384, 3, 1, 1).with_groups(2)));
+    net.push(conv(
+        "CONV4",
+        ConvSpec::new(384, 384, 3, 1, 1).with_groups(2),
+    ));
     net.push(relu("RELU4"));
-    net.push(conv("CONV5", ConvSpec::new(384, 256, 3, 1, 1).with_groups(2)));
+    net.push(conv(
+        "CONV5",
+        ConvSpec::new(384, 256, 3, 1, 1).with_groups(2),
+    ));
     net.push(relu("RELU5"));
     net.push(pool("POOL5", 3, 2));
     net.push(fc("FC6", FcSpec::new(256 * 6 * 6, 4096)));
@@ -189,7 +198,10 @@ mod tests {
         let net = vgg16();
         // Paper Table 1: 30,941 MOP for the entire CNN (conv+FC).
         let total_mop = net.total_dense_ops() as f64 / 1e6;
-        assert!((total_mop - 30941.0).abs() / 30941.0 < 0.01, "got {total_mop}");
+        assert!(
+            (total_mop - 30941.0).abs() / 30941.0 < 0.01,
+            "got {total_mop}"
+        );
         // 138M parameters.
         let params = net.total_weights() as f64 / 1e6;
         assert!((params - 138.0).abs() < 1.0, "got {params}");

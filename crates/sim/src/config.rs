@@ -111,7 +111,12 @@ impl AcceleratorConfig {
     /// The paper's AlexNet configuration (identical compute fabric,
     /// smaller feature buffer, 202 MHz).
     pub fn paper_alexnet() -> Self {
-        Self { d_f: 1152, d_w: 1024, freq_mhz: 202.0, ..Self::paper() }
+        Self {
+            d_f: 1152,
+            d_w: 1024,
+            freq_mhz: 202.0,
+            ..Self::paper()
+        }
     }
 
     /// Total pixel-accumulator lanes (`N_cu · N_knl · S_ec`) — the
@@ -162,7 +167,10 @@ impl AcceleratorConfig {
             }
         }
         if !self.s_ec.is_multiple_of(self.n) {
-            return Err(ConfigError::GroupMismatch { n: self.n, s_ec: self.s_ec });
+            return Err(ConfigError::GroupMismatch {
+                n: self.n,
+                s_ec: self.s_ec,
+            });
         }
         if self.freq_mhz <= 0.0 {
             return Err(ConfigError::NonPositiveFrequency(self.freq_mhz));
@@ -208,21 +216,30 @@ mod tests {
     fn validation_catches_bad_configs() {
         let mut cfg = AcceleratorConfig::paper();
         cfg.s_ec = 19; // not divisible by N=4
-        assert_eq!(cfg.validate(), Err(ConfigError::GroupMismatch { n: 4, s_ec: 19 }));
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::GroupMismatch { n: 4, s_ec: 19 })
+        );
         cfg = AcceleratorConfig::paper();
         cfg.n_cu = 0;
         assert_eq!(cfg.validate(), Err(ConfigError::ZeroParameter("n_cu")));
         cfg = AcceleratorConfig::paper();
         cfg.fifo_depth = 0;
-        assert_eq!(cfg.validate(), Err(ConfigError::ZeroParameter("fifo_depth")));
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::ZeroParameter("fifo_depth"))
+        );
         cfg = AcceleratorConfig::paper();
         cfg.freq_mhz = 0.0;
         assert_eq!(cfg.validate(), Err(ConfigError::NonPositiveFrequency(0.0)));
         // Errors render as readable messages.
-        let msg = AcceleratorConfig { s_ec: 19, ..AcceleratorConfig::paper() }
-            .validate()
-            .unwrap_err()
-            .to_string();
+        let msg = AcceleratorConfig {
+            s_ec: 19,
+            ..AcceleratorConfig::paper()
+        }
+        .validate()
+        .unwrap_err()
+        .to_string();
         assert!(msg.contains("divide"));
     }
 

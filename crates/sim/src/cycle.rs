@@ -92,7 +92,10 @@ impl LaneMachine {
         if self.blocked_deposit {
             // Waiting for a FIFO slot; the pop above may have freed one.
             if self.fifo.len() < self.fifo_depth {
-                self.fifo.push_back(Deposit { remaining: self.n, started: false });
+                self.fifo.push_back(Deposit {
+                    remaining: self.n,
+                    started: false,
+                });
                 self.blocked_deposit = false;
                 // This cycle still counts as a stall: no index issued.
             }
@@ -110,7 +113,10 @@ impl LaneMachine {
                 self.in_flight = None;
                 // Deposit the completed partial-sum set.
                 if self.fifo.len() < self.fifo_depth {
-                    self.fifo.push_back(Deposit { remaining: self.n, started: false });
+                    self.fifo.push_back(Deposit {
+                        remaining: self.n,
+                        started: false,
+                    });
                 } else {
                     self.blocked_deposit = true;
                 }
@@ -153,12 +159,7 @@ pub fn vector_cycles_stepped(kernel: &KernelCode, n: u64, fifo_depth: usize) -> 
 /// kernel swept `vectors` times back to back (sweep `i+1` starts
 /// accumulating while sweep `i`'s multiplications drain — exactly what
 /// loading the group list `vectors` times into the machine produces).
-pub fn lane_cycles_stepped(
-    kernel: &KernelCode,
-    vectors: u64,
-    n: u64,
-    fifo_depth: usize,
-) -> u64 {
+pub fn lane_cycles_stepped(kernel: &KernelCode, vectors: u64, n: u64, fifo_depth: usize) -> u64 {
     if vectors == 0 || kernel.total() == 0 {
         return 0;
     }
@@ -202,7 +203,10 @@ mod tests {
         let k = code(&[7i8; 16]);
         let stepped = vector_cycles_stepped(&k, 4, 8);
         let analytic = lane::vector_cycles(&k, 4, 8);
-        assert_eq!(stepped, analytic, "stepped {stepped:?} vs analytic {analytic:?}");
+        assert_eq!(
+            stepped, analytic,
+            "stepped {stepped:?} vs analytic {analytic:?}"
+        );
         assert_eq!(stepped.makespan, 20);
     }
 

@@ -144,8 +144,7 @@ mod tests {
         let s = sim();
         let e = network_energy(&s, &EnergyModel::stratix_v());
         assert!(e.total() > 0.0);
-        let sum =
-            e.accumulate_j + e.multiply_j + e.sram_j + e.dram_j + e.static_j;
+        let sum = e.accumulate_j + e.multiply_j + e.sram_j + e.dram_j + e.static_j;
         assert!((e.total() - sum).abs() < 1e-15);
         assert!(e.gops_per_joule(1_000_000) > 0.0);
     }

@@ -49,7 +49,7 @@ pub fn vector_cycles(kernel: &KernelCode, n: u64, fifo_depth: usize) -> LaneCycl
     let mut acc_time = 0u64; // accumulate-stage clock
     let mut acc_stall = 0u64;
     let mut mult_free = 0u64; // when the multiplier finishes its backlog
-    // Completion times of deposits still in the FIFO.
+                              // Completion times of deposits still in the FIFO.
     let mut fifo: std::collections::VecDeque<u64> = std::collections::VecDeque::new();
 
     for entry in kernel.entries() {
@@ -177,7 +177,10 @@ mod tests {
         let k = code(&vals);
         let total = lane_cycles(&k, 100, 4, 8);
         assert!(total >= 2000);
-        assert!(total < 2000 + 50, "tail overhead should be small, got {total}");
+        assert!(
+            total < 2000 + 50,
+            "tail overhead should be small, got {total}"
+        );
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //! * [`run`] — layer- and network-level simulation producing cycles, CU
 //!   utilization, and GOP/s (dense-equivalent, the convention of
 //!   Table 2);
+//! * [`parallel`] — the work-stealing host-thread driver that fans the
+//!   simulation out across layers (or across kernels within a layer)
+//!   with bit-identical results to serial execution;
 //! * [`cycle`] — a cycle-stepped structural model of a lane, validated
 //!   cycle-exactly against [`lane`]'s analytic recurrence;
 //! * [`energy`] — a first-order per-op energy model (extension).
@@ -45,13 +48,16 @@ pub mod cycle;
 pub mod energy;
 pub mod lane;
 pub mod memory;
+pub mod parallel;
 pub mod run;
 pub mod sched;
 pub mod task;
 
 pub use config::{AcceleratorConfig, ConfigError};
 pub use memory::MemorySystem;
+pub use parallel::{simulate_network_par, simulate_network_with_parallelism, Parallelism};
 pub use run::{
-    simulate_layer, simulate_network, simulate_network_with, LayerSim, NetworkSim,
+    simulate_layer, simulate_layer_with, simulate_network, simulate_network_with, LayerSim,
+    NetworkSim,
 };
 pub use sched::SchedulingPolicy;

@@ -21,12 +21,18 @@ pub struct MemorySystem {
 impl MemorySystem {
     /// The DE5-Net's DDR3: 12.8 GB/s.
     pub fn de5_net() -> Self {
-        Self { bandwidth_bytes_per_s: 12.8e9, burst_latency_s: 120e-9 }
+        Self {
+            bandwidth_bytes_per_s: 12.8e9,
+            burst_latency_s: 120e-9,
+        }
     }
 
     /// Creates a memory system with the given bandwidth in GB/s.
     pub fn with_bandwidth_gbps(gbps: f64) -> Self {
-        Self { bandwidth_bytes_per_s: gbps * 1e9, ..Self::de5_net() }
+        Self {
+            bandwidth_bytes_per_s: gbps * 1e9,
+            ..Self::de5_net()
+        }
     }
 
     /// Time to transfer `bytes` in one streamed burst.
@@ -83,10 +89,14 @@ pub fn layer_traffic(w: &Workload, cfg: &AcceleratorConfig) -> LayerTraffic {
     let in_rows_first = rows_per_window * w.stride + w.kernel.saturating_sub(w.stride);
     let in_rows_next = rows_per_window * w.stride;
     let row_bytes = (w.in_channels * w.in_cols) as u64;
-    let feature_in_bytes = row_bytes
-        * (in_rows_first as u64 + in_rows_next as u64 * windows.saturating_sub(1));
+    let feature_in_bytes =
+        row_bytes * (in_rows_first as u64 + in_rows_next as u64 * windows.saturating_sub(1));
     let feature_out_bytes = (w.out_channels * w.out_rows * w.out_cols) as u64;
-    LayerTraffic { feature_in_bytes, feature_out_bytes, weight_bytes: encoded }
+    LayerTraffic {
+        feature_in_bytes,
+        feature_out_bytes,
+        weight_bytes: encoded,
+    }
 }
 
 #[cfg(test)]

@@ -4,9 +4,9 @@ use crate::config::AcceleratorConfig;
 use crate::memory::{layer_traffic, LayerTraffic, MemorySystem};
 use crate::sched::{schedule_window, SchedulingPolicy};
 use crate::task::Workload;
+use abm_conv::parallel::Parallelism;
 use abm_model::SparseModel;
 use abm_sparse::EncodeError;
-use parking_lot::Mutex;
 
 /// Simulation outcome for one accelerated layer (per image).
 #[derive(Debug, Clone, PartialEq)]
@@ -69,6 +69,13 @@ pub struct NetworkSim {
 }
 
 impl NetworkSim {
+    /// Assembles a network result from per-layer simulations in
+    /// execution order (used by the parallel driver in
+    /// [`crate::parallel`]).
+    pub(crate) fn from_layers(layers: Vec<LayerSim>, freq_mhz: f64) -> Self {
+        Self { layers, freq_mhz }
+    }
+
     /// Per-layer results in execution order.
     pub fn layers(&self) -> &[LayerSim] {
         &self.layers
@@ -168,9 +175,30 @@ pub fn simulate_layer(
     mem: &MemorySystem,
     policy: SchedulingPolicy,
 ) -> Result<LayerSim, EncodeError> {
+    simulate_layer_with(layer, cfg, mem, policy, Parallelism::Serial)
+}
+
+/// [`simulate_layer`] with the per-kernel timing computation fanned out
+/// across host threads. Cycle counts are bit-identical for every
+/// `parallelism` setting.
+///
+/// # Errors
+///
+/// Returns [`EncodeError`] if the layer's weights cannot be encoded.
+///
+/// # Panics
+///
+/// Panics if `cfg` fails validation.
+pub fn simulate_layer_with(
+    layer: &abm_model::SparseLayer,
+    cfg: &AcceleratorConfig,
+    mem: &MemorySystem,
+    policy: SchedulingPolicy,
+    parallelism: Parallelism,
+) -> Result<LayerSim, EncodeError> {
     cfg.validate().expect("invalid accelerator configuration");
     let w = Workload::from_layer(layer)?;
-    Ok(simulate_workload(&w, cfg, mem, policy))
+    Ok(simulate_workload_with(&w, cfg, mem, policy, parallelism))
 }
 
 /// Simulates a prepared workload (shared by [`simulate_layer`] and the
@@ -181,6 +209,18 @@ pub fn simulate_workload(
     mem: &MemorySystem,
     policy: SchedulingPolicy,
 ) -> LayerSim {
+    simulate_workload_with(w, cfg, mem, policy, Parallelism::Serial)
+}
+
+/// [`simulate_workload`] with parallel per-kernel timing (see
+/// [`Workload::window_task_cycles_with`]).
+pub fn simulate_workload_with(
+    w: &Workload,
+    cfg: &AcceleratorConfig,
+    mem: &MemorySystem,
+    policy: SchedulingPolicy,
+    parallelism: Parallelism,
+) -> LayerSim {
     let rows_pw = w.rows_per_window(cfg);
     let windows = w.window_count(cfg);
     // Double-buffered feature fetch means a CU that finishes a window's
@@ -188,7 +228,7 @@ pub fn simulate_workload(
     // ... is infrequently conducted"); only the buffer-swap bookkeeping
     // costs serial cycles. The layer's tasks therefore schedule as one
     // continuous stream, window-ordered.
-    let full_tasks = w.window_task_cycles(cfg, rows_pw);
+    let full_tasks = w.window_task_cycles_with(cfg, rows_pw, parallelism);
     let tail_rows = if w.is_fc {
         rows_pw
     } else {
@@ -199,7 +239,7 @@ pub fn simulate_workload(
         if i + 1 < windows || tail_rows == rows_pw {
             all_tasks.extend_from_slice(&full_tasks);
         } else {
-            all_tasks.extend(w.window_task_cycles(cfg, tail_rows));
+            all_tasks.extend(w.window_task_cycles_with(cfg, tail_rows, parallelism));
         }
     }
     let sched = schedule_window(&all_tasks, cfg.n_cu, policy);
@@ -217,10 +257,12 @@ pub fn simulate_workload(
     let memory_seconds = mem.transfer_seconds(traffic.total()) / batch;
     let seconds = compute_seconds.max(memory_seconds);
     let acc_ops = w.code.total_nnz() * (w.out_rows * w.out_cols) as u64;
-    let lane_capacity =
-        cfg.accumulator_lanes() as f64 * compute_cycles as f64 / batch;
-    let lane_efficiency =
-        if lane_capacity == 0.0 { 0.0 } else { acc_ops as f64 / lane_capacity };
+    let lane_capacity = cfg.accumulator_lanes() as f64 * compute_cycles as f64 / batch;
+    let lane_efficiency = if lane_capacity == 0.0 {
+        0.0
+    } else {
+        acc_ops as f64 / lane_capacity
+    };
     let bottleneck = w.bottleneck_profile(cfg);
     // Host layers (ReLU / pooling / LRN) run on the CPU, pipelined with
     // the accelerator; ~2 elementwise host ops per produced feature at a
@@ -254,18 +296,26 @@ pub fn simulate_workload(
 /// semi-synchronous scheduler and DE5-Net memory.
 ///
 /// Layers are simulated in parallel worker threads (they are
-/// independent); results keep execution order.
+/// independent); results keep execution order and are bit-identical to
+/// serial simulation (see [`crate::parallel`]).
 ///
 /// # Panics
 ///
 /// Panics if a layer cannot be encoded (the model zoo networks all can)
 /// or the configuration is invalid.
 pub fn simulate_network(model: &SparseModel, cfg: &AcceleratorConfig) -> NetworkSim {
-    simulate_network_with(model, cfg, &MemorySystem::de5_net(), SchedulingPolicy::SemiSynchronous)
+    simulate_network_with(
+        model,
+        cfg,
+        &MemorySystem::de5_net(),
+        SchedulingPolicy::SemiSynchronous,
+    )
 }
 
 /// [`simulate_network`] with explicit memory system and scheduling
-/// policy.
+/// policy (host parallelism stays [`Parallelism::Auto`]; use
+/// [`crate::parallel::simulate_network_with_parallelism`] for explicit
+/// control).
 ///
 /// # Panics
 ///
@@ -276,37 +326,7 @@ pub fn simulate_network_with(
     mem: &MemorySystem,
     policy: SchedulingPolicy,
 ) -> NetworkSim {
-    cfg.validate().expect("invalid accelerator configuration");
-    let results: Mutex<Vec<Option<LayerSim>>> =
-        Mutex::new(vec![None; model.layers.len()]);
-    let (tx, rx) = crossbeam::channel::unbounded::<usize>();
-    for i in 0..model.layers.len() {
-        tx.send(i).expect("queue open");
-    }
-    drop(tx);
-    std::thread::scope(|scope| {
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(model.layers.len().max(1));
-        for _ in 0..workers {
-            let rx = rx.clone();
-            let results = &results;
-            scope.spawn(move || {
-                while let Ok(i) = rx.recv() {
-                    let sim = simulate_layer(&model.layers[i], cfg, mem, policy)
-                        .expect("model layers must be encodable");
-                    results.lock()[i] = Some(sim);
-                }
-            });
-        }
-    });
-    let layers = results
-        .into_inner()
-        .into_iter()
-        .map(|l| l.expect("every layer simulated"))
-        .collect();
-    NetworkSim { layers, freq_mhz: cfg.freq_mhz }
+    crate::parallel::simulate_network_with_parallelism(model, cfg, mem, policy, Parallelism::Auto)
 }
 
 #[cfg(test)]
@@ -341,7 +361,12 @@ mod tests {
         let cfg = AcceleratorConfig::paper();
         let sim = simulate_network(&model, &cfg);
         for l in sim.layers() {
-            assert!(l.utilization > 0.0 && l.utilization <= 1.0, "{}: {}", l.name, l.utilization);
+            assert!(
+                l.utilization > 0.0 && l.utilization <= 1.0,
+                "{}: {}",
+                l.name,
+                l.utilization
+            );
             assert!(l.seconds >= l.compute_seconds.max(l.memory_seconds) - 1e-15);
             assert!(l.gops() > 0.0);
         }

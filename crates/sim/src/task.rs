@@ -8,6 +8,7 @@
 
 use crate::config::AcceleratorConfig;
 use crate::lane;
+use abm_conv::parallel::{parallel_map, Parallelism};
 use abm_model::SparseLayer;
 use abm_sparse::{EncodeError, LayerCode};
 
@@ -127,12 +128,24 @@ impl Workload {
     /// Per-kernel lane cost (cycles) for a window of `rows` output rows,
     /// computed from the encoded stream (index `m` = kernel id).
     pub fn kernel_window_cycles(&self, cfg: &AcceleratorConfig, rows: usize) -> Vec<u64> {
+        self.kernel_window_cycles_with(cfg, rows, Parallelism::Serial)
+    }
+
+    /// [`kernel_window_cycles`](Self::kernel_window_cycles) with the
+    /// per-kernel timing recurrences fanned out across host threads —
+    /// each simulated CU lane's cost is an independent function of its
+    /// encoded kernel, so this is a pure map and the result is
+    /// bit-identical for every `parallelism` setting.
+    pub fn kernel_window_cycles_with(
+        &self,
+        cfg: &AcceleratorConfig,
+        rows: usize,
+        parallelism: Parallelism,
+    ) -> Vec<u64> {
         let vectors = self.vectors_per_window(cfg, rows);
-        self.code
-            .kernels()
-            .iter()
-            .map(|k| lane::lane_cycles(k, vectors, cfg.n as u64, cfg.fifo_depth))
-            .collect()
+        parallel_map(parallelism, self.code.kernels(), |_, k| {
+            lane::lane_cycles(k, vectors, cfg.n as u64, cfg.fifo_depth)
+        })
     }
 
     /// Task cycle costs for one window: one entry per kernel batch; the
@@ -143,7 +156,19 @@ impl Workload {
     /// orders kernels by workload first, so batch mates have similar
     /// costs and the per-batch maximum stays close to the mean.
     pub fn window_task_cycles(&self, cfg: &AcceleratorConfig, rows: usize) -> Vec<u64> {
-        let mut per_kernel = self.kernel_window_cycles(cfg, rows);
+        self.window_task_cycles_with(cfg, rows, Parallelism::Serial)
+    }
+
+    /// [`window_task_cycles`](Self::window_task_cycles) with the
+    /// per-kernel timing computed in parallel (see
+    /// [`kernel_window_cycles_with`](Self::kernel_window_cycles_with)).
+    pub fn window_task_cycles_with(
+        &self,
+        cfg: &AcceleratorConfig,
+        rows: usize,
+        parallelism: Parallelism,
+    ) -> Vec<u64> {
+        let mut per_kernel = self.kernel_window_cycles_with(cfg, rows, parallelism);
         if cfg.sort_kernels_by_load {
             per_kernel.sort_unstable_by(|a, b| b.cmp(a));
         }
@@ -232,7 +257,7 @@ mod tests {
             ((rows * 32) as u64).div_ceil(20)
         );
         assert_eq!(w.batches(&cfg), 2); // ceil(16/14)
-        // Tiny input: everything fits one window.
+                                        // Tiny input: everything fits one window.
         assert_eq!(w.window_count(&cfg), 1);
     }
 
@@ -254,7 +279,10 @@ mod tests {
         assert_eq!(one_window, 1);
         cfg.d_f = 16; // 16*20 = 320 pixels: ~1 input row of 16*16
         let many = w.window_count(&cfg);
-        assert!(many > one_window, "tiny buffer must force more windows: {many}");
+        assert!(
+            many > one_window,
+            "tiny buffer must force more windows: {many}"
+        );
         // The packing floor keeps windows at >= 8 vector sweeps even
         // when the buffer would allow less.
         let rows = w.rows_per_window(&cfg);

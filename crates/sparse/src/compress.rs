@@ -117,7 +117,10 @@ impl Huffman {
         impl Ord for Node {
             fn cmp(&self, other: &Self) -> std::cmp::Ordering {
                 // Reverse for min-heap.
-                other.weight.cmp(&self.weight).then(other.tie.cmp(&self.tie))
+                other
+                    .weight
+                    .cmp(&self.weight)
+                    .then(other.tie.cmp(&self.tie))
             }
         }
         impl PartialOrd for Node {
@@ -130,7 +133,11 @@ impl Huffman {
             .iter()
             .enumerate()
             .filter(|&(_, &f)| f > 0)
-            .map(|(s, &f)| Node { weight: f, tie: s, kind: NodeKind::Leaf(s) })
+            .map(|(s, &f)| Node {
+                weight: f,
+                tie: s,
+                kind: NodeKind::Leaf(s),
+            })
             .collect();
         let mut tie = freqs.len();
         while heap.len() > 1 {
@@ -158,8 +165,7 @@ impl Huffman {
         walk(&root, 0, &mut lengths);
 
         // Canonicalize: assign codes in (length, symbol) order.
-        let mut order: Vec<usize> =
-            (0..freqs.len()).filter(|&s| lengths[s] > 0).collect();
+        let mut order: Vec<usize> = (0..freqs.len()).filter(|&s| lengths[s] > 0).collect();
         order.sort_by_key(|&s| (lengths[s], s));
         let mut codes = vec![0u32; freqs.len()];
         let mut code = 0u32;
@@ -417,8 +423,7 @@ mod tests {
         let decoded = decompress_indices(&compressed);
         assert_eq!(decoded.len(), code.kernels().len());
         for (kernel, groups) in code.kernels().iter().zip(&decoded) {
-            let expect: Vec<Vec<u16>> =
-                kernel.groups().map(|(_, idxs)| idxs.to_vec()).collect();
+            let expect: Vec<Vec<u16>> = kernel.groups().map(|(_, idxs)| idxs.to_vec()).collect();
             assert_eq!(groups, &expect);
         }
     }
@@ -427,8 +432,8 @@ mod tests {
     fn compression_beats_raw_16bit_indices() {
         let code = sparse_layer();
         let compressed = compress_layer(&code);
-        let raw_bytes = code.total_nnz() * 2
-            + (code.total_distinct() * 2 + code.kernels().len() as u64) * 2;
+        let raw_bytes =
+            code.total_nnz() * 2 + (code.total_distinct() * 2 + code.kernels().len() as u64) * 2;
         assert!(
             compressed.total_bytes() < raw_bytes,
             "compressed {} vs raw {raw_bytes}",

@@ -50,7 +50,10 @@ impl CsrKernel {
 
     /// Iterates `(index, value)` pairs in scan order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, i8)> + '_ {
-        self.indices.iter().copied().zip(self.values.iter().copied())
+        self.indices
+            .iter()
+            .copied()
+            .zip(self.values.iter().copied())
     }
 
     /// Decodes back into a flat kernel of `kernel_len` weights.

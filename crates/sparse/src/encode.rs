@@ -45,7 +45,9 @@ impl KernelCode {
     /// 25088).
     pub fn encode(kernel: &[i8]) -> Result<Self, EncodeError> {
         if kernel.len() > u16::MAX as usize + 1 {
-            return Err(EncodeError::IndexOverflow { kernel_len: kernel.len() });
+            return Err(EncodeError::IndexOverflow {
+                kernel_len: kernel.len(),
+            });
         }
         // Bucket indexes by value. 255 possible non-zero values.
         let mut buckets: Vec<Vec<u16>> = vec![Vec::new(); 256];
@@ -63,7 +65,10 @@ impl KernelCode {
             }
             let bucket = &buckets[(v as u8) as usize];
             if !bucket.is_empty() {
-                entries.push(QEntry { value: v, count: bucket.len() as u32 });
+                entries.push(QEntry {
+                    value: v,
+                    count: bucket.len() as u32,
+                });
                 indices.extend_from_slice(bucket);
             }
         }
@@ -94,7 +99,11 @@ impl KernelCode {
 
     /// Iterates `(value, indexes)` group by group.
     pub fn groups(&self) -> Groups<'_> {
-        Groups { code: self, group: 0, offset: 0 }
+        Groups {
+            code: self,
+            group: 0,
+            offset: 0,
+        }
     }
 
     /// Decodes back into a flat kernel of `kernel_len` weights.
@@ -204,7 +213,11 @@ impl LayerCode {
         let i = index as usize;
         let n = i / kk;
         let rem = i % kk;
-        (n, rem / self.shape.kernel_cols, rem % self.shape.kernel_cols)
+        (
+            n,
+            rem / self.shape.kernel_cols,
+            rem % self.shape.kernel_cols,
+        )
     }
 }
 

@@ -23,7 +23,11 @@ impl SizeModel {
     /// The paper's configuration: 16-bit WT entries, 16-bit Q-Table
     /// words, 8-bit original weights.
     pub fn paper() -> Self {
-        Self { index_bytes: 2, qword_bytes: 2, weight_bits: 8 }
+        Self {
+            index_bytes: 2,
+            qword_bytes: 2,
+            weight_bits: 8,
+        }
     }
 
     /// Bytes of the dense (unencoded) quantized model with `params`
@@ -38,7 +42,10 @@ impl SizeModel {
         // Per distinct value: VAL + NUM words; per kernel: total word.
         let qt = code.total_distinct() * 2 * self.qword_bytes
             + code.kernels().len() as u64 * self.qword_bytes;
-        EncodingSize { wt_buffer_bytes: wt, q_table_bytes: qt }
+        EncodingSize {
+            wt_buffer_bytes: wt,
+            q_table_bytes: qt,
+        }
     }
 
     /// Encoded size of a whole model (summed over accelerated layers).
@@ -99,15 +106,12 @@ mod tests {
     #[test]
     fn layer_size_accounting() {
         // 2 kernels, kernel 0: 3 nnz over 2 values; kernel 1: 1 nnz.
-        let w = Tensor4::from_vec(
-            Shape4::new(2, 1, 2, 2),
-            vec![4, 4, -2, 0, 0, 0, 9, 0],
-        );
+        let w = Tensor4::from_vec(Shape4::new(2, 1, 2, 2), vec![4, 4, -2, 0, 0, 0, 9, 0]);
         let code = LayerCode::encode(&w).unwrap();
         let m = SizeModel::paper();
         let s = m.layer_bytes(&code);
         assert_eq!(s.wt_buffer_bytes, 4 * 2); // 4 indexes
-        // 3 distinct-value groups * 2 words + 2 kernel totals = 8 words.
+                                              // 3 distinct-value groups * 2 words + 2 kernel totals = 8 words.
         assert_eq!(s.q_table_bytes, 8 * 2);
         assert_eq!(s.total(), 24);
     }
@@ -138,7 +142,10 @@ mod tests {
 
     #[test]
     fn mb_conversion() {
-        let s = EncodingSize { wt_buffer_bytes: 1024 * 1024, q_table_bytes: 0 };
+        let s = EncodingSize {
+            wt_buffer_bytes: 1024 * 1024,
+            q_table_bytes: 0,
+        };
         assert_eq!(s.total_mb(), 1.0);
     }
 }

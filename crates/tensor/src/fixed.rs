@@ -155,13 +155,7 @@ impl QFormat {
     /// saturating.
     ///
     /// This is the Sum/Round step of the accelerator data path.
-    pub fn rescale_to(
-        &self,
-        acc: i64,
-        other: QFormat,
-        target: QFormat,
-        mode: Rounding,
-    ) -> i32 {
+    pub fn rescale_to(&self, acc: i64, other: QFormat, target: QFormat, mode: Rounding) -> i32 {
         let src_frac = self.frac as i32 + other.frac as i32;
         let shift = src_frac - target.frac as i32;
         let rounded = round_shift(acc, shift, mode);
@@ -179,18 +173,13 @@ impl fmt::Display for QFormat {
 /// mode. A negative `shift` is a left shift (exact, may saturate later).
 pub fn round_shift(v: i64, shift: i32, mode: Rounding) -> i64 {
     if shift <= 0 {
-        return v.checked_shl((-shift) as u32).unwrap_or(if v >= 0 {
-            i64::MAX
-        } else {
-            i64::MIN
-        });
+        return v
+            .checked_shl((-shift) as u32)
+            .unwrap_or(if v >= 0 { i64::MAX } else { i64::MIN });
     }
     if shift >= 63 {
         return match mode {
-            Rounding::Floor
-                if v < 0 => {
-                    -1
-                }
+            Rounding::Floor if v < 0 => -1,
             _ => 0,
         };
     }

@@ -73,7 +73,10 @@ pub fn read_tensor3<T: FromStr + Default + Clone>(
         return Err(ParseTensorError::BadHeader(header.to_string()));
     }
     let dims: Vec<usize> = parts
-        .map(|p| p.parse().map_err(|_| ParseTensorError::BadHeader(header.to_string())))
+        .map(|p| {
+            p.parse()
+                .map_err(|_| ParseTensorError::BadHeader(header.to_string()))
+        })
         .collect::<Result<_, _>>()?;
     let [channels, rows, cols]: [usize; 3] = dims
         .try_into()
@@ -81,7 +84,10 @@ pub fn read_tensor3<T: FromStr + Default + Clone>(
     let shape = Shape3::new(channels, rows, cols);
     let values: Vec<T> = lines
         .flat_map(str::split_whitespace)
-        .map(|v| v.parse::<T>().map_err(|_| ParseTensorError::BadValue(v.to_string())))
+        .map(|v| {
+            v.parse::<T>()
+                .map_err(|_| ParseTensorError::BadValue(v.to_string()))
+        })
         .collect::<Result<_, _>>()?;
     if values.len() != shape.len() {
         return Err(ParseTensorError::WrongLength {
@@ -124,7 +130,10 @@ pub fn read_tensor4<T: FromStr + Default + Clone>(
         return Err(ParseTensorError::BadHeader(header.to_string()));
     }
     let dims: Vec<usize> = parts
-        .map(|p| p.parse().map_err(|_| ParseTensorError::BadHeader(header.to_string())))
+        .map(|p| {
+            p.parse()
+                .map_err(|_| ParseTensorError::BadHeader(header.to_string()))
+        })
         .collect::<Result<_, _>>()?;
     let [m, n, k, kp]: [usize; 4] = dims
         .try_into()
@@ -132,7 +141,10 @@ pub fn read_tensor4<T: FromStr + Default + Clone>(
     let shape = Shape4::new(m, n, k, kp);
     let values: Vec<T> = lines
         .flat_map(str::split_whitespace)
-        .map(|v| v.parse::<T>().map_err(|_| ParseTensorError::BadValue(v.to_string())))
+        .map(|v| {
+            v.parse::<T>()
+                .map_err(|_| ParseTensorError::BadValue(v.to_string()))
+        })
         .collect::<Result<_, _>>()?;
     if values.len() != shape.len() {
         return Err(ParseTensorError::WrongLength {
@@ -191,7 +203,10 @@ mod tests {
         ));
         assert_eq!(
             read_tensor3::<i32>("tensor3 1 1 2\n1"),
-            Err(ParseTensorError::WrongLength { expected: 2, found: 1 })
+            Err(ParseTensorError::WrongLength {
+                expected: 2,
+                found: 1
+            })
         );
         let e = read_tensor3::<i32>("tensor3 1 1 2\n1").unwrap_err();
         assert!(e.to_string().contains("expected 2"));

@@ -91,7 +91,10 @@ pub fn quantize_tensor(weights: &Tensor4<f32>, bits: u8) -> QuantizedTensor {
             format.quantize_f32_with(v, Rounding::NearestTiesAway)
         }
     });
-    QuantizedTensor { weights: quantized, format }
+    QuantizedTensor {
+        weights: quantized,
+        format,
+    }
 }
 
 #[cfg(test)]
@@ -149,7 +152,10 @@ mod tests {
         let back = q.dequantize();
         let lsb = q.format.lsb() as f32;
         for (orig, deq) in w.as_slice().iter().zip(back.as_slice()) {
-            assert!((orig - deq).abs() <= lsb * 0.5 + f32::EPSILON, "{orig} vs {deq}");
+            assert!(
+                (orig - deq).abs() <= lsb * 0.5 + f32::EPSILON,
+                "{orig} vs {deq}"
+            );
         }
     }
 

@@ -30,7 +30,11 @@ pub struct Shape3 {
 impl Shape3 {
     /// Creates a feature-map shape.
     pub fn new(channels: usize, rows: usize, cols: usize) -> Self {
-        Self { channels, rows, cols }
+        Self {
+            channels,
+            rows,
+            cols,
+        }
     }
 
     /// Total number of elements.
@@ -92,7 +96,12 @@ impl Shape4 {
         kernel_rows: usize,
         kernel_cols: usize,
     ) -> Self {
-        Self { out_channels, in_channels, kernel_rows, kernel_cols }
+        Self {
+            out_channels,
+            in_channels,
+            kernel_rows,
+            kernel_cols,
+        }
     }
 
     /// Total number of weights.

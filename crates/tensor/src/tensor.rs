@@ -27,7 +27,10 @@ pub struct Tensor3<T> {
 impl<T: Default + Clone> Tensor3<T> {
     /// Creates a tensor filled with `T::default()`.
     pub fn zeros(shape: Shape3) -> Self {
-        Self { shape, data: vec![T::default(); shape.len()] }
+        Self {
+            shape,
+            data: vec![T::default(); shape.len()],
+        }
     }
 }
 
@@ -104,7 +107,10 @@ impl<T> Tensor3<T> {
     /// Maps every element through `f`, producing a new tensor of the same
     /// shape.
     pub fn map<U>(&self, f: impl FnMut(&T) -> U) -> Tensor3<U> {
-        Tensor3 { shape: self.shape, data: self.data.iter().map(f).collect() }
+        Tensor3 {
+            shape: self.shape,
+            data: self.data.iter().map(f).collect(),
+        }
     }
 }
 
@@ -142,7 +148,10 @@ pub struct Tensor4<T> {
 impl<T: Default + Clone> Tensor4<T> {
     /// Creates a tensor filled with `T::default()`.
     pub fn zeros(shape: Shape4) -> Self {
-        Self { shape, data: vec![T::default(); shape.len()] }
+        Self {
+            shape,
+            data: vec![T::default(); shape.len()],
+        }
     }
 }
 
@@ -163,10 +172,7 @@ impl<T> Tensor4<T> {
     }
 
     /// Creates a tensor by evaluating `f(m, n, k, k')` at every coordinate.
-    pub fn from_fn(
-        shape: Shape4,
-        mut f: impl FnMut(usize, usize, usize, usize) -> T,
-    ) -> Self {
+    pub fn from_fn(shape: Shape4, mut f: impl FnMut(usize, usize, usize, usize) -> T) -> Self {
         let mut data = Vec::with_capacity(shape.len());
         for m in 0..shape.out_channels {
             for n in 0..shape.in_channels {
@@ -233,7 +239,10 @@ impl<T> Tensor4<T> {
     /// Maps every element through `f`, producing a new tensor of the same
     /// shape.
     pub fn map<U>(&self, f: impl FnMut(&T) -> U) -> Tensor4<U> {
-        Tensor4 { shape: self.shape, data: self.data.iter().map(f).collect() }
+        Tensor4 {
+            shape: self.shape,
+            data: self.data.iter().map(f).collect(),
+        }
     }
 }
 

@@ -22,7 +22,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ((((c + 1) * (r + 3) * (col + 7)) % 255) as i16) - 127
     });
 
-    println!("running AlexNet ({} layers, {} weights, {} non-zero)",
+    println!(
+        "running AlexNet ({} layers, {} weights, {} non-zero)",
         net.len(),
         net.total_weights(),
         model.total_nnz()
@@ -46,12 +47,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let top = abm.argmax().expect("logits");
-    println!("\npredicted class: {top}  (softmax p = {:.4})", abm.probabilities[top]);
+    println!(
+        "\npredicted class: {top}  (softmax p = {:.4})",
+        abm.probabilities[top]
+    );
     let mut idx: Vec<usize> = (0..abm.probabilities.len()).collect();
-    idx.sort_by(|&a, &b| abm.probabilities[b].partial_cmp(&abm.probabilities[a]).unwrap());
+    idx.sort_by(|&a, &b| {
+        abm.probabilities[b]
+            .partial_cmp(&abm.probabilities[a])
+            .unwrap()
+    });
     println!("top-5:");
     for &i in idx.iter().take(5) {
-        println!("  class {i:>4}: p = {:.4}  logit = {:+.3}", abm.probabilities[i], abm.logits[i]);
+        println!(
+            "  class {i:>4}: p = {:.4}  logit = {:+.3}",
+            abm.probabilities[i], abm.logits[i]
+        );
     }
 
     println!("\nper-layer trace (name, output shape, feature format):");

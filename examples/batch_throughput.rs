@@ -1,53 +1,92 @@
-//! Batched functional inference: runs a batch of images through the
-//! ABM engine with one-time weight preparation, and contrasts host-side
-//! wall time with the simulated accelerator throughput (where the batch
-//! also amortizes FC weight streaming, Section 5.1's minimum-batch
-//! assumption).
+//! Batched functional inference through the work-stealing host pool:
+//! runs AlexNet over a 64-image batch with one-time weight preparation,
+//! once serially and once with `Parallelism::Auto`, checks the results
+//! are bit-identical, and reports the host-side speedup next to the
+//! simulated accelerator throughput (where the batch also amortizes FC
+//! weight streaming, Section 5.1's minimum-batch assumption).
 //!
 //! ```text
 //! cargo run --release --example batch_throughput
 //! ```
 
-use abm_conv::{Engine, Inferencer};
-use abm_model::{synthesize_model, zoo, LayerProfile, PruneProfile};
-use abm_sim::{simulate_network, AcceleratorConfig};
-use abm_tensor::{Shape3, Tensor3};
+use abm_conv::{Engine, Inferencer, Parallelism};
+use abm_model::{synthesize_model, zoo, PruneProfile};
+use abm_sim::{simulate_network_par, AcceleratorConfig};
+use abm_tensor::Tensor3;
 use std::time::Instant;
 
+const BATCH: usize = 64;
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let net = zoo::tiny();
-    let profile = PruneProfile::uniform(LayerProfile::new(0.7, 16));
+    let net = zoo::alexnet();
+    let profile = PruneProfile::alexnet_deep_compression();
     let model = synthesize_model(&net, &profile, 13);
 
-    let batch: Vec<Tensor3<i16>> = (0..20)
+    let batch: Vec<Tensor3<i16>> = (0..BATCH)
         .map(|i| {
-            Tensor3::from_fn(Shape3::new(3, 32, 32), |c, r, col| {
+            Tensor3::from_fn(net.input_shape(), |c, r, col| {
                 ((((c + i) * 769 + r * 37 + col * 11) % 255) as i16) - 127
             })
         })
         .collect();
 
-    let inferencer = Inferencer::new(&model).engine(Engine::Abm);
-    let t0 = Instant::now();
-    let results = inferencer.run_batch(&batch)?;
-    let host = t0.elapsed();
-
-    println!("functional batch of {} images through TinyNet (ABM engine):", batch.len());
     println!(
-        "  host wall time {:.2?} ({:.2} ms/image)",
-        host,
-        host.as_secs_f64() * 1e3 / batch.len() as f64
+        "functional batch of {BATCH} images through {} (ABM engine):",
+        net.name()
     );
-    let classes: Vec<_> = results.iter().map(|r| r.argmax().unwrap_or(0)).collect();
-    println!("  predicted classes: {classes:?}");
 
-    // Verify batching did not change results.
-    let single = inferencer.run(&batch[7])?;
-    assert_eq!(single, results[7]);
-    println!("  batched result == single-image result (checked)");
+    let serial = Inferencer::new(&model)
+        .engine(Engine::Abm)
+        .parallelism(Parallelism::Serial);
+    let t0 = Instant::now();
+    let serial_results = serial.run_batch(&batch)?;
+    let serial_time = t0.elapsed();
+    let serial_ips = BATCH as f64 / serial_time.as_secs_f64();
+    println!("  serial      : {serial_time:>8.2?}  ({serial_ips:.2} images/s)");
 
-    let sim = simulate_network(&model, &AcceleratorConfig::paper());
-    println!("\nsimulated accelerator (batch {} amortizing FC weights):", 20);
+    let parallel = Inferencer::new(&model)
+        .engine(Engine::Abm)
+        .parallelism(Parallelism::Auto);
+    let t0 = Instant::now();
+    let parallel_results = parallel.run_batch(&batch)?;
+    let parallel_time = t0.elapsed();
+    let parallel_ips = BATCH as f64 / parallel_time.as_secs_f64();
+    println!(
+        "  {:<12}: {parallel_time:>8.2?}  ({parallel_ips:.2} images/s)",
+        format!("threads {}", Parallelism::Auto)
+    );
+
+    // The determinism invariant: the pool must not change a single bit.
+    assert_eq!(serial_results, parallel_results);
+    println!("  parallel results are bit-identical to serial (checked)");
+
+    let speedup = parallel_ips / serial_ips;
+    println!(
+        "  speedup: {speedup:.2}x on {} workers",
+        Parallelism::Auto.worker_count()
+    );
+    if Parallelism::Auto.worker_count() >= 2 {
+        assert!(
+            speedup >= 2.0,
+            "expected >=2x batch speedup on a multicore host, got {speedup:.2}x"
+        );
+    }
+
+    let classes: Vec<_> = parallel_results
+        .iter()
+        .take(8)
+        .map(|r| r.argmax().unwrap_or(0))
+        .collect();
+    println!("  predicted classes (first 8): {classes:?}");
+
+    // The simulated accelerator, whose own cycle simulation also rides
+    // the pool (fanning out across AlexNet's layers / kernel lanes).
+    let sim = simulate_network_par(
+        &model,
+        &AcceleratorConfig::paper_alexnet(),
+        Parallelism::Auto,
+    );
+    println!("\nsimulated accelerator (batch {BATCH} amortizing FC weights):");
     println!(
         "  {:.3} ms/image, {:.0} images/s, {:.1} GOP/s",
         sim.total_seconds() * 1e3,

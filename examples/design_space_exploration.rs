@@ -41,7 +41,11 @@ fn main() {
     println!("stage 1: minimum Acc/Mult ratio {min_ratio:.1}  =>  N = {n}");
 
     // Stage 2: N_knl sweep (Figure 6).
-    let base = AcceleratorConfig { n, freq_mhz: 200.0, ..AcceleratorConfig::paper() };
+    let base = AcceleratorConfig {
+        n,
+        freq_mhz: 200.0,
+        ..AcceleratorConfig::paper()
+    };
     let sweep = explore_nknl(&net, &profile, &device, &base, 2..=20);
     let best_knl = optimal_nknl(&sweep).expect("feasible N_knl");
     println!(
@@ -50,7 +54,10 @@ fn main() {
     );
 
     // Stage 3: S_ec x N_cu plane (Figure 7).
-    let base = AcceleratorConfig { n_knl: best_knl.config.n_knl, ..base };
+    let base = AcceleratorConfig {
+        n_knl: best_knl.config.n_knl,
+        ..base
+    };
     let s_ec: Vec<usize> = (4..=40).step_by(4).collect();
     let n_cu: Vec<usize> = (1..=6).collect();
     let grid = explore_sec_ncu(&net, &profile, &device, &base, &s_ec, &n_cu, 0.75);
@@ -73,19 +80,19 @@ fn main() {
     println!("stage 4: cycle-simulated validation:");
     for c in &candidates {
         let sim = simulate_network(&model, &c.config);
-        let compute_bound = is_compute_bound(
-            &net,
-            &profile,
-            &c.config,
-            device.memory_bandwidth_gbps,
-        );
+        let compute_bound =
+            is_compute_bound(&net, &profile, &c.config, device.memory_bandwidth_gbps);
         println!(
             "  S_ec={:>2} N_cu={}  simulated {:>6.1} GOP/s  (model {:>6.1}, {} on {:.1} GB/s DDR)",
             c.config.s_ec,
             c.config.n_cu,
             sim.gops(),
             c.gops,
-            if compute_bound { "compute-bound" } else { "MEMORY-BOUND" },
+            if compute_bound {
+                "compute-bound"
+            } else {
+                "MEMORY-BOUND"
+            },
             device.memory_bandwidth_gbps
         );
     }

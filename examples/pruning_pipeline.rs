@@ -67,7 +67,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let abm = Inferencer::new(&model).engine(Engine::Abm).run(&input)?;
     let dense = Inferencer::new(&model).engine(Engine::Dense).run(&input)?;
     assert_eq!(abm.logits, dense.logits);
-    println!("inference: ABM == dense, predicted class {:?}", abm.argmax());
+    println!(
+        "inference: ABM == dense, predicted class {:?}",
+        abm.argmax()
+    );
 
     // Deployment mode: calibrate fixed per-layer output formats offline
     // (what the Sum/Round hardware actually uses), then check held-out

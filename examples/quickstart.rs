@@ -46,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let dense_macs = 64u64 * 32 * 9 * 28 * 28;
     println!("\nwork comparison (one inference of this layer):");
-    println!("  dense MACs        : {dense_macs}  (= {} mult + {} add)", dense_macs, dense_macs);
+    println!(
+        "  dense MACs        : {dense_macs}  (= {} mult + {} add)",
+        dense_macs, dense_macs
+    );
     println!("  ABM accumulations : {}", work.accumulations);
     println!("  ABM multiplies    : {}", work.multiplications);
     println!(

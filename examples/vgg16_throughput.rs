@@ -30,7 +30,15 @@ fn main() {
 
     println!(
         "\n{:<10} {:>10} {:>10} {:>9} {:>9} {:>10} {:>6} {:>10} {:>9}",
-        "layer", "cycles", "GOP/s", "comp(ms)", "mem(ms)", "lane-eff", "bound", "mult-bnd%", "host(ms)"
+        "layer",
+        "cycles",
+        "GOP/s",
+        "comp(ms)",
+        "mem(ms)",
+        "lane-eff",
+        "bound",
+        "mult-bnd%",
+        "host(ms)"
     );
     for l in sim.layers() {
         println!(
@@ -48,13 +56,29 @@ fn main() {
     }
 
     println!("\nwhole network:");
-    println!("  latency          : {:.2} ms/image", sim.total_seconds() * 1e3);
-    println!("  rate             : {:.1} images/s", sim.images_per_second());
-    println!("  throughput       : {:.1} GOP/s  (paper: 1029, [3] baseline: 662)", sim.gops());
-    println!("  lane efficiency  : {:.1}%   (paper: 87%)", sim.lane_efficiency() * 100.0);
+    println!(
+        "  latency          : {:.2} ms/image",
+        sim.total_seconds() * 1e3
+    );
+    println!(
+        "  rate             : {:.1} images/s",
+        sim.images_per_second()
+    );
+    println!(
+        "  throughput       : {:.1} GOP/s  (paper: 1029, [3] baseline: 662)",
+        sim.gops()
+    );
+    println!(
+        "  lane efficiency  : {:.1}%   (paper: 87%)",
+        sim.lane_efficiency() * 100.0
+    );
     println!("  CU busy          : {:.1}%", sim.cu_utilization() * 100.0);
     println!(
         "  host layers      : {} (paper: hidden by pipelining)",
-        if sim.host_hidden() { "hidden behind accelerator time" } else { "NOT hidden" }
+        if sim.host_hidden() {
+            "hidden behind accelerator time"
+        } else {
+            "NOT hidden"
+        }
     );
 }

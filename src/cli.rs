@@ -4,16 +4,18 @@
 //! ```text
 //! abm-spconv analyze  <vgg16|alexnet|vgg19|tiny>
 //! abm-spconv simulate <net> [--n-cu N] [--n-knl N] [--n N] [--s-ec N] [--freq MHZ]
+//!                           [--parallel serial|auto|N]
 //! abm-spconv explore  <net> [--device gxa7|arria10]
 //! abm-spconv infer    <net> [--engine dense|gemm|sparse|abm|freq] [--seed S]
+//!                           [--batch N] [--parallel serial|auto|N]
 //! ```
 
 use abm_conv::ops::NetworkOps;
-use abm_conv::{Engine, Inferencer};
+use abm_conv::{Engine, Inferencer, Parallelism};
 use abm_dse::flow::run_flow;
 use abm_dse::FpgaDevice;
 use abm_model::{synthesize_model, zoo, Network, PruneProfile, SparseModel};
-use abm_sim::{simulate_network, AcceleratorConfig};
+use abm_sim::{simulate_network_par, AcceleratorConfig};
 use abm_sparse::SizeModel;
 use abm_tensor::Tensor3;
 use std::error::Error;
@@ -33,6 +35,8 @@ pub enum Command {
         net: String,
         /// Accelerator configuration (paper defaults with overrides).
         config: AcceleratorConfig,
+        /// Host-thread parallelism for the simulation itself.
+        parallelism: Parallelism,
     },
     /// The full design-space exploration flow.
     Explore {
@@ -41,7 +45,7 @@ pub enum Command {
         /// Target device.
         device: FpgaDevice,
     },
-    /// Functional inference on a synthetic image.
+    /// Functional inference on a batch of synthetic images.
     Infer {
         /// Network name.
         net: String,
@@ -49,6 +53,10 @@ pub enum Command {
         engine: Engine,
         /// Synthesis seed.
         seed: u64,
+        /// Number of synthetic images to run.
+        batch: usize,
+        /// Host-thread parallelism across the batch.
+        parallelism: Parallelism,
     },
 }
 
@@ -73,8 +81,10 @@ pub const USAGE: &str = "usage: abm-spconv <command> [options]
 commands:
   analyze  <vgg16|alexnet|vgg19|tiny>
   simulate <net> [--n-cu N] [--n-knl N] [--n N] [--s-ec N] [--freq MHZ]
+                 [--parallel serial|auto|N]
   explore  <net> [--device gxa7|arria10]
-  infer    <net> [--engine dense|gemm|sparse|abm|freq] [--seed S]";
+  infer    <net> [--engine dense|gemm|sparse|abm|freq] [--seed S]
+                 [--batch N] [--parallel serial|auto|N]";
 
 /// Parses an argument vector (without the program name).
 ///
@@ -84,7 +94,10 @@ commands:
 pub fn parse(args: &[String]) -> Result<Command, UsageError> {
     let mut it = args.iter();
     let cmd = it.next().ok_or_else(|| err(USAGE))?;
-    let net = it.next().ok_or_else(|| err("missing network name"))?.clone();
+    let net = it
+        .next()
+        .ok_or_else(|| err("missing network name"))?
+        .clone();
     if !["vgg16", "alexnet", "vgg19", "tiny"].contains(&net.as_str()) {
         return Err(err(format!("unknown network '{net}'")));
     }
@@ -96,12 +109,14 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
             } else {
                 AcceleratorConfig::paper()
             };
+            let mut parallelism = Parallelism::Auto;
             while let Some(flag) = it.next() {
                 let value = it
                     .next()
                     .ok_or_else(|| err(format!("flag {flag} needs a value")))?;
                 let parse_usize = |v: &str| {
-                    v.parse::<usize>().map_err(|_| err(format!("bad number '{v}'")))
+                    v.parse::<usize>()
+                        .map_err(|_| err(format!("bad number '{v}'")))
                 };
                 match flag.as_str() {
                     "--n-cu" => config.n_cu = parse_usize(value)?,
@@ -113,13 +128,18 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                             .parse::<f64>()
                             .map_err(|_| err(format!("bad frequency '{value}'")))?
                     }
+                    "--parallel" => parallelism = Parallelism::parse(value).map_err(err)?,
                     other => return Err(err(format!("unknown flag {other}"))),
                 }
             }
             config
                 .validate()
                 .map_err(|e| err(format!("invalid configuration: {e}")))?;
-            Ok(Command::Simulate { net, config })
+            Ok(Command::Simulate {
+                net,
+                config,
+                parallelism,
+            })
         }
         "explore" => {
             let mut device = FpgaDevice::stratix_v_gxa7();
@@ -143,6 +163,8 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
         "infer" => {
             let mut engine = Engine::Abm;
             let mut seed = 2019u64;
+            let mut batch = 1usize;
+            let mut parallelism = Parallelism::Auto;
             while let Some(flag) = it.next() {
                 let value = it
                     .next()
@@ -163,10 +185,24 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                             .parse::<u64>()
                             .map_err(|_| err(format!("bad seed '{value}'")))?
                     }
+                    "--batch" => {
+                        batch = value
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| err(format!("bad batch size '{value}'")))?
+                    }
+                    "--parallel" => parallelism = Parallelism::parse(value).map_err(err)?,
                     other => return Err(err(format!("unknown flag {other}"))),
                 }
             }
-            Ok(Command::Infer { net, engine, seed })
+            Ok(Command::Infer {
+                net,
+                engine,
+                seed,
+                batch,
+                parallelism,
+            })
         }
         other => Err(err(format!("unknown command '{other}'\n{USAGE}"))),
     }
@@ -228,17 +264,22 @@ pub fn execute(command: &Command) -> Result<(), Box<dyn Error>> {
                 size.original_bytes(network.total_weights()) as f64 / 1e6
             );
         }
-        Command::Simulate { net, config } => {
+        Command::Simulate {
+            net,
+            config,
+            parallelism,
+        } => {
             let (network, _, model) = build(net, 2019);
-            let sim = simulate_network(&model, config);
+            let sim = simulate_network_par(&model, config, *parallelism);
             println!(
-                "{} on N_cu={} N_knl={} N={} S_ec={} @ {} MHz:",
+                "{} on N_cu={} N_knl={} N={} S_ec={} @ {} MHz (host threads: {}):",
                 network.name(),
                 config.n_cu,
                 config.n_knl,
                 config.n,
                 config.s_ec,
-                config.freq_mhz
+                config.freq_mhz,
+                parallelism
             );
             println!(
                 "  {:.2} ms/image | {:.1} images/s | {:.1} GOP/s | lane efficiency {:.1}%",
@@ -272,28 +313,51 @@ pub fn execute(command: &Command) -> Result<(), Box<dyn Error>> {
             }
             println!(
                 "memory: {}",
-                if result.compute_bound { "compute-bound" } else { "MEMORY-BOUND" }
+                if result.compute_bound {
+                    "compute-bound"
+                } else {
+                    "MEMORY-BOUND"
+                }
             );
         }
-        Command::Infer { net, engine, seed } => {
+        Command::Infer {
+            net,
+            engine,
+            seed,
+            batch,
+            parallelism,
+        } => {
             let (network, _, model) = build(net, *seed);
-            let input = Tensor3::from_fn(network.input_shape(), |c, r, col| {
-                ((((c + 1) * (r + 3) * (col + 7)) % 255) as i16) - 127
-            });
-            let result = Inferencer::new(&model).engine(*engine).run(&input)?;
+            let inputs: Vec<_> = (0..*batch)
+                .map(|i| {
+                    Tensor3::from_fn(network.input_shape(), |c, r, col| {
+                        ((((c + 1) * (r + 3) * (col + 7 + i)) % 255) as i16) - 127
+                    })
+                })
+                .collect();
+            let results = Inferencer::new(&model)
+                .engine(*engine)
+                .parallelism(*parallelism)
+                .run_batch(&inputs)?;
+            let result = &results[0];
             println!(
-                "{} via {:?}: predicted class {:?}",
+                "{} via {:?} (batch {}, host threads: {}): predicted class {:?}",
                 network.name(),
                 engine,
+                batch,
+                parallelism,
                 result.argmax()
             );
+            if *batch > 1 {
+                let classes: Vec<_> = results.iter().map(|r| r.argmax().unwrap_or(0)).collect();
+                println!("  batch classes: {classes:?}");
+            }
             if *engine == Engine::Abm {
                 println!(
                     "  {} accumulations, {} multiplications ({:.1}x fewer mults than MACs)",
                     result.work.accumulations,
                     result.work.multiplications,
-                    result.work.accumulations as f64
-                        / result.work.multiplications.max(1) as f64
+                    result.work.accumulations as f64 / result.work.multiplications.max(1) as f64
                 );
             }
         }
@@ -313,20 +377,30 @@ mod tests {
     fn parse_analyze() {
         assert_eq!(
             parse(&argv("analyze vgg16")).unwrap(),
-            Command::Analyze { net: "vgg16".into() }
+            Command::Analyze {
+                net: "vgg16".into()
+            }
         );
     }
 
     #[test]
     fn parse_simulate_with_overrides() {
-        let cmd = parse(&argv("simulate tiny --n-cu 2 --s-ec 16 --freq 150")).unwrap();
+        let cmd = parse(&argv(
+            "simulate tiny --n-cu 2 --s-ec 16 --freq 150 --parallel 4",
+        ))
+        .unwrap();
         match cmd {
-            Command::Simulate { net, config } => {
+            Command::Simulate {
+                net,
+                config,
+                parallelism,
+            } => {
                 assert_eq!(net, "tiny");
                 assert_eq!(config.n_cu, 2);
                 assert_eq!(config.s_ec, 16);
                 assert_eq!(config.freq_mhz, 150.0);
                 assert_eq!(config.n_knl, 14); // default preserved
+                assert_eq!(parallelism, Parallelism::Threads(4));
             }
             other => panic!("wrong command {other:?}"),
         }
@@ -351,20 +425,61 @@ mod tests {
 
     #[test]
     fn parse_infer_engine_and_seed() {
-        let cmd = parse(&argv("infer tiny --engine dense --seed 7")).unwrap();
+        let cmd = parse(&argv(
+            "infer tiny --engine dense --seed 7 --batch 3 --parallel serial",
+        ))
+        .unwrap();
         assert_eq!(
             cmd,
-            Command::Infer { net: "tiny".into(), engine: Engine::Dense, seed: 7 }
+            Command::Infer {
+                net: "tiny".into(),
+                engine: Engine::Dense,
+                seed: 7,
+                batch: 3,
+                parallelism: Parallelism::Serial,
+            }
+        );
+        // Defaults: single image, auto parallelism.
+        let cmd = parse(&argv("infer tiny")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Infer {
+                net: "tiny".into(),
+                engine: Engine::Abm,
+                seed: 2019,
+                batch: 1,
+                parallelism: Parallelism::Auto,
+            }
         );
     }
 
     #[test]
     fn parse_errors_are_helpful() {
         assert!(parse(&[]).unwrap_err().to_string().contains("usage"));
-        assert!(parse(&argv("bogus tiny")).unwrap_err().to_string().contains("unknown command"));
-        assert!(parse(&argv("analyze resnet")).unwrap_err().to_string().contains("unknown network"));
-        assert!(parse(&argv("simulate tiny --n-cu")).unwrap_err().to_string().contains("needs a value"));
-        assert!(parse(&argv("infer tiny --seed x")).unwrap_err().to_string().contains("bad seed"));
+        assert!(parse(&argv("bogus tiny"))
+            .unwrap_err()
+            .to_string()
+            .contains("unknown command"));
+        assert!(parse(&argv("analyze resnet"))
+            .unwrap_err()
+            .to_string()
+            .contains("unknown network"));
+        assert!(parse(&argv("simulate tiny --n-cu"))
+            .unwrap_err()
+            .to_string()
+            .contains("needs a value"));
+        assert!(parse(&argv("infer tiny --seed x"))
+            .unwrap_err()
+            .to_string()
+            .contains("bad seed"));
+        assert!(parse(&argv("infer tiny --batch 0"))
+            .unwrap_err()
+            .to_string()
+            .contains("bad batch"));
+        assert!(parse(&argv("infer tiny --parallel warp"))
+            .unwrap_err()
+            .to_string()
+            .contains("bad parallelism"));
     }
 
     #[test]
@@ -374,10 +489,17 @@ mod tests {
         execute(&Command::Simulate {
             net: "tiny".into(),
             config: AcceleratorConfig::paper(),
+            parallelism: Parallelism::Serial,
         })
         .unwrap();
-        execute(&Command::Infer { net: "tiny".into(), engine: Engine::Abm, seed: 1 })
-            .unwrap();
+        execute(&Command::Infer {
+            net: "tiny".into(),
+            engine: Engine::Abm,
+            seed: 1,
+            batch: 4,
+            parallelism: Parallelism::Threads(2),
+        })
+        .unwrap();
         execute(&Command::Explore {
             net: "tiny".into(),
             device: FpgaDevice::stratix_v_gxa7(),

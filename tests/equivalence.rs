@@ -21,9 +21,18 @@ fn tiny_net_all_engines_agree_synthetic_path() {
         let profile = PruneProfile::uniform(LayerProfile::new(0.6, 12));
         let model = synthesize_model(&net, &profile, seed);
         let input = image(net.input_shape(), seed as usize);
-        let dense = Inferencer::new(&model).engine(Engine::Dense).run(&input).unwrap();
-        let sparse = Inferencer::new(&model).engine(Engine::Sparse).run(&input).unwrap();
-        let abm = Inferencer::new(&model).engine(Engine::Abm).run(&input).unwrap();
+        let dense = Inferencer::new(&model)
+            .engine(Engine::Dense)
+            .run(&input)
+            .unwrap();
+        let sparse = Inferencer::new(&model)
+            .engine(Engine::Sparse)
+            .run(&input)
+            .unwrap();
+        let abm = Inferencer::new(&model)
+            .engine(Engine::Abm)
+            .run(&input)
+            .unwrap();
         assert_eq!(dense.logits, sparse.logits, "seed {seed}");
         assert_eq!(dense.logits, abm.logits, "seed {seed}");
     }
@@ -35,8 +44,14 @@ fn tiny_net_all_engines_agree_float_pipeline_path() {
     let profile = PruneProfile::uniform(LayerProfile::new(0.75, 24));
     let model = synthesize_from_float(&net, &profile, 99);
     let input = image(net.input_shape(), 5);
-    let dense = Inferencer::new(&model).engine(Engine::Dense).run(&input).unwrap();
-    let abm = Inferencer::new(&model).engine(Engine::Abm).run(&input).unwrap();
+    let dense = Inferencer::new(&model)
+        .engine(Engine::Dense)
+        .run(&input)
+        .unwrap();
+    let abm = Inferencer::new(&model)
+        .engine(Engine::Abm)
+        .run(&input)
+        .unwrap();
     assert_eq!(dense.logits, abm.logits);
     assert_eq!(dense.trace, abm.trace);
 }
@@ -49,8 +64,14 @@ fn alexnet_engines_agree_including_grouped_and_lrn() {
     let profile = PruneProfile::alexnet_deep_compression();
     let model = synthesize_model(&net, &profile, 4);
     let input = image(net.input_shape(), 9);
-    let dense = Inferencer::new(&model).engine(Engine::Dense).run(&input).unwrap();
-    let abm = Inferencer::new(&model).engine(Engine::Abm).run(&input).unwrap();
+    let dense = Inferencer::new(&model)
+        .engine(Engine::Dense)
+        .run(&input)
+        .unwrap();
+    let abm = Inferencer::new(&model)
+        .engine(Engine::Abm)
+        .run(&input)
+        .unwrap();
     assert_eq!(dense.logits, abm.logits);
     assert_eq!(dense.probabilities, abm.probabilities);
 }
@@ -61,8 +82,14 @@ fn gemm_engine_is_bit_exact_too() {
     let profile = PruneProfile::uniform(LayerProfile::new(0.5, 16));
     let model = synthesize_model(&net, &profile, 12);
     let input = image(net.input_shape(), 3);
-    let dense = Inferencer::new(&model).engine(Engine::Dense).run(&input).unwrap();
-    let gemm = Inferencer::new(&model).engine(Engine::Gemm).run(&input).unwrap();
+    let dense = Inferencer::new(&model)
+        .engine(Engine::Dense)
+        .run(&input)
+        .unwrap();
+    let gemm = Inferencer::new(&model)
+        .engine(Engine::Gemm)
+        .run(&input)
+        .unwrap();
     assert_eq!(dense.logits, gemm.logits);
     assert_eq!(dense.trace, gemm.trace);
 }
@@ -79,8 +106,7 @@ fn compressed_encoding_round_trips_whole_model() {
         let compressed = compress_layer(&code);
         let decoded = decompress_indices(&compressed);
         for (kernel, groups) in code.kernels().iter().zip(&decoded) {
-            let expect: Vec<Vec<u16>> =
-                kernel.groups().map(|(_, idxs)| idxs.to_vec()).collect();
+            let expect: Vec<Vec<u16>> = kernel.groups().map(|(_, idxs)| idxs.to_vec()).collect();
             assert_eq!(groups, &expect, "layer {}", layer.name());
         }
         // Entropy coding must not grow the stream on realistic layers.
@@ -100,9 +126,19 @@ fn freq_engine_tracks_exact_engines() {
     let profile = PruneProfile::uniform(LayerProfile::new(0.5, 10));
     let model = synthesize_model(&net, &profile, 21);
     let input = image(net.input_shape(), 2);
-    let exact = Inferencer::new(&model).engine(Engine::Dense).run(&input).unwrap();
-    let fd = Inferencer::new(&model).engine(Engine::Freq).run(&input).unwrap();
-    let scale = exact.logits.iter().fold(0f32, |a, &b| a.max(b.abs())).max(1.0);
+    let exact = Inferencer::new(&model)
+        .engine(Engine::Dense)
+        .run(&input)
+        .unwrap();
+    let fd = Inferencer::new(&model)
+        .engine(Engine::Freq)
+        .run(&input)
+        .unwrap();
+    let scale = exact
+        .logits
+        .iter()
+        .fold(0f32, |a, &b| a.max(b.abs()))
+        .max(1.0);
     for (a, b) in exact.logits.iter().zip(&fd.logits) {
         assert!((a - b).abs() <= 0.25 * scale, "{a} vs {b}");
     }
@@ -115,7 +151,10 @@ fn work_counters_match_static_analysis() {
     let profile = PruneProfile::uniform(LayerProfile::new(0.7, 8));
     let model = synthesize_model(&net, &profile, 31);
     let input = image(net.input_shape(), 0);
-    let abm = Inferencer::new(&model).engine(Engine::Abm).run(&input).unwrap();
+    let abm = Inferencer::new(&model)
+        .engine(Engine::Abm)
+        .run(&input)
+        .unwrap();
     let ops = NetworkOps::analyze(&model);
     let t = ops.totals();
     // The dynamic counters must equal the static op analysis exactly.

@@ -15,7 +15,11 @@ fn vgg16() -> abm_spconv_repro::model::SparseModel {
 }
 
 fn alexnet() -> abm_spconv_repro::model::SparseModel {
-    synthesize_model(&zoo::alexnet(), &PruneProfile::alexnet_deep_compression(), 2019)
+    synthesize_model(
+        &zoo::alexnet(),
+        &PruneProfile::alexnet_deep_compression(),
+        2019,
+    )
 }
 
 /// Published baseline: [3] (Zeng et al.) on the same GXA7 device.
@@ -41,7 +45,10 @@ fn table2_alexnet_throughput_beats_fdconv_baseline() {
     let sim = simulate_network(&alexnet(), &AcceleratorConfig::paper_alexnet());
     let gops = sim.gops();
     // Paper: 699 GOP/s (+5.4% over [3]).
-    assert!((620.0..=800.0).contains(&gops), "AlexNet simulated {gops} GOP/s");
+    assert!(
+        (620.0..=800.0).contains(&gops),
+        "AlexNet simulated {gops} GOP/s"
+    );
     assert!(gops > FDCONV_ALEXNET_GOPS, "must edge out [3]'s 663.5");
 }
 
@@ -53,7 +60,10 @@ fn table2_performance_density_wins() {
     let est = ResourceModel::paper().estimate(&AcceleratorConfig::paper());
     let density = sim.gops() / est.dsps as f64;
     assert!(density > 2.59, "density {density:.2} must beat [3]");
-    assert!(density > 1.30 * 2.0, "and clear MAC designs by a wide margin");
+    assert!(
+        density > 1.30 * 2.0,
+        "and clear MAC designs by a wide margin"
+    );
 }
 
 #[test]
@@ -80,7 +90,11 @@ fn table1_op_totals() {
     assert!((t.sdconv as f64 / 1e6 - 30941.0).abs() / 30941.0 < 0.01);
     assert!((t.spconv as f64 / 1e6 - 10082.0).abs() / 10082.0 < 0.03);
     assert!((t.abm_acc as f64 / 1e6 - 5040.0).abs() / 5040.0 < 0.03);
-    assert!((ops.abm_saving() - 0.836).abs() < 0.015, "saving {}", ops.abm_saving());
+    assert!(
+        (ops.abm_saving() - 0.836).abs() < 0.015,
+        "saving {}",
+        ops.abm_saving()
+    );
 }
 
 #[test]
@@ -91,7 +105,10 @@ fn table3_encoded_weight_sizes() {
     // Paper: 26.4 MB (VGG16), 11.9 MB (AlexNet). Same regime: the
     // encoding must compress 5-6x from the 138/61 MB originals.
     assert!((18.0..=30.0).contains(&vgg_mb), "VGG16 encoded {vgg_mb} MB");
-    assert!((9.0..=17.0).contains(&alex_mb), "AlexNet encoded {alex_mb} MB");
+    assert!(
+        (9.0..=17.0).contains(&alex_mb),
+        "AlexNet encoded {alex_mb} MB"
+    );
     // And beat CSR.
     assert!(size.csr_bytes(&vgg16()) as f64 / 1e6 > vgg_mb);
 }
@@ -108,7 +125,11 @@ fn figure1_rooflines() {
     );
     assert!((r.sdconv_gops - 204.8).abs() < 1e-9);
     assert!((r.fdconv_gops - 675.8).abs() < 5.0);
-    assert!((950.0..=1300.0).contains(&r.abm_gops), "ABM roof {}", r.abm_gops);
+    assert!(
+        (950.0..=1300.0).contains(&r.abm_gops),
+        "ABM roof {}",
+        r.abm_gops
+    );
     // Ordering: ABM > FDConv > SDConv.
     assert!(r.abm_gops > r.fdconv_gops && r.fdconv_gops > r.sdconv_gops);
 }
@@ -118,10 +139,17 @@ fn figure6_optimum_matches_paper_choice() {
     let dev = FpgaDevice::stratix_v_gxa7();
     let net = zoo::vgg16();
     let profile = PruneProfile::vgg16_deep_compression();
-    let base = AcceleratorConfig { freq_mhz: 200.0, ..AcceleratorConfig::paper() };
+    let base = AcceleratorConfig {
+        freq_mhz: 200.0,
+        ..AcceleratorConfig::paper()
+    };
     let sweep = explore_nknl(&net, &profile, &dev, &base, 2..=20);
     let best = optimal_nknl(&sweep).unwrap();
-    assert!((12..=16).contains(&best.config.n_knl), "N_knl {}", best.config.n_knl);
+    assert!(
+        (12..=16).contains(&best.config.n_knl),
+        "N_knl {}",
+        best.config.n_knl
+    );
 }
 
 #[test]
@@ -175,7 +203,12 @@ fn value_concentration_only_matters_below_ratio_n() {
 fn exploration_flow_end_to_end() {
     use abm_spconv_repro::dse::flow::run_flow;
     let dev = FpgaDevice::stratix_v_gxa7();
-    let result = run_flow(&zoo::vgg16(), &PruneProfile::vgg16_deep_compression(), &dev, 5);
+    let result = run_flow(
+        &zoo::vgg16(),
+        &PruneProfile::vgg16_deep_compression(),
+        &dev,
+        5,
+    );
     assert_eq!(result.n, 4);
     assert!((12..=16).contains(&result.n_knl));
     assert!(result.compute_bound);

@@ -4,12 +4,11 @@
 
 use abm_spconv_repro::conv::{Engine, Inferencer};
 use abm_spconv_repro::model::{
-    prune_magnitude, synthesize_from_float, synthesize_model, zoo, ConvSpec, Layer,
-    LayerKind, LayerProfile, Network, PruneProfile,
+    prune_magnitude, synthesize_from_float, synthesize_model, zoo, ConvSpec, Layer, LayerKind,
+    LayerProfile, Network, PruneProfile,
 };
 use abm_spconv_repro::sim::{
-    simulate_network, simulate_network_with, AcceleratorConfig, MemorySystem,
-    SchedulingPolicy,
+    simulate_network, simulate_network_with, AcceleratorConfig, MemorySystem, SchedulingPolicy,
 };
 use abm_spconv_repro::sparse::{LayerCode, SizeModel};
 use abm_spconv_repro::tensor::quantize::quantize_tensor;
@@ -30,8 +29,14 @@ fn float_to_simulation_pipeline() {
     let input = Tensor3::from_fn(Shape3::new(3, 32, 32), |c, r, col| {
         (((c * 7 + r * 3 + col) % 200) as i16) - 100
     });
-    let a = Inferencer::new(&model).engine(Engine::Abm).run(&input).unwrap();
-    let d = Inferencer::new(&model).engine(Engine::Dense).run(&input).unwrap();
+    let a = Inferencer::new(&model)
+        .engine(Engine::Abm)
+        .run(&input)
+        .unwrap();
+    let d = Inferencer::new(&model)
+        .engine(Engine::Dense)
+        .run(&input)
+        .unwrap();
     assert_eq!(a.logits, d.logits);
 
     // Simulation produces sane throughput.
@@ -66,8 +71,14 @@ fn fully_pruned_layer_is_handled() {
     // outputs are zero (then bias-free ReLU keeps them zero), and the
     // simulator charges (almost) nothing for it.
     let mut net = Network::new("degenerate", Shape3::new(1, 8, 8));
-    net.push(Layer::new("CONV1", LayerKind::Conv(ConvSpec::new(1, 4, 3, 1, 1))));
-    net.push(Layer::new("CONV2", LayerKind::Conv(ConvSpec::new(4, 4, 3, 1, 1))));
+    net.push(Layer::new(
+        "CONV1",
+        LayerKind::Conv(ConvSpec::new(1, 4, 3, 1, 1)),
+    ));
+    net.push(Layer::new(
+        "CONV2",
+        LayerKind::Conv(ConvSpec::new(4, 4, 3, 1, 1)),
+    ));
     let profile = PruneProfile::new(
         [
             ("CONV1".to_string(), LayerProfile::new(0.5, 8)),
@@ -94,11 +105,16 @@ fn one_by_one_input_fc_only_network() {
         "FC1",
         LayerKind::FullyConnected(abm_spconv_repro::model::FcSpec::new(16, 4)),
     ));
-    let model =
-        synthesize_model(&net, &PruneProfile::uniform(LayerProfile::new(0.25, 6)), 8);
+    let model = synthesize_model(&net, &PruneProfile::uniform(LayerProfile::new(0.25, 6)), 8);
     let input = Tensor3::from_fn(Shape3::new(16, 1, 1), |c, _, _| c as i16 - 8);
-    let a = Inferencer::new(&model).engine(Engine::Abm).run(&input).unwrap();
-    let d = Inferencer::new(&model).engine(Engine::Dense).run(&input).unwrap();
+    let a = Inferencer::new(&model)
+        .engine(Engine::Abm)
+        .run(&input)
+        .unwrap();
+    let d = Inferencer::new(&model)
+        .engine(Engine::Dense)
+        .run(&input)
+        .unwrap();
     assert_eq!(a.logits, d.logits);
     let sim = simulate_network(&model, &AcceleratorConfig::paper());
     assert!(sim.total_seconds() > 0.0);
@@ -107,8 +123,7 @@ fn one_by_one_input_fc_only_network() {
 #[test]
 fn starved_memory_flips_bound_and_slows_inference() {
     let net = zoo::tiny();
-    let model =
-        synthesize_model(&net, &PruneProfile::uniform(LayerProfile::new(0.5, 8)), 5);
+    let model = synthesize_model(&net, &PruneProfile::uniform(LayerProfile::new(0.5, 8)), 5);
     let cfg = AcceleratorConfig::paper();
     let fast = simulate_network(&model, &cfg);
     let slow = simulate_network_with(
@@ -125,9 +140,7 @@ fn starved_memory_flips_bound_and_slows_inference() {
 fn kernel_too_large_for_16bit_index_is_an_error() {
     // FC with 70,000 inputs: the WT-Buffer's 16-bit index cannot encode
     // it; the error must surface cleanly, not panic.
-    let big = Tensor4::<i8>::from_fn(Shape4::new(1, 70_000, 1, 1), |_, n, _, _| {
-        (n % 3) as i8
-    });
+    let big = Tensor4::<i8>::from_fn(Shape4::new(1, 70_000, 1, 1), |_, n, _, _| (n % 3) as i8);
     let err = LayerCode::encode(&big).unwrap_err();
     assert!(err.to_string().contains("16-bit"));
 }

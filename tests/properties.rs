@@ -10,10 +10,7 @@ use abm_spconv_repro::tensor::{QFormat, Rounding, Shape3, Shape4, Tensor3, Tenso
 use proptest::prelude::*;
 
 fn kernel_strategy(max_len: usize) -> impl Strategy<Value = Vec<i8>> {
-    prop::collection::vec(
-        prop_oneof![3 => Just(0i8), 2 => any::<i8>()],
-        1..max_len,
-    )
+    prop::collection::vec(prop_oneof![3 => Just(0i8), 2 => any::<i8>()], 1..max_len)
 }
 
 proptest! {
@@ -287,5 +284,74 @@ proptest! {
         let gemm = Inferencer::new(&model).engine(Engine::Gemm).run(&input).unwrap();
         prop_assert_eq!(&dense.logits, &abm.logits);
         prop_assert_eq!(&dense.logits, &gemm.logits);
+    }
+
+    #[test]
+    fn engines_agree_over_shapes_sparsity_bits_and_batches(
+        seed in any::<u64>(),
+        (channels, out_channels, spatial, kernel) in (1usize..4, 1usize..6, 6usize..13, 1usize..4),
+        sparsity in 0.1f64..0.9,
+        bits in 4u8..9,
+        batch in 1usize..5,
+        from_float in any::<bool>(),
+    ) {
+        use abm_spconv_repro::conv::{Engine, Inferencer, Parallelism};
+        use abm_spconv_repro::model::{
+            synthesize_from_float, synthesize_model, ConvSpec, FcSpec, Layer, LayerKind,
+            LayerProfile, Network, PruneProfile,
+        };
+
+        // One conv + FC head over a randomized geometry.
+        let pad = kernel / 2;
+        let out_spatial = spatial + 2 * pad + 1 - kernel;
+        let mut net = Network::new("prop", Shape3::new(channels, spatial, spatial));
+        net.push(Layer::new(
+            "CONV",
+            LayerKind::Conv(ConvSpec::new(channels, out_channels, kernel, 1, pad)),
+        ));
+        net.push(Layer::new("RELU", LayerKind::Relu));
+        net.push(Layer::new(
+            "FC",
+            LayerKind::FullyConnected(FcSpec::new(
+                out_channels * out_spatial * out_spatial,
+                4,
+            )),
+        ));
+
+        // `bits`-bit quantization gives at most 2^bits - 2 nonzero
+        // codebook levels (one code reserved for zero, one for sign
+        // symmetry); the encoder caps distinct values at 254.
+        let value_levels = ((1usize << bits) - 2).min(254);
+        let profile = PruneProfile::uniform(LayerProfile::new(sparsity, value_levels));
+        // Both model-preparation paths must satisfy the invariant: the
+        // direct codebook synthesizer and the float-quantization flow.
+        let model = if from_float {
+            synthesize_from_float(&net, &profile, seed)
+        } else {
+            synthesize_model(&net, &profile, seed)
+        };
+
+        let inputs: Vec<Tensor3<i16>> = (0..batch)
+            .map(|i| {
+                Tensor3::from_fn(Shape3::new(channels, spatial, spatial), |c, r, col| {
+                    ((((c + i) * 239 + r * 23 + col * 7) % 255) as i16) - 127
+                })
+            })
+            .collect();
+
+        let run = |engine: Engine| {
+            Inferencer::new(&model)
+                .engine(engine)
+                .parallelism(Parallelism::Threads(2))
+                .run_batch(&inputs)
+                .unwrap()
+        };
+        let dense = run(Engine::Dense);
+        let sparse = run(Engine::Sparse);
+        let abm = run(Engine::Abm);
+        for i in 0..batch {
+            prop_assert_eq!(&dense[i].logits, &sparse[i].logits);
+            prop_assert_eq!(&dense[i].logits, &abm[i].logits);
+        }
     }
 }

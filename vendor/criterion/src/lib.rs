@@ -1,0 +1,219 @@
+//! Offline stand-in for the `criterion` crate (0.5 API subset).
+//!
+//! Implements the macro and builder surface the workspace's benches
+//! use — `criterion_group!` / `criterion_main!`, benchmark groups with
+//! `sample_size` / `throughput`, and `Bencher::iter` /
+//! `Bencher::iter_batched` — over a simple wall-clock harness: each
+//! benchmark is warmed up once, timed for `sample_size` samples, and
+//! the per-iteration mean/min are printed. No statistics, plots, or
+//! baselines; good enough to compare engines on one machine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box, used to defeat constant folding.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units for reporting throughput alongside time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// How `iter_batched` amortizes setup; all variants behave identically
+/// in this stand-in (setup always runs once per iteration, untimed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for CLI compatibility; arguments are ignored.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: self.default_sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        run_bench(name, self.default_sample_size, None, f);
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a Criterion,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Attaches a throughput unit to the group's reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(name, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (purely cosmetic here).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure to drive timed iterations.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` once per sample.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let t0 = Instant::now();
+        black_box(routine());
+        self.samples.push(t0.elapsed());
+    }
+
+    /// Times `routine` on a fresh untimed `setup()` input per sample.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let input = setup();
+        let t0 = Instant::now();
+        black_box(routine(input));
+        self.samples.push(t0.elapsed());
+    }
+}
+
+fn run_bench(
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    // Warm-up sample, discarded.
+    let mut warmup = Bencher::default();
+    f(&mut warmup);
+    let mut b = Bencher::default();
+    for _ in 0..sample_size {
+        f(&mut b);
+    }
+    let total: Duration = b.samples.iter().sum();
+    let n = b.samples.len().max(1) as u32;
+    let mean = total / n;
+    let min = b.samples.iter().min().copied().unwrap_or_default();
+    let rate = match throughput {
+        Some(Throughput::Bytes(bytes)) if mean > Duration::ZERO => {
+            format!("  {:.1} MB/s", bytes as f64 / mean.as_secs_f64() / 1e6)
+        }
+        Some(Throughput::Elements(elems)) if mean > Duration::ZERO => {
+            format!("  {:.1} Melem/s", elems as f64 / mean.as_secs_f64() / 1e6)
+        }
+        _ => String::new(),
+    };
+    println!("  {name}: mean {mean:.2?}, min {min:.2?} over {n} samples{rate}");
+}
+
+/// Declares a function that runs each listed benchmark with a default
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_benchers_run() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3).throughput(Throughput::Bytes(1024));
+        let mut runs = 0;
+        group.bench_function("count", |b| {
+            b.iter(|| black_box(2 + 2));
+            runs += 1;
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+        assert_eq!(runs, 4); // 1 warm-up + 3 samples
+    }
+
+    criterion_group!(demo_group, noop_bench);
+
+    fn noop_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| ()));
+    }
+
+    #[test]
+    fn macro_generated_group_is_callable() {
+        demo_group();
+    }
+}

@@ -1,0 +1,284 @@
+//! Offline stand-in for the `proptest` crate (API subset).
+//!
+//! The build environment has no crates.io access, so this crate
+//! re-implements the slice of proptest the workspace's property tests
+//! use: the [`proptest!`] macro, range/tuple/`any`/[`strategy::Just`]
+//! strategies, weighted [`prop_oneof!`], `prop::collection::vec`, and
+//! `prop_assert*` macros.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **Deterministic**: each test's random stream is seeded from a hash
+//!   of the test-function name, so every run and every machine sees the
+//!   same cases (there is no `PROPTEST_CASES` env or failure
+//!   persistence file).
+//! * **No shrinking**: a failing case panics with the standard
+//!   `assert!`/`assert_eq!` message; inputs are not minimized. The
+//!   failing case is reproducible because the stream is deterministic.
+//! * Default case count is 64 (upstream: 256), keeping the tier-1 suite
+//!   fast; tests that need fewer use `ProptestConfig::with_cases`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+
+pub mod test_runner {
+    //! Test-case configuration and the deterministic case RNG.
+
+    /// Per-test configuration (`ProptestConfig` in the prelude).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Config {
+        /// Number of random cases to run.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    /// The deterministic generator strategies sample from
+    /// (xoshiro256++, seeded from the test name).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Seeds the stream from an arbitrary label (the test name), so
+        /// each test sees a distinct but fully reproducible sequence.
+        pub fn deterministic(label: &str) -> Self {
+            // FNV-1a over the label, then SplitMix64 expansion.
+            let mut seed = 0xcbf2_9ce4_8422_2325u64;
+            for b in label.bytes() {
+                seed ^= u64::from(b);
+                seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = seed;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                *slot = z ^ (z >> 31);
+            }
+            Self { s }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform draw in `[0, span)`.
+        pub fn below(&mut self, span: u64) -> u64 {
+            debug_assert!(span > 0);
+            ((self.next_u64() as u128 * span as u128) >> 64) as u64
+        }
+
+        /// Uniform draw in `[0, 1)` with 53-bit resolution.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with lengths drawn from a range (see
+    /// [`vec`]).
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors of `element` samples with `size` in the given
+    /// half-open range.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import for property tests, mirroring
+    //! `proptest::prelude`.
+
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    pub mod prop {
+        //! Namespaced strategy modules (`prop::collection::vec`, …).
+        pub use crate::collection;
+    }
+}
+
+/// Defines deterministic property tests over sampled inputs.
+///
+/// Supports the upstream surface this workspace uses: an optional
+/// leading `#![proptest_config(expr)]`, then any number of
+/// `#[test] fn name(pattern in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (@impl $cfg:expr; $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let mut rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for _case in 0..config.cases {
+                    let ($($arg,)+) = (
+                        $($crate::strategy::Strategy::sample(&($strat), &mut rng),)+
+                    );
+                    { $body }
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl $cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl $crate::test_runner::Config::default(); $($rest)*);
+    };
+}
+
+/// `assert!` under proptest's spelling (no shrinking, so a plain
+/// panic).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `assert_eq!` under proptest's spelling.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `assert_ne!` under proptest's spelling.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Picks among strategies, optionally weighted (`w => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof!($(1 => $strat),+)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(a in 3usize..10, b in -4i8..5, f in 0.25f64..0.75) {
+            prop_assert!((3..10).contains(&a));
+            prop_assert!((-4..5).contains(&b));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn tuples_destructure((x, y) in (0u32..4, 10u64..20)) {
+            prop_assert!(x < 4);
+            prop_assert!((10..20).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in prop::collection::vec(0u8..3, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 3));
+        }
+
+        #[test]
+        fn oneof_honours_weights(v in prop_oneof![3 => Just(0i8), 2 => 1i8..3]) {
+            prop_assert!((0..3).contains(&v));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+
+        #[test]
+        fn config_cases_applies(_x in 0u8..2) {
+            // Five cases run without panicking; determinism is checked
+            // below.
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        use crate::strategy::Strategy;
+        let strat = 0u64..1_000_000;
+        let mut a = crate::test_runner::TestRng::deterministic("stream");
+        let mut b = crate::test_runner::TestRng::deterministic("stream");
+        for _ in 0..100 {
+            assert_eq!(strat.sample(&mut a), strat.sample(&mut b));
+        }
+        let mut c = crate::test_runner::TestRng::deterministic("other");
+        let from_a: Vec<u64> = (0..8).map(|_| strat.sample(&mut a)).collect();
+        let from_c: Vec<u64> = (0..8).map(|_| strat.sample(&mut c)).collect();
+        assert_ne!(from_a, from_c);
+    }
+
+    #[test]
+    fn any_covers_extremes_eventually() {
+        use crate::strategy::{any, Strategy};
+        let mut rng = crate::test_runner::TestRng::deterministic("extremes");
+        let mut seen_neg = false;
+        let mut seen_big = false;
+        for _ in 0..10_000 {
+            let v = any::<i16>().sample(&mut rng);
+            seen_neg |= v < -16_000;
+            seen_big |= v > 16_000;
+        }
+        assert!(seen_neg && seen_big);
+    }
+}

@@ -1,0 +1,152 @@
+//! Times the prepared ABM hot path against the interpretive reference
+//! executor on the AlexNet and VGG16 convolution layers, asserting
+//! bit-identical outputs and writing `BENCH_abm_hotpath.json`.
+//!
+//! ```text
+//! cargo run --release -p abm-bench --bin hotpath            # full run
+//! cargo run --release -p abm-bench --bin hotpath -- --smoke # CI smoke
+//! ```
+//!
+//! `--smoke` restricts the run to AlexNet with one repetition per
+//! engine — enough to exercise both paths end to end without tying up
+//! the CI machine.
+
+use std::time::Instant;
+
+use abm_bench::{alexnet_model, rule, vgg16_model};
+use abm_conv::abm::{reference, PreparedConv};
+use abm_conv::Geometry;
+use abm_model::{LayerKind, SparseLayer, SparseModel};
+use abm_sparse::LayerCode;
+use abm_tensor::Tensor3;
+
+/// One timed layer's results.
+struct Row {
+    network: &'static str,
+    layer: String,
+    out_pixels: u64,
+    reference_ns_per_pixel: f64,
+    prepared_ns_per_pixel: f64,
+    speedup: f64,
+}
+
+/// Deterministic i16 activations for a layer input (same LCG family the
+/// repo's property tests use).
+fn synth_input(layer: &SparseLayer) -> Tensor3<i16> {
+    let shape = layer.layer.input_shape;
+    let mut state = 0x9e37_79b9_u64;
+    Tensor3::from_fn(shape, |_, _, _| {
+        state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+        ((state >> 33) % 256) as i16 - 128
+    })
+}
+
+/// Best-of-`reps` wall time for `f`, in nanoseconds.
+fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, f64) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let r = f();
+        best = best.min(t.elapsed().as_nanos() as f64);
+        out = Some(r);
+    }
+    (out.expect("reps > 0"), best)
+}
+
+fn bench_network(network: &'static str, model: &SparseModel, reps: usize, rows: &mut Vec<Row>) {
+    for layer in &model.layers {
+        let LayerKind::Conv(spec) = &layer.layer.layer.kind else {
+            continue;
+        };
+        let geom = Geometry::new(spec.stride, spec.pad).with_groups(spec.groups);
+        let input = synth_input(layer);
+        let code = LayerCode::encode(&layer.weights).expect("encodable weights");
+
+        let (oracle, ref_ns) = best_of(reps, || reference::conv2d(&input, &code, geom));
+        let prep = PreparedConv::new(&code, input.shape(), geom);
+        let (fast, prep_ns) = best_of(reps, || prep.execute(&input));
+        assert_eq!(
+            oracle,
+            fast,
+            "{network}/{}: prepared path diverged",
+            layer.name()
+        );
+
+        let out_pixels = (fast.shape().rows * fast.shape().cols) as u64;
+        rows.push(Row {
+            network,
+            layer: layer.name().to_string(),
+            out_pixels,
+            reference_ns_per_pixel: ref_ns / out_pixels as f64,
+            prepared_ns_per_pixel: prep_ns / out_pixels as f64,
+            speedup: ref_ns / prep_ns,
+        });
+    }
+}
+
+fn write_json(rows: &[Row], geomean: f64) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut f = std::fs::File::create("BENCH_abm_hotpath.json")?;
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"bench\": \"abm_hotpath\",")?;
+    writeln!(f, "  \"seed\": {},", abm_bench::SEED)?;
+    writeln!(f, "  \"layers\": [")?;
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        writeln!(
+            f,
+            "    {{\"network\": \"{}\", \"layer\": \"{}\", \"out_pixels\": {}, \
+             \"reference_ns_per_pixel\": {:.2}, \"prepared_ns_per_pixel\": {:.2}, \
+             \"speedup\": {:.3}}}{comma}",
+            r.network,
+            r.layer,
+            r.out_pixels,
+            r.reference_ns_per_pixel,
+            r.prepared_ns_per_pixel,
+            r.speedup,
+        )?;
+    }
+    writeln!(f, "  ],")?;
+    writeln!(f, "  \"geomean_speedup\": {geomean:.3}")?;
+    writeln!(f, "}}")
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let reps = if smoke { 1 } else { 3 };
+
+    let mut rows = Vec::new();
+    bench_network("alexnet", &alexnet_model(), reps, &mut rows);
+    if !smoke {
+        bench_network("vgg16", &vgg16_model(), reps, &mut rows);
+    }
+
+    println!("ABM hot path: prepared (flat-offset) vs reference executor, single thread");
+    rule(78);
+    println!(
+        "{:<9} {:<9} {:>10} {:>14} {:>14} {:>9}",
+        "Network", "Layer", "OutPixels", "Ref ns/px", "Prep ns/px", "Speedup"
+    );
+    rule(78);
+    for r in &rows {
+        println!(
+            "{:<9} {:<9} {:>10} {:>14.1} {:>14.1} {:>8.2}x",
+            r.network,
+            r.layer,
+            r.out_pixels,
+            r.reference_ns_per_pixel,
+            r.prepared_ns_per_pixel,
+            r.speedup
+        );
+    }
+    rule(78);
+    let geomean = (rows.iter().map(|r| r.speedup.ln()).sum::<f64>() / rows.len() as f64).exp();
+    println!(
+        "geomean speedup: {geomean:.2}x  ({} layers, best of {reps} reps)",
+        rows.len()
+    );
+
+    write_json(&rows, geomean).expect("write BENCH_abm_hotpath.json");
+    println!("wrote BENCH_abm_hotpath.json");
+}

@@ -10,10 +10,44 @@
 //!
 //! Integer arithmetic makes the factorization exact: the result is
 //! bit-identical to [`crate::dense::conv2d`].
+//!
+//! Two executors implement this flow:
+//!
+//! * [`PreparedConv`] — the hot path. Each kernel's value groups are
+//!   lowered **once** to flat input offsets
+//!   ([`abm_sparse::FlatCode`], the software analogue of the
+//!   accelerator's address generator), the output plane is split into an
+//!   *interior* region whose receptive fields never touch padding (tight
+//!   pointer-bump accumulation, row-tiled for cache locality, one scratch
+//!   partial-sum buffer reused across every pixel) and a *halo* region
+//!   that keeps per-tap bounds checks. Work counts are **analytic** —
+//!   `accumulations = nnz × out_pixels`,
+//!   `multiplications = final_accumulations = Σ Q(m) × out_pixels` —
+//!   computed once per layer instead of incremented per iteration.
+//! * [`reference`] — the naive interpretive loop with per-iteration
+//!   counters, kept as the oracle for equivalence tests.
+//!
+//! [`conv2d`] / [`conv2d_counted`] prepare on the fly; batch consumers
+//! ([`crate::infer::Inferencer`]) prepare once and reuse.
 
-use crate::dense::{padded_read, Geometry};
-use abm_sparse::LayerCode;
-use abm_tensor::{Shape3, Tensor3};
+use crate::dense::Geometry;
+use abm_sparse::{FlatCode, FlatKernel, FlatLayout, LayerCode, Tap};
+use abm_tensor::{Shape3, Shape4, Tensor3};
+use std::ops::Range;
+
+pub mod reference;
+
+/// Interior rows are processed in tiles of this many output rows per
+/// kernel pass, so the input rows a tile touches stay cache-resident
+/// while every kernel of the layer sweeps them.
+const TILE_ROWS: usize = 8;
+
+/// Adjacent interior pixels computed in lock-step per offset-stream walk
+/// — the software analogue of the accelerator's `S_ec`-wide pixel
+/// vector. Each offset is loaded once and accumulated into this many
+/// independent partial sums, which both amortizes the stream walk and
+/// breaks the serial addition dependency chain.
+const PIXEL_VEC: usize = 8;
 
 /// Work performed by one invocation, split by stage — the measured
 /// counterpart of Table 1's `Acc.`/`Mult.` columns.
@@ -29,9 +63,36 @@ pub struct AbmWork {
 
 impl AbmWork {
     /// Total operations (all additions plus multiplications).
+    #[must_use]
     pub fn total(&self) -> u64 {
         self.accumulations + self.multiplications + self.final_accumulations
     }
+}
+
+/// Validates the channel/group contract shared by every ABM executor:
+/// `groups` must be positive and divide the output channels, and the
+/// input must carry `in_channels × groups` channels.
+///
+/// # Panics
+///
+/// Panics with a descriptive message when the contract is violated.
+pub(crate) fn validate_grouping(input: Shape3, weights: Shape4, geom: Geometry) {
+    assert!(geom.groups > 0, "groups must be positive");
+    assert_eq!(
+        weights.out_channels % geom.groups,
+        0,
+        "groups {} must divide out_channels {}",
+        geom.groups,
+        weights.out_channels
+    );
+    assert_eq!(
+        input.channels,
+        weights.in_channels * geom.groups,
+        "input channels {} != weight in_channels {} x groups {}",
+        input.channels,
+        weights.in_channels,
+        geom.groups
+    );
 }
 
 /// Runs ABM-SpConv over an encoded layer, returning the exact
@@ -40,74 +101,532 @@ impl AbmWork {
 /// `code` must have been encoded from weights whose shape is consistent
 /// with `input` and `geom` (see [`crate::dense::output_shape`]).
 ///
+/// This prepares the flat-offset form on the fly; callers convolving the
+/// same layer repeatedly should build a [`PreparedConv`] once instead.
+///
 /// # Panics
 ///
-/// Panics on inconsistent channel counts.
+/// Panics on inconsistent channel counts or a group count that does not
+/// divide the output channels.
+#[must_use]
 pub fn conv2d(input: &Tensor3<i16>, code: &LayerCode, geom: Geometry) -> Tensor3<i64> {
-    conv2d_counted(input, code, geom).0
+    PreparedConv::new(code, input.shape(), geom).execute(input)
 }
 
-/// Like [`conv2d`] but also reports the per-stage operation counts
-/// actually executed.
+/// Like [`conv2d`] but also reports the per-stage operation counts.
+///
+/// The counts are analytic (computed once from the encoded streams and
+/// the output geometry) and exactly equal what [`reference::conv2d_counted`]
+/// counts iteration by iteration.
+///
+/// # Panics
+///
+/// Panics on inconsistent channel counts or a group count that does not
+/// divide the output channels.
+#[must_use]
 pub fn conv2d_counted(
     input: &Tensor3<i16>,
     code: &LayerCode,
     geom: Geometry,
 ) -> (Tensor3<i64>, AbmWork) {
-    let w = code.shape();
-    assert_eq!(
-        input.shape().channels,
-        w.in_channels * geom.groups,
-        "input channels {} != weight in_channels {} x groups {}",
-        input.shape().channels,
-        w.in_channels,
-        geom.groups
-    );
-    let out_shape = Shape3::new(
-        w.out_channels,
-        abm_tensor::shape::conv_out_dim(input.shape().rows, w.kernel_rows, geom.stride, geom.pad),
-        abm_tensor::shape::conv_out_dim(input.shape().cols, w.kernel_cols, geom.stride, geom.pad),
-    );
-    let m_per_group = w.out_channels / geom.groups.max(1);
-    let mut out = Tensor3::zeros(out_shape);
-    let mut work = AbmWork::default();
+    PreparedConv::new(code, input.shape(), geom).execute_counted(input)
+}
 
-    // One value group after on-the-fly address decode: the quantized
-    // value and the (n, k, k') positions carrying it.
-    type DecodedGroup = (i8, Vec<(usize, usize, usize)>);
+/// An ABM layer prepared for repeated execution against one input
+/// geometry: flat-offset streams, the interior/halo split and the
+/// analytic work accounting, all computed once.
+///
+/// Prepared once per layer (offline, like the accelerator's encoder) and
+/// reused across batch items and host workers — execution allocates
+/// nothing beyond the output tensor and one scratch buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PreparedConv {
+    flat: FlatCode,
+    in_shape: Shape3,
+    out_shape: Shape3,
+    geom: Geometry,
+    /// Kernels per channel group (`M / groups`).
+    m_per_group: usize,
+    interior_rows: Range<usize>,
+    interior_cols: Range<usize>,
+    work: AbmWork,
+}
 
-    // Pre-unravel each kernel's index stream once (the hardware's address
-    // generator does this on the fly).
-    for (m, kernel) in code.kernels().iter().enumerate() {
-        let group = m / m_per_group.max(1);
-        let in_base = group * w.in_channels;
-        let decoded: Vec<DecodedGroup> = kernel
-            .groups()
-            .map(|(value, idxs)| (value, idxs.iter().map(|&i| code.unravel(i)).collect()))
-            .collect();
-        for orow in 0..out_shape.rows {
-            for ocol in 0..out_shape.cols {
-                let mut acc = 0i64;
-                for (value, positions) in &decoded {
-                    // Stage 1: accumulate all pixels sharing this value.
-                    let mut partial = 0i64;
-                    for &(n, k, kp) in positions {
-                        let pr = (orow * geom.stride + k) as isize - geom.pad as isize;
-                        let pc = (ocol * geom.stride + kp) as isize - geom.pad as isize;
-                        partial += padded_read(input, in_base + n, pr, pc);
-                        work.accumulations += 1;
-                    }
-                    // Stage 2: one multiply per distinct value + final
-                    // accumulation.
-                    acc += (*value as i64) * partial;
-                    work.multiplications += 1;
-                    work.final_accumulations += 1;
+impl PreparedConv {
+    /// Lowers an encoded layer against a concrete input shape and
+    /// geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent channel counts or a group count that does
+    /// not divide the output channels.
+    #[must_use]
+    pub fn new(code: &LayerCode, in_shape: Shape3, geom: Geometry) -> Self {
+        let w = code.shape();
+        validate_grouping(in_shape, w, geom);
+        let layout = FlatLayout {
+            in_rows: in_shape.rows,
+            in_cols: in_shape.cols,
+            stride: geom.stride,
+            pad: geom.pad,
+        };
+        let flat = FlatCode::lower(code, layout);
+        let out_shape = Shape3::new(
+            w.out_channels,
+            abm_tensor::shape::conv_out_dim(in_shape.rows, w.kernel_rows, geom.stride, geom.pad),
+            abm_tensor::shape::conv_out_dim(in_shape.cols, w.kernel_cols, geom.stride, geom.pad),
+        );
+        let out_pixels = (out_shape.rows * out_shape.cols) as u64;
+        // Analytic accounting: every executor variant performs exactly
+        // nnz stage-1 accumulations and Q(m) stage-2 multiply+add pairs
+        // per output pixel — padding reads contribute zero but are still
+        // issued, exactly like the reference loop counts them.
+        let work = AbmWork {
+            accumulations: flat.total_nnz() * out_pixels,
+            multiplications: flat.total_distinct() * out_pixels,
+            final_accumulations: flat.total_distinct() * out_pixels,
+        };
+        Self {
+            flat,
+            in_shape,
+            out_shape,
+            geom,
+            m_per_group: w.out_channels / geom.groups,
+            interior_rows: layout.interior_rows(w.kernel_rows, out_shape.rows),
+            interior_cols: layout.interior_cols(w.kernel_cols, out_shape.cols),
+            work,
+        }
+    }
+
+    /// The input shape this layer was prepared against.
+    #[must_use]
+    pub fn input_shape(&self) -> Shape3 {
+        self.in_shape
+    }
+
+    /// The output feature-map shape.
+    #[must_use]
+    pub fn output_shape(&self) -> Shape3 {
+        self.out_shape
+    }
+
+    /// The analytic per-invocation work (identical for every input).
+    #[must_use]
+    pub fn work(&self) -> AbmWork {
+        self.work
+    }
+
+    /// The flat-offset form this layer executes from.
+    #[must_use]
+    pub fn flat(&self) -> &FlatCode {
+        &self.flat
+    }
+
+    /// Runs the prepared layer, returning the exact full-precision
+    /// output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input`'s shape differs from the prepared shape.
+    #[must_use]
+    pub fn execute(&self, input: &Tensor3<i16>) -> Tensor3<i64> {
+        assert_eq!(
+            input.shape(),
+            self.in_shape,
+            "input shape {} != prepared shape {}",
+            input.shape(),
+            self.in_shape
+        );
+        let mut out = Tensor3::zeros(self.out_shape);
+        // One scratch partial-sum buffer, reused across every pixel of
+        // every kernel (the software stand-in for the lane's partial-sum
+        // FIFO), plus the filtered-stream scratch the halo paths rebuild
+        // per row/column.
+        let mut partials = vec![0i64; self.flat.max_distinct()];
+        let mut halo = HaloScratch::default();
+        let data = input.as_slice();
+        let out_rows = self.out_shape.rows;
+        let out_cols = self.out_shape.cols;
+        let out_plane = out_rows * out_cols;
+        let in_rows = self.in_shape.rows;
+        let in_cols = self.in_shape.cols;
+        let plane = in_rows * in_cols;
+        let stride = self.geom.stride;
+        let pad = self.geom.pad;
+        let out_data = out.as_mut_slice();
+
+        for (m, kernel) in self.flat.kernels().iter().enumerate() {
+            let chan_base = (m / self.m_per_group) * self.flat.shape().in_channels * plane;
+            let out_base = m * out_plane;
+
+            // Halo rows (above/below the interior) at full width. The
+            // kernel-row validity of every tap is fixed along a row, so
+            // the stream is filtered once per row: interior columns then
+            // gather the survivors unchecked, fringe columns check only
+            // the column coordinate.
+            for orow in (0..self.interior_rows.start).chain(self.interior_rows.end..out_rows) {
+                let pr0 = (orow * stride) as isize - pad as isize;
+                halo.filter_rows(kernel, pr0, in_rows, plane, in_cols);
+                let out_row = out_base + orow * out_cols;
+                for ocol in (0..self.interior_cols.start).chain(self.interior_cols.end..out_cols) {
+                    let pc0 = (ocol * stride) as isize - pad as isize;
+                    out_data[out_row + ocol] = halo.col_checked_pixel(
+                        kernel.values(),
+                        data,
+                        chan_base,
+                        plane,
+                        in_cols,
+                        pc0,
+                    );
                 }
-                out[(m, orow, ocol)] = acc;
+                sweep(self.interior_cols.clone(), |ocol, vec_step| {
+                    let base = chan_base + ocol * stride - pad;
+                    if vec_step {
+                        let acc = if stride == 1 {
+                            gather_pixel_vec_unit(
+                                kernel.values(),
+                                &halo.starts,
+                                &halo.offsets,
+                                data,
+                                base,
+                            )
+                        } else {
+                            gather_pixel_vec(
+                                kernel.values(),
+                                &halo.starts,
+                                &halo.offsets,
+                                data,
+                                base,
+                                stride,
+                            )
+                        };
+                        out_data[out_row + ocol..out_row + ocol + PIXEL_VEC].copy_from_slice(&acc);
+                    } else {
+                        out_data[out_row + ocol] = gather_pixel(
+                            kernel.values(),
+                            &halo.starts,
+                            &halo.offsets,
+                            data,
+                            base,
+                            &mut partials,
+                        );
+                    }
+                });
+            }
+
+            // Column fringes of the interior rows: symmetric — filter by
+            // kernel-column validity once per fringe column, then sweep
+            // the interior rows as an unchecked gather whose pixel step
+            // is one (strided) input row.
+            for ocol in (0..self.interior_cols.start).chain(self.interior_cols.end..out_cols) {
+                let pc0 = (ocol * stride) as isize - pad as isize;
+                halo.filter_cols(kernel, pc0, in_cols, plane);
+                let row_step = stride * in_cols;
+                sweep(self.interior_rows.clone(), |orow, vec_step| {
+                    let base = chan_base + (orow * stride - pad) * in_cols;
+                    if vec_step {
+                        let acc = gather_pixel_vec(
+                            kernel.values(),
+                            &halo.starts,
+                            &halo.offsets,
+                            data,
+                            base,
+                            row_step,
+                        );
+                        for (i, &a) in acc.iter().enumerate() {
+                            out_data[out_base + (orow + i) * out_cols + ocol] = a;
+                        }
+                    } else {
+                        out_data[out_base + orow * out_cols + ocol] = gather_pixel(
+                            kernel.values(),
+                            &halo.starts,
+                            &halo.offsets,
+                            data,
+                            base,
+                            &mut partials,
+                        );
+                    }
+                });
+            }
+        }
+
+        // Interior: tile rows so a tile's input footprint stays cached
+        // while every kernel of the layer sweeps it (the line-buffer
+        // prefetch window).
+        let interior_rows: Vec<usize> = self.interior_rows.clone().collect();
+        for tile in interior_rows.chunks(TILE_ROWS) {
+            for (m, kernel) in self.flat.kernels().iter().enumerate() {
+                let chan_base = (m / self.m_per_group) * self.flat.shape().in_channels * plane;
+                let out_base = m * out_plane;
+                for &orow in tile {
+                    let row_base = chan_base + (orow * stride - pad) * in_cols;
+                    let out_row = out_base + orow * out_cols;
+                    sweep(self.interior_cols.clone(), |ocol, vec_step| {
+                        let base = row_base + ocol * stride - pad;
+                        if vec_step {
+                            let acc = if stride == 1 {
+                                gather_pixel_vec_unit(
+                                    kernel.values(),
+                                    kernel.group_bounds(),
+                                    kernel.offsets(),
+                                    data,
+                                    base,
+                                )
+                            } else {
+                                gather_pixel_vec(
+                                    kernel.values(),
+                                    kernel.group_bounds(),
+                                    kernel.offsets(),
+                                    data,
+                                    base,
+                                    stride,
+                                )
+                            };
+                            out_data[out_row + ocol..out_row + ocol + PIXEL_VEC]
+                                .copy_from_slice(&acc);
+                        } else {
+                            out_data[out_row + ocol] = gather_pixel(
+                                kernel.values(),
+                                kernel.group_bounds(),
+                                kernel.offsets(),
+                                data,
+                                base,
+                                &mut partials,
+                            );
+                        }
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// [`execute`](Self::execute) plus the analytic work counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input`'s shape differs from the prepared shape.
+    #[must_use]
+    pub fn execute_counted(&self, input: &Tensor3<i16>) -> (Tensor3<i64>, AbmWork) {
+        (self.execute(input), self.work)
+    }
+}
+
+/// Reusable scratch for the halo paths: the kernel's stream filtered to
+/// the taps that stay in bounds along one axis, with the surviving
+/// coordinate folded into a flat offset. Group boundaries mirror the
+/// source kernel's, so `values()` still aligns (a fully-filtered group
+/// just contributes a zero partial sum).
+#[derive(Debug, Default)]
+struct HaloScratch {
+    /// Group `g` owns `offsets[starts[g]..starts[g+1]]` (and `taps`
+    /// likewise after [`filter_rows`](Self::filter_rows)).
+    starts: Vec<u32>,
+    offsets: Vec<u32>,
+    /// Row-filtered taps with the **absolute** input row stored in `k`
+    /// (only the column coordinate still needs checking).
+    taps: Vec<Tap>,
+}
+
+impl HaloScratch {
+    /// Keeps the taps whose input row `pr0 + k` is in bounds; offsets
+    /// become `n·plane + pr·in_cols + k'` (column still relative).
+    fn filter_rows(
+        &mut self,
+        kernel: &FlatKernel,
+        pr0: isize,
+        in_rows: usize,
+        plane: usize,
+        in_cols: usize,
+    ) {
+        self.starts.clear();
+        self.offsets.clear();
+        self.taps.clear();
+        self.starts.push(0);
+        for (_, taps) in kernel.tap_groups() {
+            for &t in taps {
+                let pr = pr0 + t.k as isize;
+                if pr >= 0 && (pr as usize) < in_rows {
+                    let off = t.n as usize * plane + pr as usize * in_cols + t.kp as usize;
+                    self.offsets.push(off as u32);
+                    self.taps.push(Tap {
+                        n: t.n,
+                        k: pr as u16,
+                        kp: t.kp,
+                    });
+                }
+            }
+            self.starts.push(self.offsets.len() as u32);
+        }
+    }
+
+    /// Keeps the taps whose input column `pc0 + k'` is in bounds; offsets
+    /// become `n·plane + k·in_cols + pc` (row still relative).
+    fn filter_cols(&mut self, kernel: &FlatKernel, pc0: isize, in_cols: usize, plane: usize) {
+        self.starts.clear();
+        self.offsets.clear();
+        self.taps.clear();
+        self.starts.push(0);
+        for (_, taps) in kernel.tap_groups() {
+            for &t in taps {
+                let pc = pc0 + t.kp as isize;
+                if pc >= 0 && (pc as usize) < in_cols {
+                    let off = t.n as usize * plane + t.k as usize * in_cols + pc as usize;
+                    self.offsets.push(off as u32);
+                }
+            }
+            self.starts.push(self.offsets.len() as u32);
+        }
+    }
+
+    /// One corner pixel (halo row × halo column): the row coordinate was
+    /// already validated by [`filter_rows`](Self::filter_rows), so only
+    /// the column coordinate is checked per tap.
+    fn col_checked_pixel(
+        &self,
+        values: &[i8],
+        data: &[i16],
+        chan_base: usize,
+        plane: usize,
+        in_cols: usize,
+        pc0: isize,
+    ) -> i64 {
+        let mut acc = 0i64;
+        for (&v, w) in values.iter().zip(self.starts.windows(2)) {
+            let mut p = 0i64;
+            for &Tap { n, k, kp } in &self.taps[w[0] as usize..w[1] as usize] {
+                let pc = pc0 + kp as isize;
+                if pc >= 0 && (pc as usize) < in_cols {
+                    p += data[chan_base + n as usize * plane + k as usize * in_cols + pc as usize]
+                        as i64;
+                }
+            }
+            acc += v as i64 * p;
+        }
+        acc
+    }
+}
+
+/// Sweeps `span` in [`PIXEL_VEC`]-wide steps (`f(index, true)`). A final
+/// partial vector is re-issued as a full vector overlapping the previous
+/// one when the span allows — every pixel is a pure function of the
+/// input, so recomputing the overlap is bit-identical — and spans
+/// narrower than one vector fall back to scalar steps (`f(index,
+/// false)`).
+#[inline]
+fn sweep(span: Range<usize>, mut f: impl FnMut(usize, bool)) {
+    let mut i = span.start;
+    while i + PIXEL_VEC <= span.end {
+        f(i, true);
+        i += PIXEL_VEC;
+    }
+    if i < span.end {
+        if span.end - span.start >= PIXEL_VEC {
+            f(span.end - PIXEL_VEC, true);
+        } else {
+            for j in i..span.end {
+                f(j, false);
             }
         }
     }
-    (out, work)
+}
+
+/// [`PIXEL_VEC`] adjacent pixels in lock-step: one walk of the offset
+/// stream accumulates four partial sums (their bases differ by
+/// `pixel_stride`), and each group's multiply feeds four independent
+/// output accumulators. Integer arithmetic keeps the result bit-identical
+/// to the scalar path regardless of the reassociation.
+#[inline]
+fn gather_pixel_vec(
+    values: &[i8],
+    starts: &[u32],
+    offsets: &[u32],
+    data: &[i16],
+    base: usize,
+    pixel_stride: usize,
+) -> [i64; PIXEL_VEC] {
+    let mut acc = [0i64; PIXEL_VEC];
+    // One bounds check per offset: the window covering all eight strided
+    // reads is sliced once, and `win[i · stride]` is provably inside it.
+    let span = (PIXEL_VEC - 1) * pixel_stride + 1;
+    for (&v, w) in values.iter().zip(starts.windows(2)) {
+        let mut p = [0i64; PIXEL_VEC];
+        for &off in &offsets[w[0] as usize..w[1] as usize] {
+            let o = base + off as usize;
+            let win = &data[o..o + span];
+            for i in 0..PIXEL_VEC {
+                p[i] += win[i * pixel_stride] as i64;
+            }
+        }
+        let v = v as i64;
+        for i in 0..PIXEL_VEC {
+            acc[i] += v * p[i];
+        }
+    }
+    acc
+}
+
+/// [`gather_pixel_vec`] specialized to pixel stride 1, where the four
+/// pixels' reads for one offset are **contiguous**: a single
+/// bounds-checked window load replaces four scattered checked reads.
+#[inline]
+fn gather_pixel_vec_unit(
+    values: &[i8],
+    starts: &[u32],
+    offsets: &[u32],
+    data: &[i16],
+    base: usize,
+) -> [i64; PIXEL_VEC] {
+    let mut acc = [0i64; PIXEL_VEC];
+    for (&v, w) in values.iter().zip(starts.windows(2)) {
+        let mut p = [0i64; PIXEL_VEC];
+        for &off in &offsets[w[0] as usize..w[1] as usize] {
+            let o = base + off as usize;
+            let win: [i16; PIXEL_VEC] = data[o..o + PIXEL_VEC].try_into().expect("window");
+            for i in 0..PIXEL_VEC {
+                p[i] += win[i] as i64;
+            }
+        }
+        let v = v as i64;
+        for i in 0..PIXEL_VEC {
+            acc[i] += v * p[i];
+        }
+    }
+    acc
+}
+
+/// One output pixel: stage-1 accumulation is a pointer-bump walk over a
+/// precomputed offset stream — every read is in-bounds by construction
+/// (interior split or halo filtering) — staging into the shared scratch
+/// `partials` buffer.
+#[inline]
+fn gather_pixel(
+    values: &[i8],
+    starts: &[u32],
+    offsets: &[u32],
+    data: &[i16],
+    base: usize,
+    partials: &mut [i64],
+) -> i64 {
+    for (w, partial) in starts.windows(2).zip(partials.iter_mut()) {
+        let mut p = 0i64;
+        for &off in &offsets[w[0] as usize..w[1] as usize] {
+            p += data[base + off as usize] as i64;
+        }
+        *partial = p;
+    }
+    multiply_stage(values, partials)
+}
+
+/// Stage 2: one multiply per distinct value, reduced into the output
+/// accumulator.
+#[inline]
+fn multiply_stage(values: &[i8], partials: &[i64]) -> i64 {
+    values
+        .iter()
+        .zip(partials)
+        .map(|(&v, &p)| v as i64 * p)
+        .sum()
 }
 
 #[cfg(test)]
@@ -116,100 +635,165 @@ mod tests {
     use crate::dense;
     use abm_tensor::{Shape4, Tensor4};
 
+    /// Checks dense == reference == prepared, including bit-identical
+    /// work counts between the analytic and per-iteration accounting.
     fn check_equivalence(input: &Tensor3<i16>, weights: &Tensor4<i8>, geom: Geometry) {
-        let reference = dense::conv2d(input, weights, geom);
+        let dense_out = dense::conv2d(input, weights, geom);
         let code = LayerCode::encode(weights).unwrap();
-        let (result, work) = conv2d_counted(input, &code, geom);
-        assert_eq!(reference, result);
-        // Work accounting sanity: accumulations = nnz * output pixels,
-        // multiplications = sum of Q(m) * output pixels per kernel.
-        let out_pixels = (reference.shape().rows * reference.shape().cols) as u64;
-        assert_eq!(work.accumulations, code.total_nnz() * out_pixels);
-        assert_eq!(work.multiplications, code.total_distinct() * out_pixels);
+        let (ref_out, ref_work) = reference::conv2d_counted(input, &code, geom);
+        let prepared = PreparedConv::new(&code, input.shape(), geom);
+        let (out, work) = prepared.execute_counted(input);
+        assert_eq!(dense_out, ref_out);
+        assert_eq!(ref_out, out);
+        assert_eq!(ref_work, work, "analytic work != counted work");
+        assert_eq!(prepared.output_shape(), out.shape());
+    }
+
+    fn pseudo_weights(shape: Shape4, modulus: usize) -> Tensor4<i8> {
+        Tensor4::from_fn(shape, |m, n, k, kp| {
+            let x = (m * 131 + n * 31 + k * 7 + kp * 3) % modulus;
+            if x < modulus / 2 {
+                0
+            } else {
+                (x as i8) - (modulus / 2) as i8
+            }
+        })
+    }
+
+    fn pseudo_input(shape: Shape3) -> Tensor3<i16> {
+        Tensor3::from_fn(shape, |c, r, col| {
+            ((c * 577 + r * 37 + col * 11) % 255) as i16 - 127
+        })
     }
 
     #[test]
-    fn matches_dense_on_small_case() {
-        let input = Tensor3::from_fn(Shape3::new(2, 6, 6), |c, r, col| {
-            ((c * 36 + r * 6 + col) % 11) as i16 - 5
-        });
-        let weights = Tensor4::from_fn(Shape4::new(4, 2, 3, 3), |m, n, k, kp| {
-            let x = (m * 18 + n * 9 + k * 3 + kp) % 4;
-            if x == 0 {
-                0
-            } else {
-                (x as i8) - 2
+    fn prepared_matches_reference_unpadded() {
+        let input = pseudo_input(Shape3::new(3, 9, 9));
+        let weights = pseudo_weights(Shape4::new(4, 3, 3, 3), 6);
+        check_equivalence(&input, &weights, Geometry::new(1, 0));
+    }
+
+    #[test]
+    fn prepared_matches_reference_padded() {
+        // pad 2 > kernel reach on one side: wide halo on every edge.
+        let input = pseudo_input(Shape3::new(2, 7, 7));
+        let weights = pseudo_weights(Shape4::new(3, 2, 3, 3), 8);
+        for pad in 0..4 {
+            check_equivalence(&input, &weights, Geometry::new(1, pad));
+        }
+    }
+
+    #[test]
+    fn prepared_matches_reference_strided() {
+        let input = pseudo_input(Shape3::new(3, 11, 11));
+        let weights = pseudo_weights(Shape4::new(2, 3, 5, 5), 10);
+        for stride in 1..4 {
+            for pad in 0..3 {
+                check_equivalence(&input, &weights, Geometry::new(stride, pad));
             }
+        }
+    }
+
+    #[test]
+    fn prepared_matches_reference_grouped() {
+        let input = pseudo_input(Shape3::new(4, 6, 6));
+        let weights = pseudo_weights(Shape4::new(6, 2, 3, 3), 7);
+        check_equivalence(&input, &weights, Geometry::new(1, 1).with_groups(2));
+    }
+
+    #[test]
+    fn no_interior_at_all() {
+        // Kernel spans the whole padded input: every pixel is halo.
+        let input = pseudo_input(Shape3::new(1, 3, 3));
+        let weights = pseudo_weights(Shape4::new(2, 1, 5, 5), 9);
+        check_equivalence(&input, &weights, Geometry::new(1, 1));
+    }
+
+    #[test]
+    fn non_square_kernels() {
+        let input = pseudo_input(Shape3::new(2, 8, 6));
+        let weights = Tensor4::from_fn(Shape4::new(2, 2, 3, 2), |m, n, k, kp| {
+            (((m + 2 * n + 3 * k + kp) % 5) as i8) - 2
         });
         check_equivalence(&input, &weights, Geometry::new(1, 1));
     }
 
     #[test]
-    fn matches_dense_with_stride_and_pad() {
-        let input = Tensor3::from_fn(Shape3::new(3, 7, 7), |c, r, col| {
-            ((c * 49 + r * 7 + col) % 13) as i16 - 6
-        });
-        let weights = Tensor4::from_fn(Shape4::new(2, 3, 5, 5), |m, n, k, kp| {
-            let x = (m * 75 + n * 25 + k * 5 + kp) % 7;
-            if x < 3 {
-                0
-            } else {
-                (x as i8) - 5
-            }
-        });
-        check_equivalence(&input, &weights, Geometry::new(2, 2));
+    fn fc_layer_is_all_interior() {
+        let input = pseudo_input(Shape3::new(24, 1, 1));
+        let weights = pseudo_weights(Shape4::new(5, 24, 1, 1), 6);
+        let code = LayerCode::encode(&weights).unwrap();
+        let prepared = PreparedConv::new(&code, input.shape(), Geometry::unit());
+        assert_eq!(prepared.interior_rows, 0..1);
+        assert_eq!(prepared.interior_cols, 0..1);
+        check_equivalence(&input, &weights, Geometry::unit());
     }
 
     #[test]
-    fn matches_dense_grouped() {
-        let input = Tensor3::from_fn(Shape3::new(4, 5, 5), |c, r, col| {
-            ((c * 25 + r * 5 + col) % 9) as i16 - 4
-        });
-        let weights = Tensor4::from_fn(Shape4::new(6, 2, 3, 3), |m, n, k, kp| {
-            let x = (m * 18 + n * 9 + k * 3 + kp) % 5;
-            if x == 1 {
-                0
-            } else {
-                (x as i8) - 2
-            }
-        });
-        check_equivalence(&input, &weights, Geometry::new(1, 1).with_groups(2));
-    }
-
-    #[test]
-    fn all_zero_kernel_yields_zero() {
-        let input = Tensor3::from_fn(Shape3::new(1, 4, 4), |_, r, c| (r + c) as i16);
+    fn all_zero_layer_is_free() {
+        let input = pseudo_input(Shape3::new(1, 4, 4));
         let weights = Tensor4::<i8>::zeros(Shape4::new(2, 1, 3, 3));
         let code = LayerCode::encode(&weights).unwrap();
-        let (out, work) = conv2d_counted(&input, &code, Geometry::new(1, 0));
+        let (out, work) = conv2d_counted(&input, &code, Geometry::new(1, 1));
         assert!(out.as_slice().iter().all(|&x| x == 0));
         assert_eq!(work.total(), 0);
     }
 
     #[test]
-    fn fc_equivalence() {
-        let input = Tensor3::from_fn(Shape3::new(32, 1, 1), |c, _, _| (c as i16) - 16);
-        let weights = Tensor4::from_fn(Shape4::new(10, 32, 1, 1), |m, n, _, _| {
-            let x = (m * 32 + n) % 6;
-            if x < 2 {
-                0
-            } else {
-                (x as i8) - 3
-            }
-        });
-        check_equivalence(&input, &weights, Geometry::unit());
-    }
-
-    #[test]
-    fn work_totals_add_up() {
-        let input = Tensor3::from_fn(Shape3::new(1, 3, 3), |_, r, c| (r * 3 + c) as i16);
+    fn analytic_work_formula() {
+        let input = pseudo_input(Shape3::new(1, 3, 3));
         let weights = Tensor4::from_vec(Shape4::new(1, 1, 2, 2), vec![3i8, 3, -1, 0]);
         let code = LayerCode::encode(&weights).unwrap();
         let (_, work) = conv2d_counted(&input, &code, Geometry::new(1, 0));
-        // 4 output pixels, nnz=3, Q=2.
+        // 4 output pixels, nnz=3, Q=2 — identical to the reference pins.
         assert_eq!(work.accumulations, 12);
         assert_eq!(work.multiplications, 8);
         assert_eq!(work.final_accumulations, 8);
         assert_eq!(work.total(), 28);
+    }
+
+    #[test]
+    fn prepared_is_reusable_across_inputs() {
+        let shape = Shape3::new(2, 6, 6);
+        let weights = pseudo_weights(Shape4::new(3, 2, 3, 3), 6);
+        let code = LayerCode::encode(&weights).unwrap();
+        let geom = Geometry::new(1, 1);
+        let prepared = PreparedConv::new(&code, shape, geom);
+        for salt in 0..3 {
+            let input = Tensor3::from_fn(shape, |c, r, col| {
+                ((c * 97 + r * 13 + col * 5 + salt * 41) % 200) as i16 - 100
+            });
+            assert_eq!(
+                prepared.execute(&input),
+                dense::conv2d(&input, &weights, geom)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide out_channels")]
+    fn invalid_grouping_panics() {
+        let input = Tensor3::<i16>::zeros(Shape3::new(2, 4, 4));
+        let w = Tensor4::<i8>::zeros(Shape4::new(3, 1, 1, 1));
+        let code = LayerCode::encode(&w).unwrap();
+        let _ = conv2d(&input, &code, Geometry::new(1, 0).with_groups(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "input channels")]
+    fn channel_mismatch_panics() {
+        let input = Tensor3::<i16>::zeros(Shape3::new(3, 4, 4));
+        let w = Tensor4::<i8>::zeros(Shape4::new(2, 2, 1, 1));
+        let code = LayerCode::encode(&w).unwrap();
+        let _ = conv2d(&input, &code, Geometry::new(1, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "prepared shape")]
+    fn wrong_input_shape_panics() {
+        let w = Tensor4::<i8>::zeros(Shape4::new(1, 1, 1, 1));
+        let code = LayerCode::encode(&w).unwrap();
+        let prepared = PreparedConv::new(&code, Shape3::new(1, 4, 4), Geometry::unit());
+        let _ = prepared.execute(&Tensor3::<i16>::zeros(Shape3::new(1, 5, 5)));
     }
 }

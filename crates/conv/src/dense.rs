@@ -61,8 +61,17 @@ impl Default for Geometry {
 /// Panics if channel counts are inconsistent with the geometry (input
 /// channels must equal `weights.in_channels * groups`, and `groups` must
 /// divide the output channel count).
+#[must_use]
 pub fn output_shape(input: Shape3, weights: &Tensor4<i8>, geom: Geometry) -> Shape3 {
     let w = weights.shape();
+    assert!(geom.groups > 0, "groups must be positive");
+    assert_eq!(
+        w.out_channels % geom.groups,
+        0,
+        "groups {} must divide out_channels {}",
+        geom.groups,
+        w.out_channels
+    );
     assert_eq!(
         input.channels,
         w.in_channels * geom.groups,
@@ -70,13 +79,6 @@ pub fn output_shape(input: Shape3, weights: &Tensor4<i8>, geom: Geometry) -> Sha
         input.channels,
         w.in_channels,
         geom.groups
-    );
-    assert_eq!(
-        w.out_channels % geom.groups,
-        0,
-        "groups {} must divide out_channels {}",
-        geom.groups,
-        w.out_channels
     );
     Shape3::new(
         w.out_channels,
@@ -110,7 +112,9 @@ pub(crate) fn padded_read(input: &Tensor3<i16>, c: usize, pr: isize, pc: isize) 
 ///
 /// # Panics
 ///
-/// Panics on inconsistent channel counts (see [`output_shape`]).
+/// Panics on inconsistent channel counts or a group count that does not
+/// divide the output channels (see [`output_shape`]).
+#[must_use]
 pub fn conv2d(input: &Tensor3<i16>, weights: &Tensor4<i8>, geom: Geometry) -> Tensor3<i64> {
     let out_shape = output_shape(input.shape(), weights, geom);
     let w = weights.shape();
@@ -147,9 +151,30 @@ pub fn conv2d(input: &Tensor3<i16>, weights: &Tensor4<i8>, geom: Geometry) -> Te
 }
 
 /// Dense convolution on `f64` data — the reference for the FFT engine.
+///
+/// # Panics
+///
+/// Panics on inconsistent channel counts or a group count that does not
+/// divide the output channels.
+#[must_use]
 pub fn conv2d_f64(input: &Tensor3<f64>, weights: &Tensor4<f64>, geom: Geometry) -> Tensor3<f64> {
     let w = weights.shape();
-    assert_eq!(input.shape().channels, w.in_channels * geom.groups);
+    assert!(geom.groups > 0, "groups must be positive");
+    assert_eq!(
+        w.out_channels % geom.groups,
+        0,
+        "groups {} must divide out_channels {}",
+        geom.groups,
+        w.out_channels
+    );
+    assert_eq!(
+        input.shape().channels,
+        w.in_channels * geom.groups,
+        "input channels {} != weight in_channels {} x groups {}",
+        input.shape().channels,
+        w.in_channels,
+        geom.groups
+    );
     let out_shape = Shape3::new(
         w.out_channels,
         abm_tensor::shape::conv_out_dim(input.shape().rows, w.kernel_rows, geom.stride, geom.pad),

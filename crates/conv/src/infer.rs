@@ -12,7 +12,7 @@
 //! **bit-identical** feature maps at every layer; this is asserted by the
 //! integration tests.
 
-use crate::abm::{self, AbmWork};
+use crate::abm::{AbmWork, PreparedConv};
 use crate::dense::{self, Geometry};
 use crate::freq;
 use crate::host;
@@ -139,28 +139,34 @@ impl<'m> Inferencer<'m> {
 
     /// Prepares the engine-specific weight representation once, so a
     /// batch of images does not re-encode per image (the accelerator
-    /// encodes offline; this mirrors that).
+    /// encodes offline; this mirrors that). For the ABM engine this also
+    /// lowers every layer to its flat-offset hot-path form
+    /// ([`PreparedConv`]) against the network's per-layer input shapes.
     ///
     /// # Errors
     ///
     /// Returns [`EncodeError`] if a layer's kernels cannot be encoded.
     pub fn prepare(&self) -> Result<PreparedWeights, EncodeError> {
-        let mut codes = Vec::new();
+        let mut abm = Vec::new();
         let mut csr = Vec::new();
         for sl in &self.model.layers {
             match self.engine {
-                Engine::Abm => codes.push(Some(LayerCode::encode(&sl.weights)?)),
+                Engine::Abm => {
+                    let code = LayerCode::encode(&sl.weights)?;
+                    let (in_shape, geom) = accel_geometry(sl);
+                    abm.push(Some(PreparedConv::new(&code, in_shape, geom)));
+                }
                 Engine::Sparse => csr.push(Some(CsrKernel::encode_layer(&sl.weights))),
                 _ => {}
             }
             if self.engine != Engine::Abm {
-                codes.push(None);
+                abm.push(None);
             }
             if self.engine != Engine::Sparse {
                 csr.push(None);
             }
         }
-        Ok(PreparedWeights { codes, csr })
+        Ok(PreparedWeights { abm, csr })
     }
 
     /// Runs inference on a batch of images, encoding weights only once
@@ -364,10 +370,10 @@ impl<'m> Inferencer<'m> {
                 csr_engine::conv2d(input, kernels, sl.weights.shape(), geom)
             }
             Engine::Abm => {
-                let code = prepared.codes[layer_idx]
+                let prep = prepared.abm[layer_idx]
                     .as_ref()
                     .expect("prepared with the ABM engine");
-                let (out, w) = abm::conv2d_counted(input, code, geom);
+                let (out, w) = prep.execute_counted(input);
                 work = w;
                 out
             }
@@ -393,10 +399,31 @@ pub struct LayerNumerics {
 
 /// Engine-specific pre-encoded weights shared across a batch. Create
 /// with [`Inferencer::prepare`].
+///
+/// For the ABM engine each layer is held in its prepared hot-path form
+/// ([`PreparedConv`]): flat-offset streams, interior/halo split and
+/// analytic work accounting, lowered once and shared read-only across
+/// batch items and host workers.
 #[derive(Debug, Clone, Default)]
 pub struct PreparedWeights {
-    codes: Vec<Option<LayerCode>>,
+    abm: Vec<Option<PreparedConv>>,
     csr: Vec<Option<Vec<CsrKernel>>>,
+}
+
+/// The input shape and geometry an accelerated layer convolves at: conv
+/// layers run on their resolved feature-map shape, FC layers on the
+/// channel-major flattened vector (matching [`host::flatten`]).
+fn accel_geometry(sl: &SparseLayer) -> (Shape3, Geometry) {
+    match &sl.layer.layer.kind {
+        LayerKind::Conv(spec) => (
+            sl.layer.input_shape,
+            Geometry::new(spec.stride, spec.pad).with_groups(spec.groups),
+        ),
+        _ => (
+            Shape3::new(sl.layer.input_shape.len(), 1, 1),
+            Geometry::unit(),
+        ),
+    }
 }
 
 /// Rescales an exact accumulator tensor into an 8-bit feature format —

@@ -61,6 +61,7 @@ pub mod sparse;
 pub mod winograd;
 
 pub use abm::conv2d as abm_conv2d;
+pub use abm::{AbmWork, PreparedConv};
 pub use calibrate::{calibrate, Calibration};
 pub use dense::{conv2d as dense_conv2d, Geometry};
 pub use infer::{Engine, InferenceResult, Inferencer, PreparedWeights};

@@ -10,15 +10,18 @@ use crate::config::AcceleratorConfig;
 use crate::lane;
 use abm_conv::parallel::{parallel_map, Parallelism};
 use abm_model::SparseLayer;
-use abm_sparse::{EncodeError, LayerCode};
+use abm_sparse::{EncodeError, FlatCode, FlatLayout, LayerCode};
 
 /// One accelerated layer prepared for simulation.
 #[derive(Debug, Clone)]
 pub struct Workload {
     /// Layer name.
     pub name: String,
-    /// Encoded weights (drives the lane timing).
+    /// Encoded weights (the memory/footprint model reads this).
     pub code: LayerCode,
+    /// Flat-lowered form of `code` — the same prepared stream the
+    /// functional hot path executes; the lane timing walks this one.
+    pub flat: FlatCode,
     /// Output channels `M`.
     pub out_channels: usize,
     /// Output rows `R'`.
@@ -55,9 +58,29 @@ impl Workload {
             layer.layer.layer.kind,
             abm_model::LayerKind::FullyConnected(_)
         );
+        // The simulator times the exact stream the functional engine
+        // runs: the flat lowering against the layer's real input plane
+        // (FC layers run as 1x1 convolutions over the flattened input).
+        let layout = if is_fc {
+            FlatLayout {
+                in_rows: 1,
+                in_cols: 1,
+                stride: 1,
+                pad: 0,
+            }
+        } else {
+            FlatLayout {
+                in_rows: input.rows,
+                in_cols: input.cols,
+                stride: layer.stride(),
+                pad: layer.pad(),
+            }
+        };
+        let flat = FlatCode::lower(&code, layout);
         Ok(Self {
             name: layer.name().to_string(),
             code,
+            flat,
             out_channels: out.channels,
             out_rows: out.rows,
             out_cols: out.cols,
@@ -143,8 +166,8 @@ impl Workload {
         parallelism: Parallelism,
     ) -> Vec<u64> {
         let vectors = self.vectors_per_window(cfg, rows);
-        parallel_map(parallelism, self.code.kernels(), |_, k| {
-            lane::lane_cycles(k, vectors, cfg.n as u64, cfg.fifo_depth)
+        parallel_map(parallelism, self.flat.kernels(), |_, k| {
+            lane::lane_cycles_flat(k, vectors, cfg.n as u64, cfg.fifo_depth)
         })
     }
 
@@ -191,11 +214,11 @@ impl Workload {
     /// expensive.
     pub fn bottleneck_profile(&self, cfg: &AcceleratorConfig) -> BottleneckProfile {
         let mut profile = BottleneckProfile::default();
-        for kernel in self.code.kernels() {
+        for kernel in self.flat.kernels() {
             if kernel.total() == 0 {
                 continue;
             }
-            let v = crate::lane::vector_cycles(kernel, cfg.n as u64, cfg.fifo_depth);
+            let v = crate::lane::vector_cycles_flat(kernel, cfg.n as u64, cfg.fifo_depth);
             profile.stall_cycles_per_vector += v.acc_stall;
             let mult_occupancy = kernel.distinct() as u64 * cfg.n as u64;
             if mult_occupancy > v.acc_total() {

@@ -1,0 +1,370 @@
+//! Flat-offset lowering of the encoded weight streams — the software
+//! analogue of the accelerator's address generator.
+//!
+//! The hardware walks each kernel's value-grouped WT-Buffer and turns
+//! every 16-bit linear weight index into a feature-buffer address on the
+//! fly. A functional engine that re-derives `(n, k, k')` coordinates per
+//! access pays that decode on every input read. [`FlatCode`] performs the
+//! decode **once per layer**, against a concrete input geometry: each
+//! index becomes the flat row-major offset
+//!
+//! ```text
+//! n · R · C  +  k · C  +  k'
+//! ```
+//!
+//! relative to the input pixel at the top-left of the receptive field, so
+//! the inner accumulate loop is a pointer-bump walk over a contiguous
+//! `u32` slice. The `(n, k, k')` coordinates are kept alongside (as
+//! [`Tap`]s) for the padded halo region, where per-tap validity must
+//! still be checked.
+
+use crate::encode::LayerCode;
+use abm_tensor::Shape4;
+use std::ops::Range;
+
+/// The input geometry a [`FlatCode`] is lowered against. Offsets are only
+/// meaningful for inputs of exactly this shape and stride/pad.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlatLayout {
+    /// Input feature-map rows `R` (pre-padding).
+    pub in_rows: usize,
+    /// Input feature-map columns `C` (pre-padding).
+    pub in_cols: usize,
+    /// Convolution stride `S` (both axes).
+    pub stride: usize,
+    /// Zero padding on all four sides.
+    pub pad: usize,
+}
+
+impl FlatLayout {
+    /// Output indices along the row axis whose receptive field lies
+    /// entirely inside the unpadded input (see [`interior_span`]).
+    pub fn interior_rows(&self, kernel_rows: usize, out_rows: usize) -> Range<usize> {
+        interior_span(self.in_rows, kernel_rows, self.stride, self.pad, out_rows)
+    }
+
+    /// Output indices along the column axis whose receptive field lies
+    /// entirely inside the unpadded input (see [`interior_span`]).
+    pub fn interior_cols(&self, kernel_cols: usize, out_cols: usize) -> Range<usize> {
+        interior_span(self.in_cols, kernel_cols, self.stride, self.pad, out_cols)
+    }
+}
+
+/// The output indices along one axis whose kernel window never touches
+/// padding: `o` is interior iff `o·S - P >= 0` and
+/// `o·S - P + K - 1 < in_dim`. Everything outside this range is the halo
+/// and needs per-tap bounds checks.
+pub fn interior_span(
+    in_dim: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    out_dim: usize,
+) -> Range<usize> {
+    assert!(stride > 0, "stride must be positive");
+    if in_dim + pad < kernel {
+        return 0..0;
+    }
+    let first = pad.div_ceil(stride);
+    let last = (in_dim + pad - kernel) / stride; // inclusive
+    let start = first.min(out_dim);
+    let end = (last + 1).min(out_dim);
+    if start >= end {
+        0..0
+    } else {
+        start..end
+    }
+}
+
+/// One decoded weight position: the `(n, k, k')` coordinates of a
+/// non-zero weight, kept for the checked halo path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tap {
+    /// Input channel within the kernel's group (`n`).
+    pub n: u16,
+    /// Kernel row (`k`).
+    pub k: u16,
+    /// Kernel column (`k'`).
+    pub kp: u16,
+}
+
+/// One kernel's value groups lowered to flat input offsets.
+///
+/// Groups appear in the same ascending-value order as the source
+/// [`KernelCode`](crate::KernelCode), and offsets within a group keep the
+/// encoder's ascending scan order — the forward-stream property the
+/// hardware address generator relies on survives the lowering.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct FlatKernel {
+    values: Vec<i8>,
+    /// Group `g` owns `offsets[starts[g] .. starts[g+1]]` (`len+1` entries).
+    starts: Vec<u32>,
+    offsets: Vec<u32>,
+    taps: Vec<Tap>,
+}
+
+impl FlatKernel {
+    /// The distinct quantized values, ascending (the Q-Table `VAL`s).
+    #[inline]
+    pub fn values(&self) -> &[i8] {
+        &self.values
+    }
+
+    /// Group boundaries into [`offsets`](Self::offsets): group `g` is
+    /// `starts[g]..starts[g+1]`.
+    #[inline]
+    pub fn group_bounds(&self) -> &[u32] {
+        &self.starts
+    }
+
+    /// All flat offsets, groups concatenated in value order.
+    #[inline]
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The decoded `(n, k, k')` coordinates, aligned with
+    /// [`offsets`](Self::offsets).
+    #[inline]
+    pub fn taps(&self) -> &[Tap] {
+        &self.taps
+    }
+
+    /// Iterates `(value, flat offsets)` group by group.
+    pub fn offset_groups(&self) -> impl ExactSizeIterator<Item = (i8, &[u32])> + '_ {
+        self.values
+            .iter()
+            .zip(self.starts.windows(2))
+            .map(|(&v, w)| (v, &self.offsets[w[0] as usize..w[1] as usize]))
+    }
+
+    /// Iterates `(value, taps)` group by group (the halo path's view).
+    pub fn tap_groups(&self) -> impl ExactSizeIterator<Item = (i8, &[Tap])> + '_ {
+        self.values
+            .iter()
+            .zip(self.starts.windows(2))
+            .map(|(&v, w)| (v, &self.taps[w[0] as usize..w[1] as usize]))
+    }
+
+    /// Per-group occurrence counts in value order (the Q-Table `NUM`
+    /// column — what the lane timing model consumes).
+    pub fn group_counts(&self) -> impl ExactSizeIterator<Item = u64> + '_ {
+        self.starts.windows(2).map(|w| (w[1] - w[0]) as u64)
+    }
+
+    /// Total non-zero weights (the kernel's accumulation workload).
+    #[inline]
+    pub fn total(&self) -> u32 {
+        self.offsets.len() as u32
+    }
+
+    /// Number of distinct values (the multiplication workload `Q(m)`).
+    #[inline]
+    pub fn distinct(&self) -> usize {
+        self.values.len()
+    }
+}
+
+/// A whole layer's kernels lowered against one input geometry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlatCode {
+    shape: Shape4,
+    layout: FlatLayout,
+    kernels: Vec<FlatKernel>,
+}
+
+impl FlatCode {
+    /// Lowers an encoded layer to flat offsets against `layout`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input plane is so large that an offset would not fit
+    /// 32 bits (`in_channels · R · C` must stay below `2^32`).
+    pub fn lower(code: &LayerCode, layout: FlatLayout) -> Self {
+        let shape = code.shape();
+        let plane = layout.in_rows * layout.in_cols;
+        let kernels = code
+            .kernels()
+            .iter()
+            .map(|kernel| {
+                let mut flat = FlatKernel {
+                    values: Vec::with_capacity(kernel.distinct()),
+                    starts: Vec::with_capacity(kernel.distinct() + 1),
+                    offsets: Vec::with_capacity(kernel.total() as usize),
+                    taps: Vec::with_capacity(kernel.total() as usize),
+                };
+                flat.starts.push(0);
+                for (value, idxs) in kernel.groups() {
+                    flat.values.push(value);
+                    for &i in idxs {
+                        let (n, k, kp) = code.unravel(i);
+                        let off = n * plane + k * layout.in_cols + kp;
+                        flat.offsets.push(
+                            u32::try_from(off)
+                                .expect("input plane exceeds the 32-bit flat-offset range"),
+                        );
+                        flat.taps.push(Tap {
+                            n: n as u16,
+                            k: k as u16,
+                            kp: kp as u16,
+                        });
+                    }
+                    flat.starts.push(flat.offsets.len() as u32);
+                }
+                flat
+            })
+            .collect();
+        Self {
+            shape,
+            layout,
+            kernels,
+        }
+    }
+
+    /// The source weight shape.
+    #[inline]
+    pub fn shape(&self) -> Shape4 {
+        self.shape
+    }
+
+    /// The input geometry this code was lowered against.
+    #[inline]
+    pub fn layout(&self) -> FlatLayout {
+        self.layout
+    }
+
+    /// Per-kernel flat codes in kernel order.
+    #[inline]
+    pub fn kernels(&self) -> &[FlatKernel] {
+        &self.kernels
+    }
+
+    /// Total non-zero weights in the layer.
+    pub fn total_nnz(&self) -> u64 {
+        self.kernels.iter().map(|k| k.total() as u64).sum()
+    }
+
+    /// Total distinct-value groups summed over kernels (`Σ_m Q(m)`).
+    pub fn total_distinct(&self) -> u64 {
+        self.kernels.iter().map(|k| k.distinct() as u64).sum()
+    }
+
+    /// The largest per-kernel group count — the partial-sum scratch size
+    /// an executor needs.
+    pub fn max_distinct(&self) -> usize {
+        self.kernels
+            .iter()
+            .map(FlatKernel::distinct)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abm_tensor::Tensor4;
+
+    fn layout(rows: usize, cols: usize, stride: usize, pad: usize) -> FlatLayout {
+        FlatLayout {
+            in_rows: rows,
+            in_cols: cols,
+            stride,
+            pad,
+        }
+    }
+
+    #[test]
+    fn lowering_preserves_group_structure() {
+        let shape = Shape4::new(3, 2, 3, 3);
+        let w = Tensor4::from_fn(shape, |m, n, k, kp| {
+            let x = (m * 18 + n * 9 + k * 3 + kp) % 5;
+            if x == 0 {
+                0
+            } else {
+                (x as i8) - 2
+            }
+        });
+        let code = LayerCode::encode(&w).unwrap();
+        let flat = FlatCode::lower(&code, layout(7, 7, 1, 1));
+        assert_eq!(flat.shape(), shape);
+        assert_eq!(flat.total_nnz(), code.total_nnz());
+        assert_eq!(flat.total_distinct(), code.total_distinct());
+        for (fk, kc) in flat.kernels().iter().zip(code.kernels()) {
+            assert_eq!(fk.total(), kc.total());
+            assert_eq!(fk.distinct(), kc.distinct());
+            let flat_counts: Vec<u64> = fk.group_counts().collect();
+            let code_counts: Vec<u64> = kc.entries().iter().map(|e| e.count as u64).collect();
+            assert_eq!(flat_counts, code_counts);
+            let flat_values: Vec<i8> = fk.values().to_vec();
+            let code_values: Vec<i8> = kc.entries().iter().map(|e| e.value).collect();
+            assert_eq!(flat_values, code_values);
+        }
+    }
+
+    #[test]
+    fn offsets_match_coordinate_arithmetic() {
+        let shape = Shape4::new(1, 2, 2, 3);
+        let w = Tensor4::from_fn(shape, |_, _, _, _| 1i8);
+        let code = LayerCode::encode(&w).unwrap();
+        let lay = layout(5, 6, 1, 0);
+        let flat = FlatCode::lower(&code, lay);
+        let fk = &flat.kernels()[0];
+        assert_eq!(fk.offsets().len(), fk.taps().len());
+        for (&off, tap) in fk.offsets().iter().zip(fk.taps()) {
+            let expect = tap.n as usize * (5 * 6) + tap.k as usize * 6 + tap.kp as usize;
+            assert_eq!(off as usize, expect);
+        }
+        // Within a group, offsets keep ascending scan order.
+        for (_, group) in fk.offset_groups() {
+            assert!(group.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn interior_span_basics() {
+        // No padding: everything is interior.
+        assert_eq!(interior_span(8, 3, 1, 0, 6), 0..6);
+        // "Same" conv, pad 1: one halo pixel each side.
+        assert_eq!(interior_span(8, 3, 1, 1, 8), 1..7);
+        // Stride 2 with pad 1: first interior output is ceil(1/2) = 1.
+        assert_eq!(interior_span(8, 3, 2, 1, 4), 1..4);
+        // Kernel larger than padded input: no interior at all.
+        assert_eq!(interior_span(2, 5, 1, 1, 1), 0..0);
+        // Pad that swallows the whole input: nothing interior.
+        assert_eq!(interior_span(1, 3, 1, 1, 1), 0..0);
+    }
+
+    #[test]
+    fn interior_span_matches_bruteforce() {
+        for in_dim in 1..10usize {
+            for kernel in 1..6usize {
+                for stride in 1..4usize {
+                    for pad in 0..4usize {
+                        let out = abm_tensor::shape::conv_out_dim(in_dim, kernel, stride, pad);
+                        let span = interior_span(in_dim, kernel, stride, pad, out);
+                        for o in 0..out {
+                            let lo = o * stride >= pad;
+                            let hi = o * stride + kernel <= in_dim + pad;
+                            assert_eq!(
+                                span.contains(&o),
+                                lo && hi,
+                                "in {in_dim} k {kernel} s {stride} p {pad} o {o}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_layer_lowering() {
+        let w = Tensor4::<i8>::zeros(Shape4::new(2, 1, 3, 3));
+        let code = LayerCode::encode(&w).unwrap();
+        let flat = FlatCode::lower(&code, layout(4, 4, 1, 0));
+        assert_eq!(flat.total_nnz(), 0);
+        assert_eq!(flat.max_distinct(), 0);
+        assert!(flat.kernels().iter().all(|k| k.offset_groups().len() == 0));
+    }
+}

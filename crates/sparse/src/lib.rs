@@ -13,6 +13,9 @@
 //!
 //! [`encode::LayerCode`] is the in-memory form consumed by both the
 //! functional ABM engine (`abm-conv`) and the cycle simulator (`abm-sim`);
+//! [`flat::FlatCode`] lowers it once per layer to precomputed flat input
+//! offsets — the shared "address generator" form both consumers execute
+//! and time against;
 //! [`size`] computes the external-memory footprint reproduced in Table 3;
 //! [`csr`] provides the classical CSR encoding used by the SpConv
 //! baseline.
@@ -38,9 +41,11 @@
 pub mod compress;
 pub mod csr;
 pub mod encode;
+pub mod flat;
 pub mod size;
 
 pub use compress::{compress_layer, CompressedLayer, Huffman};
 pub use csr::CsrKernel;
 pub use encode::{EncodeError, KernelCode, LayerCode, QEntry};
+pub use flat::{FlatCode, FlatKernel, FlatLayout, Tap};
 pub use size::{EncodingSize, SizeModel};

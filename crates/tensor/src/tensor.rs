@@ -65,26 +65,31 @@ impl<T> Tensor3<T> {
     }
 
     /// The shape of this tensor.
+    #[inline]
     pub fn shape(&self) -> Shape3 {
         self.shape
     }
 
     /// Total number of elements.
+    #[inline]
     pub fn len(&self) -> usize {
         self.data.len()
     }
 
     /// Whether the tensor has no elements.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
     }
 
     /// Borrows the underlying row-major storage.
+    #[inline]
     pub fn as_slice(&self) -> &[T] {
         &self.data
     }
 
     /// Mutably borrows the underlying row-major storage.
+    #[inline]
     pub fn as_mut_slice(&mut self) -> &mut [T] {
         &mut self.data
     }
@@ -96,6 +101,7 @@ impl<T> Tensor3<T> {
 
     /// Returns the element at `(channel, row, col)`, or `None` when out of
     /// range.
+    #[inline]
     pub fn get(&self, channel: usize, row: usize, col: usize) -> Option<&T> {
         if channel < self.shape.channels && row < self.shape.rows && col < self.shape.cols {
             Some(&self.data[self.shape.index(channel, row, col)])
@@ -187,26 +193,31 @@ impl<T> Tensor4<T> {
     }
 
     /// The shape of this tensor.
+    #[inline]
     pub fn shape(&self) -> Shape4 {
         self.shape
     }
 
     /// Total number of elements.
+    #[inline]
     pub fn len(&self) -> usize {
         self.data.len()
     }
 
     /// Whether the tensor has no elements.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
     }
 
     /// Borrows the underlying row-major storage.
+    #[inline]
     pub fn as_slice(&self) -> &[T] {
         &self.data
     }
 
     /// Mutably borrows the underlying row-major storage.
+    #[inline]
     pub fn as_mut_slice(&mut self) -> &mut [T] {
         &mut self.data
     }
@@ -221,6 +232,7 @@ impl<T> Tensor4<T> {
     /// # Panics
     ///
     /// Panics if `m >= out_channels`.
+    #[inline]
     pub fn kernel(&self, m: usize) -> &[T] {
         let kl = self.shape.kernel_len();
         &self.data[m * kl..(m + 1) * kl]
@@ -231,6 +243,7 @@ impl<T> Tensor4<T> {
     /// # Panics
     ///
     /// Panics if `m >= out_channels`.
+    #[inline]
     pub fn kernel_mut(&mut self, m: usize) -> &mut [T] {
         let kl = self.shape.kernel_len();
         &mut self.data[m * kl..(m + 1) * kl]

@@ -73,6 +73,45 @@ proptest! {
     }
 
     #[test]
+    fn prepared_abm_matches_reference_exactly(
+        (cpg, rows, cols, m_per_group, k) in (1usize..4, 4usize..10, 4usize..10, 1usize..4, 1usize..4),
+        groups in prop_oneof![Just(1usize), Just(2), Just(4)],
+        stride in 1usize..3,
+        pad in 0usize..4,
+        zero_tenths in 1u32..10,
+        bits in 4u32..9,
+        seed in any::<u32>(),
+    ) {
+        // The prepared hot path (flat offsets, interior/halo split,
+        // analytic accounting) must be bit-identical to the interpretive
+        // reference — output AND work counts — across strides, pads,
+        // groups, sparsity 0.1–0.9 and 4–8-bit quantized values.
+        let in_shape = Shape3::new(cpg * groups, rows, cols);
+        let w_shape = Shape4::new(m_per_group * groups, cpg, k, k);
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            state
+        };
+        let input = Tensor3::from_fn(in_shape, |_, _, _| (next() % 255) as i16 - 127);
+        let limit = (1u32 << (bits - 1)) - 1;
+        let weights = Tensor4::from_fn(w_shape, |_, _, _, _| {
+            if next() % 10 < zero_tenths {
+                0
+            } else {
+                ((next() % (2 * limit + 1)) as i32 - limit as i32) as i8
+            }
+        });
+        let geom = Geometry::new(stride, pad).with_groups(groups);
+        let code = LayerCode::encode(&weights).unwrap();
+        let (ref_out, ref_work) = abm::reference::conv2d_counted(&input, &code, geom);
+        let prepared = abm::PreparedConv::new(&code, in_shape, geom);
+        let (out, work) = prepared.execute_counted(&input);
+        prop_assert_eq!(ref_out, out);
+        prop_assert_eq!(ref_work, work);
+    }
+
+    #[test]
     fn lane_makespan_bounds(kernel in kernel_strategy(128), n in 1u64..8, depth in 1usize..16) {
         let code = KernelCode::encode(&kernel).unwrap();
         let v = lane::vector_cycles(&code, n, depth);

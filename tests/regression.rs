@@ -115,6 +115,50 @@ fn pinned_prepared_batch_inference() {
     }
 }
 
+/// Prepared-path AlexNet conv outputs, pinned as exact integers: the
+/// flat-offset hot path is integer arithmetic end to end, so any drift
+/// at all (offset lowering, interior/halo split, tiling) is a bug, not
+/// noise.
+#[test]
+fn pinned_prepared_alexnet_conv_outputs() {
+    use abm_spconv_repro::conv::{Geometry, PreparedConv};
+    use abm_spconv_repro::model::LayerKind;
+    use abm_spconv_repro::sparse::LayerCode;
+
+    let model = alexnet();
+    let mut measured = Vec::new();
+    for layer in &model.layers {
+        let LayerKind::Conv(spec) = &layer.layer.layer.kind else {
+            continue;
+        };
+        let mut state = 0x2019_u64;
+        let input = Tensor3::from_fn(layer.layer.input_shape, |_, _, _| {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            ((state >> 33) % 255) as i16 - 127
+        });
+        let code = LayerCode::encode(&layer.weights).unwrap();
+        let geom = Geometry::new(spec.stride, spec.pad).with_groups(spec.groups);
+        let out = PreparedConv::new(&code, input.shape(), geom).execute(&input);
+        let sum: i64 = out.as_slice().iter().sum();
+        let max: i64 = out.as_slice().iter().copied().max().unwrap();
+        measured.push((layer.name().to_string(), sum, max));
+    }
+    // Golden values (seed 2019, vendored offline RNG, input LCG seed
+    // 0x2019 — see EXPERIMENTS.md).
+    let pinned: [(&str, i64, i64); 5] = [
+        ("CONV1", 14_108_336, 182_013),
+        ("CONV2", -30_136_170, 263_761),
+        ("CONV3", 27_389_742, 287_358),
+        ("CONV4", 3_104_689, 284_147),
+        ("CONV5", 1_292_724, 189_106),
+    ];
+    assert_eq!(measured.len(), pinned.len());
+    for ((name, sum, max), (pname, psum, pmax)) in measured.iter().zip(pinned) {
+        assert_eq!(name, pname);
+        assert_eq!((*sum, *max), (psum, pmax), "{name} output drifted");
+    }
+}
+
 #[test]
 fn pinned_alexnet_statistics() {
     let model = alexnet();

@@ -34,6 +34,7 @@ use crate::dense::Geometry;
 use abm_sparse::{FlatCode, FlatKernel, FlatLayout, LayerCode, Tap};
 use abm_tensor::{Shape3, Shape4, Tensor3};
 use std::ops::Range;
+use std::time::{Duration, Instant};
 
 pub mod reference;
 
@@ -409,6 +410,21 @@ impl PreparedConv {
     #[must_use]
     pub fn execute_counted(&self, input: &Tensor3<i16>) -> (Tensor3<i64>, AbmWork) {
         (self.execute(input), self.work)
+    }
+
+    /// [`execute_counted`](Self::execute_counted) plus the wall-clock
+    /// time the execution took — the telemetry hook that lets callers
+    /// compare measured host throughput against the analytic
+    /// [`AbmWork`] (ops ÷ duration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input`'s shape differs from the prepared shape.
+    #[must_use]
+    pub fn execute_timed(&self, input: &Tensor3<i16>) -> (Tensor3<i64>, AbmWork, Duration) {
+        let start = Instant::now();
+        let (out, work) = self.execute_counted(input);
+        (out, work, start.elapsed())
     }
 }
 

@@ -16,10 +16,11 @@ use crate::abm::{AbmWork, PreparedConv};
 use crate::dense::{self, Geometry};
 use crate::freq;
 use crate::host;
-use crate::parallel::{parallel_map, Parallelism};
+use crate::parallel::{parallel_map_traced, Parallelism};
 use crate::sparse as csr_engine;
 use abm_model::{LayerKind, SparseLayer, SparseModel};
 use abm_sparse::{CsrKernel, EncodeError, LayerCode};
+use abm_telemetry::TelemetrySink;
 use abm_tensor::fixed::{round_shift, saturate};
 use abm_tensor::quantize::choose_frac;
 use abm_tensor::{QFormat, Rounding, Shape3, Tensor3};
@@ -92,6 +93,7 @@ pub struct Inferencer<'m> {
     input_format: QFormat,
     calibration: Option<crate::calibrate::Calibration>,
     parallelism: Parallelism,
+    telemetry: Option<TelemetrySink>,
 }
 
 impl<'m> Inferencer<'m> {
@@ -104,6 +106,7 @@ impl<'m> Inferencer<'m> {
             input_format: QFormat::new(8, 0),
             calibration: None,
             parallelism: Parallelism::Auto,
+            telemetry: None,
         }
     }
 
@@ -124,6 +127,17 @@ impl<'m> Inferencer<'m> {
     /// Sets the fixed-point format of the input features.
     pub fn input_format(mut self, format: QFormat) -> Self {
         self.input_format = format;
+        self
+    }
+
+    /// Attaches a telemetry sink. Every accelerated layer records a
+    /// wall-clock [`HostSpan`](abm_telemetry::Event::HostSpan) carrying
+    /// its ABM operation count (so span duration vs. `ops` gives
+    /// measured host efficiency), and batch runs record per-worker
+    /// steal counts. Inference *results* are unaffected — the sink only
+    /// observes (asserted by `tests/telemetry.rs`).
+    pub fn telemetry(mut self, sink: TelemetrySink) -> Self {
+        self.telemetry = Some(sink);
         self
     }
 
@@ -221,9 +235,12 @@ impl<'m> Inferencer<'m> {
                 self.model.network.input_shape()
             );
         }
-        parallel_map(self.parallelism, inputs, |_, input| {
-            self.run_prepared(prepared, input)
-        })
+        parallel_map_traced(
+            self.parallelism,
+            inputs,
+            self.telemetry.as_ref(),
+            |worker, _, input| self.run_prepared_on(prepared, input, worker as u32),
+        )
         .into_iter()
         .collect()
     }
@@ -259,6 +276,18 @@ impl<'m> Inferencer<'m> {
         prepared: &PreparedWeights,
         input: &Tensor3<i16>,
     ) -> Result<InferenceResult, EncodeError> {
+        self.run_prepared_on(prepared, input, 0)
+    }
+
+    /// [`run_prepared`](Self::run_prepared) with telemetry spans tagged
+    /// for worker `track` — one image runs on one worker at a time, so
+    /// its layer spans never overlap on that track.
+    fn run_prepared_on(
+        &self,
+        prepared: &PreparedWeights,
+        input: &Tensor3<i16>,
+        track: u32,
+    ) -> Result<InferenceResult, EncodeError> {
         let net = &self.model.network;
         assert_eq!(
             input.shape(),
@@ -284,7 +313,7 @@ impl<'m> Inferencer<'m> {
                     let sl = &self.model.layers[accel_idx];
                     let geom = Geometry::new(spec.stride, spec.pad).with_groups(spec.groups);
                     let (out, out_fmt, w, numerics) =
-                        self.conv_layer(&features, fmt, sl, prepared, accel_idx, geom);
+                        self.conv_layer(&features, fmt, sl, prepared, accel_idx, geom, track);
                     layer_max_activation.push(numerics.max_real);
                     saturated_features += numerics.saturated;
                     total_features += out.len() as u64;
@@ -298,8 +327,15 @@ impl<'m> Inferencer<'m> {
                 LayerKind::FullyConnected(_) => {
                     let sl = &self.model.layers[accel_idx];
                     let flat = host::flatten(&features);
-                    let (out, out_fmt, w, numerics) =
-                        self.conv_layer(&flat, fmt, sl, prepared, accel_idx, Geometry::unit());
+                    let (out, out_fmt, w, numerics) = self.conv_layer(
+                        &flat,
+                        fmt,
+                        sl,
+                        prepared,
+                        accel_idx,
+                        Geometry::unit(),
+                        track,
+                    );
                     layer_max_activation.push(numerics.max_real);
                     saturated_features += numerics.saturated;
                     total_features += out.len() as u64;
@@ -350,6 +386,7 @@ impl<'m> Inferencer<'m> {
 
     /// Executes one accelerated layer: convolve exactly, then rescale to
     /// a fresh 8-bit feature format in one rounding step.
+    #[allow(clippy::too_many_arguments)]
     fn conv_layer(
         &self,
         input: &Tensor3<i16>,
@@ -358,7 +395,9 @@ impl<'m> Inferencer<'m> {
         prepared: &PreparedWeights,
         layer_idx: usize,
         geom: Geometry,
+        track: u32,
     ) -> (Tensor3<i16>, QFormat, AbmWork, LayerNumerics) {
+        let span_start = self.telemetry.as_ref().map(TelemetrySink::now_ns);
         let mut work = AbmWork::default();
         let acc: Tensor3<i64> = match self.engine {
             Engine::Dense => dense::conv2d(input, &sl.weights, geom),
@@ -384,6 +423,12 @@ impl<'m> Inferencer<'m> {
         };
         let target = self.calibration.as_ref().map(|c| c.format(layer_idx));
         let (out, out_fmt, numerics) = requantize(&acc, fmt, sl.format, target);
+        if let (Some(sink), Some(start)) = (&self.telemetry, span_start) {
+            // ops = the layer's two-stage arithmetic total, so span
+            // duration vs. ops gives measured host ops/sec (0 for
+            // engines that don't count work).
+            sink.record_span(track, sl.name(), start, work.total());
+        }
         (out, out_fmt, work, numerics)
     }
 }

@@ -66,4 +66,4 @@ pub use calibrate::{calibrate, Calibration};
 pub use dense::{conv2d as dense_conv2d, Geometry};
 pub use infer::{Engine, InferenceResult, Inferencer, PreparedWeights};
 pub use ops::{LayerOps, NetworkOps};
-pub use parallel::{parallel_map, Parallelism};
+pub use parallel::{parallel_map, parallel_map_traced, Parallelism};

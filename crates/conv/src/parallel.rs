@@ -14,8 +14,10 @@
 //! [`Inferencer`](crate::Inferencer), the simulator's network runner,
 //! the CLI and the examples.
 
+use abm_telemetry::{Event, TelemetrySink};
 use crossbeam::deque::{Injector, Steal};
 use std::fmt;
+use std::time::Instant;
 
 /// How much host-thread parallelism to use for batch-level work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -90,13 +92,49 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    parallel_map_traced(parallelism, items, None, |_, i, item| f(i, item))
+}
+
+/// [`parallel_map`] with telemetry: the closure additionally receives
+/// the id of the worker executing it, and — when a sink is attached —
+/// each worker records one [`Event::WorkerSteals`] (tasks it stole,
+/// wall-clock time it spent in `f`) before retiring. With `sink: None`
+/// this is exactly [`parallel_map`]: results in item order, independent
+/// of interleaving.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the pool's scope joins all workers
+/// first).
+pub fn parallel_map_traced<T, R, F>(
+    parallelism: Parallelism,
+    items: &[T],
+    sink: Option<&TelemetrySink>,
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, usize, &T) -> R + Sync,
+{
     let workers = parallelism.worker_count().min(items.len());
     if workers <= 1 {
-        return items
+        let start = Instant::now();
+        let out: Vec<R> = items
             .iter()
             .enumerate()
-            .map(|(i, item)| f(i, item))
+            .map(|(i, item)| f(0, i, item))
             .collect();
+        if let Some(sink) = sink {
+            if !items.is_empty() {
+                sink.record(Event::WorkerSteals {
+                    worker: 0,
+                    tasks: items.len() as u64,
+                    busy_ns: u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                });
+            }
+        }
+        return out;
     }
 
     let injector: Injector<usize> = Injector::new();
@@ -105,21 +143,41 @@ where
     }
     let (tx, rx) = crossbeam::channel::unbounded::<(usize, R)>();
     std::thread::scope(|scope| {
-        for _ in 0..workers {
+        for worker in 0..workers {
             let tx = tx.clone();
             let injector = &injector;
             let f = &f;
-            scope.spawn(move || loop {
-                match injector.steal() {
-                    Steal::Success(i) => {
-                        // A send only fails if the receiver is gone,
-                        // which means the main thread already panicked.
-                        if tx.send((i, f(i, &items[i]))).is_err() {
-                            return;
+            scope.spawn(move || {
+                let mut tasks = 0u64;
+                let mut busy_ns = 0u64;
+                loop {
+                    match injector.steal() {
+                        Steal::Success(i) => {
+                            let start = sink.map(|_| Instant::now());
+                            let result = f(worker, i, &items[i]);
+                            if let Some(start) = start {
+                                tasks += 1;
+                                busy_ns +=
+                                    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                            }
+                            // A send only fails if the receiver is gone,
+                            // which means the main thread already panicked.
+                            if tx.send((i, result)).is_err() {
+                                break;
+                            }
                         }
+                        Steal::Empty => break,
+                        Steal::Retry => {}
                     }
-                    Steal::Empty => return,
-                    Steal::Retry => {}
+                }
+                if let Some(sink) = sink {
+                    if tasks > 0 {
+                        sink.record(Event::WorkerSteals {
+                            worker: worker as u32,
+                            tasks,
+                            busy_ns,
+                        });
+                    }
                 }
             });
         }
@@ -187,6 +245,54 @@ mod tests {
             parallel_map(Parallelism::Auto, &[9u8], |_, &x| x + 1),
             vec![10]
         );
+    }
+
+    #[test]
+    fn traced_map_records_steal_counts() {
+        let items: Vec<u64> = (0..64).collect();
+        let sink = TelemetrySink::new();
+        let serial = parallel_map(Parallelism::Serial, &items, |i, &x| x + i as u64);
+        let traced =
+            parallel_map_traced(Parallelism::Threads(4), &items, Some(&sink), |w, i, &x| {
+                assert!(w < 4);
+                x + i as u64
+            });
+        assert_eq!(traced, serial);
+        let events = sink.events();
+        assert!(!events.is_empty() && events.len() <= 4);
+        let total: u64 = events
+            .iter()
+            .map(|e| match e {
+                Event::WorkerSteals { tasks, .. } => *tasks,
+                other => panic!("unexpected event {other:?}"),
+            })
+            .sum();
+        assert_eq!(total, 64, "every item stolen exactly once");
+    }
+
+    #[test]
+    fn traced_serial_map_reports_one_worker() {
+        let sink = TelemetrySink::new();
+        let out = parallel_map_traced(
+            Parallelism::Serial,
+            &[1u8, 2, 3],
+            Some(&sink),
+            |w, _, &x| {
+                assert_eq!(w, 0);
+                x * 2
+            },
+        );
+        assert_eq!(out, vec![2, 4, 6]);
+        let events = sink.events();
+        assert_eq!(events.len(), 1);
+        assert!(matches!(
+            events[0],
+            Event::WorkerSteals {
+                worker: 0,
+                tasks: 3,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! devices" verification of Section 5.2.
 
 use crate::perf::expected_distinct;
-use abm_model::{LayerKind, Network, PruneProfile};
+use abm_model::{LayerKind, Network, PruneProfile, ResolvedLayer};
 use abm_sim::AcceleratorConfig;
 
 /// Estimated external traffic per image, in bytes.
@@ -25,38 +25,61 @@ impl TrafficEstimate {
     }
 }
 
-/// Estimates per-image traffic for a network under a configuration.
+/// Estimates one resolved layer's per-image traffic — the per-layer
+/// rows behind [`estimate_traffic`], matched against the simulator's
+/// measured per-layer DDR bytes in telemetry reports.
+pub fn estimate_layer_traffic(
+    l: &ResolvedLayer,
+    profile: &PruneProfile,
+    cfg: &AcceleratorConfig,
+) -> TrafficEstimate {
+    let p = profile.for_layer(&l.layer.name);
+    match &l.layer.kind {
+        LayerKind::Conv(c) => {
+            let volume = c.weight_shape().kernel_len() as f64;
+            let nnz = volume * p.density();
+            let q = expected_distinct(p.value_levels as f64, nnz);
+            TrafficEstimate {
+                feature_bytes: l.input_shape.len() as f64 + l.output_shape.len() as f64,
+                // 2 bytes/index + 2 Q-Table words/value + 1 total word.
+                weight_bytes: c.out_channels as f64 * (2.0 * nnz + 4.0 * q + 2.0),
+            }
+        }
+        LayerKind::FullyConnected(fc) => {
+            let nnz = fc.in_features as f64 * p.density();
+            let q = expected_distinct(p.value_levels as f64, nnz);
+            TrafficEstimate {
+                feature_bytes: l.input_shape.len() as f64 + l.output_shape.len() as f64,
+                weight_bytes: fc.out_features as f64 * (2.0 * nnz + 4.0 * q + 2.0)
+                    / cfg.s_ec as f64,
+            }
+        }
+        _ => TrafficEstimate {
+            feature_bytes: 0.0,
+            weight_bytes: 0.0,
+        },
+    }
+}
+
+/// Estimates per-image traffic for a network under a configuration
+/// (sum of [`estimate_layer_traffic`] over the accelerated layers).
 pub fn estimate_traffic(
     net: &Network,
     profile: &PruneProfile,
     cfg: &AcceleratorConfig,
 ) -> TrafficEstimate {
-    let mut feature = 0f64;
-    let mut weight = 0f64;
-    for l in net.conv_fc_layers() {
-        let p = profile.for_layer(&l.layer.name);
-        match &l.layer.kind {
-            LayerKind::Conv(c) => {
-                feature += l.input_shape.len() as f64 + l.output_shape.len() as f64;
-                let volume = c.weight_shape().kernel_len() as f64;
-                let nnz = volume * p.density();
-                let q = expected_distinct(p.value_levels as f64, nnz);
-                // 2 bytes/index + 2 Q-Table words/value + 1 total word.
-                weight += c.out_channels as f64 * (2.0 * nnz + 4.0 * q + 2.0);
-            }
-            LayerKind::FullyConnected(fc) => {
-                feature += l.input_shape.len() as f64 + l.output_shape.len() as f64;
-                let nnz = fc.in_features as f64 * p.density();
-                let q = expected_distinct(p.value_levels as f64, nnz);
-                weight += fc.out_features as f64 * (2.0 * nnz + 4.0 * q + 2.0) / cfg.s_ec as f64;
-            }
-            _ => {}
-        }
-    }
-    TrafficEstimate {
-        feature_bytes: feature,
-        weight_bytes: weight,
-    }
+    net.conv_fc_layers()
+        .map(|l| estimate_layer_traffic(&l, profile, cfg))
+        .fold(
+            TrafficEstimate {
+                feature_bytes: 0.0,
+                weight_bytes: 0.0,
+            },
+            |acc, t| TrafficEstimate {
+                feature_bytes: acc.feature_bytes + t.feature_bytes,
+                weight_bytes: acc.weight_bytes + t.weight_bytes,
+            },
+        )
 }
 
 /// Average bandwidth demand in GB/s given the estimated compute time.
@@ -126,6 +149,28 @@ mod tests {
         let t = estimate_traffic(&net, &profile, &cfg);
         let mb = t.weight_bytes / 1024.0 / 1024.0;
         assert!((5.0..=30.0).contains(&mb), "weight stream {mb} MB/image");
+    }
+
+    #[test]
+    fn per_layer_rows_sum_to_network_totals() {
+        let net = zoo::vgg16();
+        let profile = PruneProfile::vgg16_deep_compression();
+        let cfg = AcceleratorConfig::paper();
+        let total = estimate_traffic(&net, &profile, &cfg);
+        let mut feature = 0f64;
+        let mut weight = 0f64;
+        for l in net.conv_fc_layers() {
+            let t = estimate_layer_traffic(&l, &profile, &cfg);
+            assert!(
+                t.feature_bytes > 0.0 && t.weight_bytes > 0.0,
+                "{}",
+                l.layer.name
+            );
+            feature += t.feature_bytes;
+            weight += t.weight_bytes;
+        }
+        assert!((feature - total.feature_bytes).abs() < 1e-6);
+        assert!((weight - total.weight_bytes).abs() < 1e-6);
     }
 
     #[test]

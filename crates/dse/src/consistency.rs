@@ -1,0 +1,174 @@
+//! Model-vs-measurement consistency: annotating simulator telemetry
+//! with the analytic performance model and gating on their divergence.
+//!
+//! The paper validates its Section 5.1 performance model against
+//! hardware measurements; this reproduction validates it against the
+//! cycle simulator instead. [`annotate_report`] stamps each measured
+//! [`abm_telemetry::LayerReport`] with the closed-form lane efficiency
+//! from [`crate::perf::estimate_network`], and [`check_consistency`]
+//! turns the resulting per-layer divergence into a pass/fail verdict —
+//! the check CI runs via `examples/telemetry_report.rs --smoke`.
+
+use crate::perf::PerfEstimate;
+use abm_telemetry::TelemetryReport;
+
+/// Annotates every layer of a measured telemetry report with the
+/// analytic model's predicted lane efficiency, matched by layer name.
+///
+/// Layers the model has no row for (e.g. host-only layers, or a report
+/// built for a different network) are left unannotated and therefore
+/// excluded from divergence accounting. Returns the number of layers
+/// annotated.
+pub fn annotate_report(report: &mut TelemetryReport, est: &PerfEstimate) -> usize {
+    let mut matched = 0;
+    for layer in &mut report.layers {
+        if let Some(model) = est.layers().iter().find(|l| l.name == layer.name) {
+            layer.annotate_model(model.lane_efficiency);
+            matched += 1;
+        }
+    }
+    matched
+}
+
+/// One layer where the simulator and the analytic model disagree beyond
+/// tolerance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Divergence {
+    /// Layer name.
+    pub layer: String,
+    /// Simulator-measured lane efficiency.
+    pub measured: f64,
+    /// Analytic-model lane efficiency.
+    pub model: f64,
+    /// Absolute gap `|measured - model|`.
+    pub divergence: f64,
+}
+
+/// Checks every annotated layer of a report against an absolute
+/// lane-efficiency tolerance.
+///
+/// # Errors
+///
+/// Returns the offending layers (in execution order) if any annotated
+/// layer diverges by more than `tolerance`. Unannotated layers are
+/// skipped — run [`annotate_report`] first.
+pub fn check_consistency(report: &TelemetryReport, tolerance: f64) -> Result<(), Vec<Divergence>> {
+    let offenders: Vec<Divergence> = report
+        .layers
+        .iter()
+        .filter_map(|l| {
+            let model = l.model_efficiency?;
+            let divergence = l.divergence?;
+            (divergence > tolerance).then(|| Divergence {
+                layer: l.name.clone(),
+                measured: l.lane_efficiency,
+                model,
+                divergence,
+            })
+        })
+        .collect();
+    if offenders.is_empty() {
+        Ok(())
+    } else {
+        Err(offenders)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perf::estimate_network;
+    use abm_model::{synthesize_model, zoo, LayerProfile, PruneProfile};
+    use abm_sim::telemetry::network_report;
+    use abm_sim::{simulate_network_collected, AcceleratorConfig, MemorySystem, SchedulingPolicy};
+    use abm_telemetry::RecordingCollector;
+
+    fn measured_and_modeled() -> (TelemetryReport, PerfEstimate) {
+        let net = zoo::tiny();
+        let profile = PruneProfile::uniform(LayerProfile::new(0.6, 12));
+        let model = synthesize_model(&net, &profile, 11);
+        let cfg = AcceleratorConfig::paper();
+        let mut rec = RecordingCollector::new();
+        let sim = simulate_network_collected(
+            &model,
+            &cfg,
+            &MemorySystem::de5_net(),
+            SchedulingPolicy::SemiSynchronous,
+            abm_conv::parallel::Parallelism::Serial,
+            &mut rec,
+        );
+        let report = network_report("TinyNet", &sim, &rec);
+        let est = estimate_network(&net, &profile, &cfg);
+        (report, est)
+    }
+
+    #[test]
+    fn annotation_matches_every_simulated_layer() {
+        let (mut report, est) = measured_and_modeled();
+        let matched = annotate_report(&mut report, &est);
+        assert_eq!(matched, report.layers.len());
+        assert!(report.max_divergence().is_some());
+        for l in &report.layers {
+            let m = l.model_efficiency.expect("annotated");
+            let d = l.divergence.expect("annotated");
+            assert!(
+                (d - (l.lane_efficiency - m).abs()).abs() < 1e-12,
+                "{}",
+                l.name
+            );
+        }
+    }
+
+    #[test]
+    fn alexnet_model_and_simulator_agree() {
+        // On a paper-scale workload the closed-form model and the cycle
+        // simulator must tell the same lane-occupancy story; the gap is
+        // the γ calibration plus ceil-padding effects (~6.6% worst layer
+        // when this was pinned). TinyNet is excluded on purpose: its
+        // 10-output FC is dominated by window-sync overhead, which the
+        // closed-form model deliberately omits.
+        let net = zoo::alexnet();
+        let profile = PruneProfile::alexnet_deep_compression();
+        let model = synthesize_model(&net, &profile, 7);
+        let cfg = AcceleratorConfig::paper_alexnet();
+        let mut rec = RecordingCollector::new();
+        let sim = simulate_network_collected(
+            &model,
+            &cfg,
+            &MemorySystem::de5_net(),
+            SchedulingPolicy::SemiSynchronous,
+            abm_conv::parallel::Parallelism::Auto,
+            &mut rec,
+        );
+        let mut report = network_report("AlexNet", &sim, &rec);
+        let est = estimate_network(&net, &profile, &cfg);
+        assert_eq!(annotate_report(&mut report, &est), report.layers.len());
+        assert!(check_consistency(&report, 0.10).is_ok(), "{report:?}");
+    }
+
+    #[test]
+    fn tolerance_splits_pass_from_fail() {
+        let (mut report, est) = measured_and_modeled();
+        annotate_report(&mut report, &est);
+        let d = report.max_divergence().unwrap();
+        assert!(d > 0.0, "model and simulator never agree exactly");
+        assert!(check_consistency(&report, d + 1e-12).is_ok());
+        let offenders = check_consistency(&report, d / 2.0).unwrap_err();
+        assert!(!offenders.is_empty());
+        for o in &offenders {
+            assert!(o.divergence > d / 2.0);
+            assert!((o.measured - o.model).abs() - o.divergence < 1e-12);
+        }
+    }
+
+    #[test]
+    fn unmatched_layers_stay_unannotated() {
+        let (mut report, est) = measured_and_modeled();
+        report.layers[0].name = "NOT_IN_MODEL".into();
+        let matched = annotate_report(&mut report, &est);
+        assert_eq!(matched, report.layers.len() - 1);
+        assert!(report.layers[0].model_efficiency.is_none());
+        // Unannotated layers are invisible to the checker.
+        assert!(check_consistency(&report, 1.0).is_ok());
+    }
+}

@@ -11,7 +11,9 @@
 //!    the paper's reported utilizations),
 //! 5. [`explore`] the `N_knl` axis (Figure 6) and the `S_ec × N_cu`
 //!    plane (Figure 7) under device constraints,
-//! 6. compare design spaces on a [`roofline`] (Figure 1).
+//! 6. compare design spaces on a [`roofline`] (Figure 1),
+//! 7. cross-check the cycle simulator's measured telemetry against the
+//!    analytic model with [`consistency`] (the CI divergence gate).
 //!
 //! # Examples
 //!
@@ -29,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod bandwidth;
+pub mod consistency;
 pub mod device;
 pub mod explore;
 pub mod flow;
@@ -36,6 +39,7 @@ pub mod perf;
 pub mod resource;
 pub mod roofline;
 
+pub use consistency::{annotate_report, check_consistency, Divergence};
 pub use device::FpgaDevice;
 pub use explore::{explore_nknl, explore_sec_ncu, DesignPoint};
 pub use flow::{run_flow, FlowResult};

@@ -33,6 +33,16 @@ pub struct LayerEstimate {
     pub dense_ops: u64,
     /// Expected accumulations per image.
     pub acc_ops: f64,
+    /// Estimated compute cycles (per image; FC layers per `S_ec`-image
+    /// batch, matching the simulator's `compute_cycles` granularity).
+    pub cycles: f64,
+    /// Analytic accumulator-lane efficiency: expected accumulations over
+    /// lane-cycle capacity, `acc_ops / (N_acc · cycles / batch)`. For a
+    /// layer that fills its kernel batches and vector sweeps this
+    /// reduces to `n̄zz / (lane · γ)` — the model-side counterpart of the
+    /// simulator's measured `lane_efficiency`, used by
+    /// [`crate::consistency`] to flag divergence.
+    pub lane_efficiency: f64,
 }
 
 /// Whole-network performance estimate.
@@ -115,11 +125,20 @@ pub fn estimate_network(
             let cycles = batches * vectors * lane * IMBALANCE_GAMMA / cfg.n_cu as f64;
             let batch_amortization = if is_fc { cfg.s_ec as f64 } else { 1.0 };
             let seconds = cycles * cfg.clock_period() / batch_amortization;
+            let acc_ops = nnz * (m * out_pixels) as f64;
+            let lane_capacity = cfg.accumulator_lanes() as f64 * cycles / batch_amortization;
+            let lane_efficiency = if lane_capacity == 0.0 {
+                0.0
+            } else {
+                acc_ops / lane_capacity
+            };
             LayerEstimate {
                 name: l.layer.name.clone(),
                 seconds,
                 dense_ops: l.dense_ops(),
-                acc_ops: nnz * (m * out_pixels) as f64,
+                acc_ops,
+                cycles,
+                lane_efficiency,
             }
         })
         .collect();
@@ -180,6 +199,37 @@ mod tests {
         let three = estimate_network(&net, &profile, &AcceleratorConfig::paper());
         let ratio = three.gops() / one.gops();
         assert!((2.7..=3.1).contains(&ratio), "CU scaling {ratio}");
+    }
+
+    #[test]
+    fn analytic_lane_efficiency_tracks_paper_regime() {
+        // The simulator measures ~87% lane efficiency on VGG16
+        // (Section 6.2); the closed-form counterpart must land in the
+        // same regime and stay a valid fraction everywhere.
+        let net = zoo::vgg16();
+        let profile = PruneProfile::vgg16_deep_compression();
+        let est = estimate_network(&net, &profile, &AcceleratorConfig::paper());
+        for l in est.layers() {
+            assert!(
+                l.lane_efficiency > 0.0 && l.lane_efficiency <= 1.0,
+                "{}: {}",
+                l.name,
+                l.lane_efficiency
+            );
+            assert!(l.cycles > 0.0, "{}", l.name);
+        }
+        // Cycle-weighted network efficiency.
+        let acc: f64 = est.layers().iter().map(|l| l.acc_ops).sum();
+        let cap: f64 = est
+            .layers()
+            .iter()
+            .map(|l| l.acc_ops / l.lane_efficiency)
+            .sum();
+        let eff = acc / cap;
+        assert!(
+            (0.75..=0.95).contains(&eff),
+            "VGG16 analytic lane eff {eff}"
+        );
     }
 
     #[test]

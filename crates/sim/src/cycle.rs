@@ -40,6 +40,7 @@ pub struct LaneMachine {
     cycles: u64,
     acc_busy: u64,
     acc_stall: u64,
+    fifo_high_water: u32,
 }
 
 impl LaneMachine {
@@ -61,7 +62,23 @@ impl LaneMachine {
             cycles: 0,
             acc_busy: 0,
             acc_stall: 0,
+            fifo_high_water: 0,
         }
+    }
+
+    /// Deepest simultaneous FIFO occupancy observed so far. The machine
+    /// pops a deposit the cycle its last multiplication retires, so
+    /// `fifo.len()` here *is* true occupancy — the property tests check
+    /// it against the analytic probe's reconstruction
+    /// ([`crate::lane::vector_cycles_probed`]).
+    pub fn fifo_high_water(&self) -> u32 {
+        self.fifo_high_water
+    }
+
+    fn note_fifo_depth(&mut self) {
+        self.fifo_high_water = self
+            .fifo_high_water
+            .max(u32::try_from(self.fifo.len()).unwrap_or(u32::MAX));
     }
 
     /// Whether every accumulation has issued and every multiplication
@@ -96,6 +113,7 @@ impl LaneMachine {
                     remaining: self.n,
                     started: false,
                 });
+                self.note_fifo_depth();
                 self.blocked_deposit = false;
                 // This cycle still counts as a stall: no index issued.
             }
@@ -117,6 +135,7 @@ impl LaneMachine {
                         remaining: self.n,
                         started: false,
                     });
+                    self.note_fifo_depth();
                 } else {
                     self.blocked_deposit = true;
                 }
@@ -133,17 +152,31 @@ impl LaneMachine {
     ///
     /// Panics if the machine fails to converge within a generous bound
     /// (would indicate a deadlock bug).
-    pub fn run_to_completion(mut self) -> LaneCycles {
+    pub fn run_to_completion(self) -> LaneCycles {
+        self.run_to_completion_observed().0
+    }
+
+    /// [`run_to_completion`](Self::run_to_completion) that also returns
+    /// the FIFO high-water mark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine fails to converge within a generous bound
+    /// (would indicate a deadlock bug).
+    pub fn run_to_completion_observed(mut self) -> (LaneCycles, u32) {
         let bound = 64 + 4 * (self.groups.iter().sum::<u64>() + self.groups.len() as u64 * self.n);
         while !self.done() {
             self.step();
             assert!(self.cycles <= bound, "lane machine failed to converge");
         }
-        LaneCycles {
-            acc_busy: self.acc_busy,
-            acc_stall: self.acc_stall,
-            makespan: self.cycles,
-        }
+        (
+            LaneCycles {
+                acc_busy: self.acc_busy,
+                acc_stall: self.acc_stall,
+                makespan: self.cycles,
+            },
+            self.fifo_high_water,
+        )
     }
 }
 
@@ -295,6 +328,30 @@ mod tests {
         let t = task_cycles_stepped(&[&light, &heavy], 3, 4, 8);
         assert_eq!(t, lane_cycles_stepped(&heavy, 3, 4, 8));
         assert_eq!(task_cycles_stepped(&[], 3, 4, 8), 0);
+    }
+
+    #[test]
+    fn fifo_high_water_matches_analytic_probe() {
+        // The analytic probe reconstructs occupancy from completion
+        // times; the stepped machine holds the real queue. They must
+        // agree on the high-water mark, not just on timing.
+        let mut vals = Vec::new();
+        for (v, c) in [(1i8, 5usize), (2, 1), (3, 3), (4, 1), (5, 7), (6, 1)] {
+            vals.extend(std::iter::repeat_n(v, c));
+        }
+        let k = code(&vals);
+        for n in [1u64, 2, 4, 8] {
+            for depth in [1usize, 2, 4, 16] {
+                let (stepped_cycles, stepped_hw) =
+                    LaneMachine::new(&k, n, depth).run_to_completion_observed();
+                let probed = lane::vector_cycles_probed(&k, n, depth);
+                assert_eq!(stepped_cycles, probed.cycles, "n={n} depth={depth}");
+                assert_eq!(
+                    stepped_hw, probed.fifo_high_water,
+                    "n={n} depth={depth}: stepped vs analytic high-water"
+                );
+            }
+        }
     }
 
     #[test]

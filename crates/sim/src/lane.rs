@@ -65,6 +65,47 @@ pub fn vector_cycles_flat(kernel: &FlatKernel, n: u64, fifo_depth: usize) -> Lan
     vector_cycles_from(kernel.group_counts(), kernel.total() as u64, n, fifo_depth)
 }
 
+/// A lane timing result together with what a probe observed along the
+/// way (currently the partial-sum FIFO's high-water mark).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct LaneObservation {
+    /// The timing result — identical to the unprobed recurrence.
+    pub cycles: LaneCycles,
+    /// Deepest simultaneous FIFO occupancy (deposits made but not yet
+    /// fully consumed by the multiplier) observed during the sweep.
+    pub fifo_high_water: u32,
+}
+
+/// [`vector_cycles`] with the FIFO-occupancy probe enabled. Timing is
+/// identical to the unprobed call; the probe only *observes* (the
+/// cycle-stepped model in [`crate::cycle`] cross-checks the high-water
+/// semantics).
+///
+/// # Panics
+///
+/// Panics if `n` or `fifo_depth` is zero.
+pub fn vector_cycles_probed(kernel: &KernelCode, n: u64, fifo_depth: usize) -> LaneObservation {
+    vector_cycles_impl::<true>(
+        kernel.entries().iter().map(|e| e.count as u64),
+        kernel.total() as u64,
+        n,
+        fifo_depth,
+    )
+}
+
+/// [`vector_cycles_flat`] with the FIFO-occupancy probe enabled.
+///
+/// # Panics
+///
+/// Panics if `n` or `fifo_depth` is zero.
+pub fn vector_cycles_flat_probed(
+    kernel: &FlatKernel,
+    n: u64,
+    fifo_depth: usize,
+) -> LaneObservation {
+    vector_cycles_impl::<true>(kernel.group_counts(), kernel.total() as u64, n, fifo_depth)
+}
+
 /// The timing recurrence proper, over a kernel's value-group occurrence
 /// counts in stream order (`total` = their sum, the accumulate-stage
 /// busy time).
@@ -74,12 +115,25 @@ fn vector_cycles_from(
     n: u64,
     fifo_depth: usize,
 ) -> LaneCycles {
+    vector_cycles_impl::<false>(group_counts, total, n, fifo_depth).cycles
+}
+
+/// The recurrence, generic over whether the occupancy probe runs. With
+/// `PROBE = false` the probe arm is a compile-time-dead branch, so the
+/// hot path monomorphizes to exactly the historical recurrence.
+fn vector_cycles_impl<const PROBE: bool>(
+    group_counts: impl Iterator<Item = u64>,
+    total: u64,
+    n: u64,
+    fifo_depth: usize,
+) -> LaneObservation {
     assert!(n > 0, "n must be positive");
     assert!(fifo_depth > 0, "fifo_depth must be positive");
     let mut acc_time = 0u64; // accumulate-stage clock
     let mut acc_stall = 0u64;
     let mut mult_free = 0u64; // when the multiplier finishes its backlog
-                              // Completion times of deposits still in the FIFO.
+    let mut high_water = 0u32;
+    // Completion times of deposits still in the FIFO.
     let mut fifo: std::collections::VecDeque<u64> = std::collections::VecDeque::new();
 
     for c_p in group_counts {
@@ -98,11 +152,21 @@ fn vector_cycles_from(
         let start = mult_free.max(ready);
         mult_free = start + n;
         fifo.push_back(mult_free);
+        if PROBE {
+            // True occupancy at deposit time: entries the multiplier has
+            // not fully consumed yet (the queue keeps drained entries
+            // around lazily, so len() alone over-counts).
+            let occ = fifo.iter().filter(|&&done| done > ready).count();
+            high_water = high_water.max(u32::try_from(occ).unwrap_or(u32::MAX));
+        }
     }
-    LaneCycles {
-        acc_busy: total,
-        acc_stall,
-        makespan: acc_time.max(mult_free),
+    LaneObservation {
+        cycles: LaneCycles {
+            acc_busy: total,
+            acc_stall,
+            makespan: acc_time.max(mult_free),
+        },
+        fifo_high_water: high_water,
     }
 }
 
@@ -232,6 +296,36 @@ mod tests {
     fn zero_n_panics() {
         let k = code(&[1i8]);
         let _ = vector_cycles(&k, 0, 8);
+    }
+
+    #[test]
+    fn probe_never_perturbs_timing() {
+        let mut vals = Vec::new();
+        for (v, c) in [(1i8, 5usize), (2, 1), (3, 3), (4, 1), (5, 7)] {
+            vals.extend(std::iter::repeat_n(v, c));
+        }
+        let k = code(&vals);
+        for n in [1u64, 2, 4] {
+            for depth in [1usize, 2, 8] {
+                let plain = vector_cycles(&k, n, depth);
+                let probed = vector_cycles_probed(&k, n, depth);
+                assert_eq!(plain, probed.cycles, "n={n} depth={depth}");
+                let hw = probed.fifo_high_water as usize;
+                assert!(hw >= 1 && hw <= depth, "n={n} depth={depth}: {hw}");
+            }
+        }
+    }
+
+    #[test]
+    fn deep_fifo_high_water_tracks_backlog() {
+        // Singleton groups at N=4 outpace the multiplier 4:1, so the
+        // backlog grows until the FIFO bounds it.
+        let vals: Vec<i8> = (1..=8).collect();
+        let k = code(&vals);
+        let deep = vector_cycles_probed(&k, 4, 64);
+        let shallow = vector_cycles_probed(&k, 4, 2);
+        assert!(deep.fifo_high_water > shallow.fifo_high_water);
+        assert_eq!(shallow.fifo_high_water, 2);
     }
 
     #[test]

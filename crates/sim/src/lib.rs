@@ -23,7 +23,12 @@
 //!   with bit-identical results to serial execution;
 //! * [`cycle`] — a cycle-stepped structural model of a lane, validated
 //!   cycle-exactly against [`lane`]'s analytic recurrence;
-//! * [`energy`] — a first-order per-op energy model (extension).
+//! * [`energy`] — a first-order per-op energy model (extension);
+//! * [`telemetry`] — the bridge from simulation results to the
+//!   `abm-telemetry` exporters. The simulation core is generic over a
+//!   [`Collector`](abm_telemetry::Collector); with the default
+//!   `NullCollector` every hook compiles away, so instrumented and
+//!   plain runs are bit-identical (`tests/telemetry.rs` proves it).
 //!
 //! # Examples
 //!
@@ -52,12 +57,14 @@ pub mod parallel;
 pub mod run;
 pub mod sched;
 pub mod task;
+pub mod telemetry;
 
 pub use config::{AcceleratorConfig, ConfigError};
 pub use memory::MemorySystem;
 pub use parallel::{simulate_network_par, simulate_network_with_parallelism, Parallelism};
 pub use run::{
-    simulate_layer, simulate_layer_with, simulate_network, simulate_network_with, LayerSim,
-    NetworkSim,
+    simulate_layer, simulate_layer_with, simulate_network, simulate_network_collected,
+    simulate_network_with, LayerSim, NetworkSim, SimSummary,
 };
 pub use sched::SchedulingPolicy;
+pub use telemetry::network_report;

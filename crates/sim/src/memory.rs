@@ -99,6 +99,47 @@ pub fn layer_traffic(w: &Workload, cfg: &AcceleratorConfig) -> LayerTraffic {
     }
 }
 
+/// DDR traffic attributed to one prefetch window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct WindowTraffic {
+    /// Bytes read: this window's new input rows, plus (window 0 only)
+    /// the layer's encoded weights, which stream once per image.
+    pub read_bytes: u64,
+    /// Output bytes this window writes back.
+    pub write_bytes: u64,
+}
+
+/// Breaks [`layer_traffic`] down per prefetch window. Summing over all
+/// `window_count` windows reproduces the layer totals exactly (the
+/// telemetry tests assert this), so the per-window view introduces no
+/// second accounting.
+pub fn window_traffic(w: &Workload, cfg: &AcceleratorConfig, window: usize) -> WindowTraffic {
+    let totals = layer_traffic(w, cfg);
+    if w.is_fc {
+        return WindowTraffic {
+            read_bytes: totals.feature_in_bytes + totals.weight_bytes,
+            write_bytes: totals.feature_out_bytes,
+        };
+    }
+    let rows_per_window = w.rows_per_window(cfg);
+    let windows = w.window_count(cfg);
+    let row_bytes = (w.in_channels * w.in_cols) as u64;
+    let in_rows = if window == 0 {
+        rows_per_window * w.stride + w.kernel.saturating_sub(w.stride)
+    } else {
+        rows_per_window * w.stride
+    };
+    let out_rows = if window + 1 < windows {
+        rows_per_window
+    } else {
+        w.out_rows - rows_per_window * (windows - 1)
+    };
+    WindowTraffic {
+        read_bytes: row_bytes * in_rows as u64 + if window == 0 { totals.weight_bytes } else { 0 },
+        write_bytes: (w.out_channels * out_rows * w.out_cols) as u64,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,6 +185,30 @@ mod tests {
             small.feature_in_bytes >= big.feature_in_bytes,
             "more windows cannot fetch less"
         );
+    }
+
+    #[test]
+    fn window_breakdown_sums_to_layer_totals() {
+        let mut cfg = AcceleratorConfig::paper();
+        cfg.d_f = 16; // force multiple windows on CONV2
+        for name in ["CONV1", "CONV2", "FC3"] {
+            let w = workload(name);
+            let totals = layer_traffic(&w, &cfg);
+            let windows = w.window_count(&cfg);
+            let mut read = 0u64;
+            let mut write = 0u64;
+            for i in 0..windows {
+                let t = window_traffic(&w, &cfg, i);
+                read += t.read_bytes;
+                write += t.write_bytes;
+            }
+            assert_eq!(
+                read,
+                totals.feature_in_bytes + totals.weight_bytes,
+                "{name}"
+            );
+            assert_eq!(write, totals.feature_out_bytes, "{name}");
+        }
     }
 
     #[test]

@@ -1,12 +1,14 @@
 //! Layer- and network-level simulation entry points.
 
 use crate::config::AcceleratorConfig;
-use crate::memory::{layer_traffic, LayerTraffic, MemorySystem};
-use crate::sched::{schedule_window, SchedulingPolicy};
+use crate::lane;
+use crate::memory::{layer_traffic, window_traffic, LayerTraffic, MemorySystem};
+use crate::sched::{schedule_window_with, SchedulingPolicy};
 use crate::task::Workload;
 use abm_conv::parallel::Parallelism;
 use abm_model::SparseModel;
 use abm_sparse::EncodeError;
+use abm_telemetry::{Collector, Event, NullCollector};
 
 /// Simulation outcome for one accelerated layer (per image).
 #[derive(Debug, Clone, PartialEq)]
@@ -37,6 +39,12 @@ pub struct LayerSim {
     pub mult_ops: u64,
     /// Whether this layer is memory-bound.
     pub memory_bound: bool,
+    /// Accumulator cycles lost to partial-sum FIFO back-pressure:
+    /// per-sweep stalls (from the bottleneck profile) times vector
+    /// sweeps across all windows. First-order — steady-state sweeps can
+    /// overlap stalls — but it is the same first-order model the DSE
+    /// crate reasons with, which is what matters for comparing them.
+    pub stall_cycles: u64,
     /// Fraction of accumulator-lane cycles doing useful accumulations —
     /// the "execution efficiency" the paper reports in Sections 6.2/7
     /// (87% VGG16, 81% AlexNet).
@@ -59,6 +67,28 @@ impl LayerSim {
             self.dense_ops as f64 / self.seconds / 1e9
         }
     }
+
+    /// The layer's headline numbers as a [`SimSummary`].
+    pub fn summary(&self) -> SimSummary {
+        SimSummary {
+            compute_cycles: self.compute_cycles,
+            stall_cycles: self.stall_cycles,
+            bytes_moved: self.traffic.total(),
+        }
+    }
+}
+
+/// The three headline numbers of a simulation — cycles, stalls and DDR
+/// bytes — at layer or network granularity (see [`LayerSim::summary`]
+/// and [`NetworkSim::summary`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SimSummary {
+    /// Compute makespan in cycles (including window syncs).
+    pub compute_cycles: u64,
+    /// Accumulator cycles lost to FIFO back-pressure.
+    pub stall_cycles: u64,
+    /// DDR bytes moved (features in + out + weights).
+    pub bytes_moved: u64,
 }
 
 /// Simulation outcome for a whole network.
@@ -79,6 +109,24 @@ impl NetworkSim {
     /// Per-layer results in execution order.
     pub fn layers(&self) -> &[LayerSim] {
         &self.layers
+    }
+
+    /// Accelerator clock frequency this network was simulated at (MHz).
+    pub fn freq_mhz(&self) -> f64 {
+        self.freq_mhz
+    }
+
+    /// Network-level totals: cycles, stalls and DDR bytes summed over
+    /// layers.
+    pub fn summary(&self) -> SimSummary {
+        self.layers
+            .iter()
+            .map(LayerSim::summary)
+            .fold(SimSummary::default(), |a, l| SimSummary {
+                compute_cycles: a.compute_cycles + l.compute_cycles,
+                stall_cycles: a.stall_cycles + l.stall_cycles,
+                bytes_moved: a.bytes_moved + l.bytes_moved,
+            })
     }
 
     /// Finds a layer by name.
@@ -213,7 +261,10 @@ pub fn simulate_workload(
 }
 
 /// [`simulate_workload`] with parallel per-kernel timing (see
-/// [`Workload::window_task_cycles_with`]).
+/// [`Workload::window_task_cycles_with`]). Thin wrapper over
+/// [`simulate_workload_collected`] with the free [`NullCollector`]: the
+/// instrumented path **is** the simulation, so recorded telemetry can
+/// never diverge from the numbers this returns.
 pub fn simulate_workload_with(
     w: &Workload,
     cfg: &AcceleratorConfig,
@@ -221,8 +272,51 @@ pub fn simulate_workload_with(
     policy: SchedulingPolicy,
     parallelism: Parallelism,
 ) -> LayerSim {
+    simulate_workload_collected(w, cfg, mem, policy, parallelism, 0, 0, &mut NullCollector)
+}
+
+/// The simulation core, generic over a telemetry [`Collector`].
+///
+/// `layer` tags the emitted events; `start_cycle` offsets them onto a
+/// network-cumulative timeline so per-CU trace tracks lay layers out
+/// end to end. With [`NullCollector`] every `C::ENABLED` block is a
+/// compile-time-dead branch and this monomorphizes to exactly the
+/// uninstrumented simulation (the golden pins hold bit-identically with
+/// collection on or off — `tests/telemetry.rs` proves it).
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_workload_collected<C: Collector>(
+    w: &Workload,
+    cfg: &AcceleratorConfig,
+    mem: &MemorySystem,
+    policy: SchedulingPolicy,
+    parallelism: Parallelism,
+    layer: u32,
+    start_cycle: u64,
+    collector: &mut C,
+) -> LayerSim {
     let rows_pw = w.rows_per_window(cfg);
     let windows = w.window_count(cfg);
+    if C::ENABLED {
+        collector.record(Event::LayerBegin {
+            layer,
+            name: w.name.clone(),
+            cycle: start_cycle,
+        });
+        for (k, kernel) in w.flat.kernels().iter().enumerate() {
+            if kernel.total() == 0 {
+                continue;
+            }
+            let obs = lane::vector_cycles_flat_probed(kernel, cfg.n as u64, cfg.fifo_depth);
+            collector.record(Event::LaneStats {
+                layer,
+                kernel: k as u32,
+                acc_busy: obs.cycles.acc_busy,
+                acc_stall: obs.cycles.acc_stall,
+                mult_busy: kernel.distinct() as u64 * cfg.n as u64,
+                fifo_high_water: obs.fifo_high_water,
+            });
+        }
+    }
     // Double-buffered feature fetch means a CU that finishes a window's
     // tasks can start on the next window immediately ("synchronization
     // ... is infrequently conducted"); only the buffer-swap bookkeeping
@@ -235,14 +329,41 @@ pub fn simulate_workload_with(
         w.out_rows - rows_pw * (windows - 1)
     };
     let mut all_tasks: Vec<u64> = Vec::new();
+    let mut total_vectors = 0u64;
     for i in 0..windows {
-        if i + 1 < windows || tail_rows == rows_pw {
+        let rows = if i + 1 < windows || tail_rows == rows_pw {
             all_tasks.extend_from_slice(&full_tasks);
+            rows_pw
         } else {
             all_tasks.extend(w.window_task_cycles_with(cfg, tail_rows, parallelism));
+            tail_rows
+        };
+        total_vectors += w.vectors_per_window(cfg, rows);
+        if C::ENABLED {
+            collector.record(Event::QueueDepth {
+                layer,
+                window: i as u32,
+                depth: w.batches(cfg) as u32,
+            });
+            let t = window_traffic(w, cfg, i);
+            collector.record(Event::DdrWindow {
+                layer,
+                window: i as u32,
+                read_bytes: t.read_bytes,
+                write_bytes: t.write_bytes,
+            });
         }
     }
-    let sched = schedule_window(&all_tasks, cfg.n_cu, policy);
+    let sched = schedule_window_with(&all_tasks, cfg.n_cu, policy, |cu, s, e| {
+        if C::ENABLED {
+            collector.record(Event::CuTask {
+                layer,
+                cu: cu as u32,
+                start: start_cycle + s,
+                end: start_cycle + e,
+            });
+        }
+    });
     let compute_cycles = sched.makespan + windows as u64 * cfg.window_sync_overhead;
     let busy_cycles = sched.busy;
     let utilization = if compute_cycles == 0 {
@@ -264,6 +385,13 @@ pub fn simulate_workload_with(
         acc_ops as f64 / lane_capacity
     };
     let bottleneck = w.bottleneck_profile(cfg);
+    let stall_cycles = bottleneck.stall_cycles_per_vector * total_vectors;
+    if C::ENABLED {
+        collector.record(Event::LayerEnd {
+            layer,
+            cycle: start_cycle + compute_cycles,
+        });
+    }
     // Host layers (ReLU / pooling / LRN) run on the CPU, pipelined with
     // the accelerator; ~2 elementwise host ops per produced feature at a
     // multicore-SIMD rate. Rough by design — it only needs to show
@@ -286,10 +414,50 @@ pub fn simulate_workload_with(
         acc_ops,
         mult_ops: w.code.total_distinct() * (w.out_rows * w.out_cols) as u64,
         memory_bound: memory_seconds > compute_seconds,
+        stall_cycles,
         lane_efficiency,
         bottleneck,
         host_seconds,
     }
+}
+
+/// Simulates a whole network through the collected core: layers run
+/// serially (the event stream is deterministic) on one cumulative cycle
+/// timeline; per-kernel timing may still fan out across host threads.
+/// The returned [`NetworkSim`] is identical to
+/// [`simulate_network_with`]'s for the same inputs, whatever the
+/// collector.
+///
+/// # Panics
+///
+/// Panics if a layer cannot be encoded or the configuration is invalid.
+pub fn simulate_network_collected<C: Collector>(
+    model: &SparseModel,
+    cfg: &AcceleratorConfig,
+    mem: &MemorySystem,
+    policy: SchedulingPolicy,
+    parallelism: Parallelism,
+    collector: &mut C,
+) -> NetworkSim {
+    cfg.validate().expect("invalid accelerator configuration");
+    let mut start_cycle = 0u64;
+    let mut layers = Vec::with_capacity(model.layers.len());
+    for (i, layer) in model.layers.iter().enumerate() {
+        let w = Workload::from_layer(layer).expect("model layers must be encodable");
+        let sim = simulate_workload_collected(
+            &w,
+            cfg,
+            mem,
+            policy,
+            parallelism,
+            i as u32,
+            start_cycle,
+            collector,
+        );
+        start_cycle += sim.compute_cycles;
+        layers.push(sim);
+    }
+    NetworkSim::from_layers(layers, cfg.freq_mhz)
 }
 
 /// Simulates every accelerated layer of a model with the paper's

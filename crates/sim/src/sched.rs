@@ -32,6 +32,24 @@ pub struct WindowSchedule {
 ///
 /// Panics if `n_cu` is zero.
 pub fn schedule_window(tasks: &[u64], n_cu: usize, policy: SchedulingPolicy) -> WindowSchedule {
+    schedule_window_with(tasks, n_cu, policy, |_, _, _| {})
+}
+
+/// [`schedule_window`] with an observation callback invoked once per
+/// task assignment as `on_task(cu, start, end)` (cycles relative to
+/// window start, in dispatch order). The uninstrumented entry point
+/// passes an empty closure, which monomorphizes this down to exactly
+/// the unobserved schedule — same decisions, same cycle counts.
+///
+/// # Panics
+///
+/// Panics if `n_cu` is zero.
+pub fn schedule_window_with(
+    tasks: &[u64],
+    n_cu: usize,
+    policy: SchedulingPolicy,
+    mut on_task: impl FnMut(usize, u64, u64),
+) -> WindowSchedule {
     assert!(n_cu > 0, "n_cu must be positive");
     let busy: u64 = tasks.iter().sum();
     let makespan = match policy {
@@ -45,16 +63,21 @@ pub fn schedule_window(tasks: &[u64], n_cu: usize, policy: SchedulingPolicy) -> 
                     .enumerate()
                     .min_by_key(|&(_, &f)| f)
                     .expect("n_cu > 0");
+                on_task(idx, free[idx], free[idx] + t);
                 free[idx] += t;
             }
             free.into_iter().max().unwrap_or(0)
         }
         SchedulingPolicy::LockStep => {
             // Rounds of n_cu tasks; each round costs its slowest task.
-            tasks
-                .chunks(n_cu)
-                .map(|round| round.iter().copied().max().unwrap_or(0))
-                .sum()
+            let mut round_start = 0u64;
+            for round in tasks.chunks(n_cu) {
+                for (cu, &t) in round.iter().enumerate() {
+                    on_task(cu, round_start, round_start + t);
+                }
+                round_start += round.iter().copied().max().unwrap_or(0);
+            }
+            round_start
         }
     };
     WindowSchedule { makespan, busy }
@@ -120,5 +143,32 @@ mod tests {
     #[should_panic(expected = "n_cu must be positive")]
     fn zero_cu_panics() {
         let _ = schedule_window(&[1], 0, SchedulingPolicy::SemiSynchronous);
+    }
+
+    #[test]
+    fn traced_schedule_reports_consistent_assignments() {
+        let tasks: Vec<u64> = (1..=9).map(|i| (i * 13) % 17 + 2).collect();
+        for policy in [
+            SchedulingPolicy::SemiSynchronous,
+            SchedulingPolicy::LockStep,
+        ] {
+            let mut spans: Vec<(usize, u64, u64)> = Vec::new();
+            let s = schedule_window_with(&tasks, 3, policy, |cu, st, en| spans.push((cu, st, en)));
+            assert_eq!(s, schedule_window(&tasks, 3, policy), "{policy:?}");
+            assert_eq!(spans.len(), tasks.len());
+            let busy: u64 = spans.iter().map(|&(_, st, en)| en - st).sum();
+            assert_eq!(busy, s.busy);
+            assert_eq!(spans.iter().map(|&(.., en)| en).max().unwrap(), s.makespan);
+            // Spans on one CU arrive in dispatch order and never overlap.
+            for cu in 0..3 {
+                let mut last_end = 0;
+                for &(c, st, en) in &spans {
+                    if c == cu {
+                        assert!(st >= last_end, "{policy:?} cu{cu} overlaps");
+                        last_end = en;
+                    }
+                }
+            }
+        }
     }
 }

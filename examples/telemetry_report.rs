@@ -1,0 +1,107 @@
+//! Cycle-level telemetry on simulated AlexNet: per-layer roofline
+//! report cross-checked against the analytic DSE model, plus a Chrome
+//! `trace_event` timeline of the three CUs (open it in
+//! `chrome://tracing` or Perfetto).
+//!
+//! ```text
+//! cargo run --release --example telemetry_report            # full report + trace files
+//! cargo run --release --example telemetry_report -- --smoke # CI divergence gate
+//! ```
+//!
+//! In `--smoke` mode the example exits non-zero if any layer's simulated
+//! lane efficiency diverges from the Section 5.1 performance model by
+//! more than [`DIVERGENCE_TOLERANCE`] — the guard that keeps the cycle
+//! simulator and the closed-form model telling the same story.
+
+use abm_conv::Parallelism;
+use abm_dse::{annotate_report, check_consistency, estimate_network};
+use abm_model::{synthesize_model, zoo, PruneProfile};
+use abm_sim::{
+    network_report, simulate_network_collected, AcceleratorConfig, MemorySystem, SchedulingPolicy,
+};
+use abm_telemetry::{ChromeTrace, RecordingCollector};
+
+/// Absolute lane-efficiency gap CI tolerates between the simulator and
+/// the analytic model. Pinned from measurement: the worst AlexNet layer
+/// (CONV2) diverges by ~6.6%, so 10% holds the relationship without
+/// flapping on calibration noise.
+const DIVERGENCE_TOLERANCE: f64 = 0.10;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let net = zoo::alexnet();
+    let profile = PruneProfile::alexnet_deep_compression();
+    let model = synthesize_model(&net, &profile, 7);
+    let cfg = AcceleratorConfig::paper_alexnet();
+
+    let mut recording = RecordingCollector::new();
+    let sim = simulate_network_collected(
+        &model,
+        &cfg,
+        &MemorySystem::de5_net(),
+        SchedulingPolicy::SemiSynchronous,
+        Parallelism::Auto,
+        &mut recording,
+    );
+
+    let mut report = network_report(net.name(), &sim, &recording);
+    let est = estimate_network(&net, &profile, &cfg);
+    let annotated = annotate_report(&mut report, &est);
+    assert_eq!(annotated, report.layers.len(), "every layer modeled");
+
+    print!("{}", report.render_table());
+    println!(
+        "simulated: {:.1} GOP/s, {:.1} images/s | model: {:.1} GOP/s",
+        sim.gops(),
+        sim.images_per_second(),
+        est.gops()
+    );
+
+    match check_consistency(&report, DIVERGENCE_TOLERANCE) {
+        Ok(()) => println!(
+            "consistency: all {} layers within {:.0}% of the analytic model",
+            report.layers.len(),
+            DIVERGENCE_TOLERANCE * 100.0
+        ),
+        Err(offenders) => {
+            for o in &offenders {
+                eprintln!(
+                    "DIVERGENT {}: simulated lane eff {:.4} vs model {:.4} (gap {:.2}%)",
+                    o.layer,
+                    o.measured,
+                    o.model,
+                    o.divergence * 100.0
+                );
+            }
+            return Err(format!(
+                "{} layer(s) diverge from the performance model by more than {:.0}%",
+                offenders.len(),
+                DIVERGENCE_TOLERANCE * 100.0
+            )
+            .into());
+        }
+    }
+
+    // The exporters run in smoke mode too (their output is validated),
+    // but only the full run leaves files behind.
+    let trace = ChromeTrace::from_events(recording.events());
+    let trace_json = trace.to_json();
+    let report_json = report.to_json();
+    abm_telemetry::json::validate(&trace_json).map_err(|e| format!("trace JSON: {e}"))?;
+    abm_telemetry::json::validate(&report_json).map_err(|e| format!("report JSON: {e}"))?;
+    if smoke {
+        println!("smoke OK ({} trace spans)", trace.spans().len());
+    } else {
+        let dir = std::env::temp_dir();
+        let trace_path = dir.join("alexnet_trace.json");
+        let report_path = dir.join("alexnet_telemetry.json");
+        std::fs::write(&trace_path, trace_json)?;
+        std::fs::write(&report_path, report_json)?;
+        println!(
+            "wrote {} and {}",
+            trace_path.display(),
+            report_path.display()
+        );
+    }
+    Ok(())
+}

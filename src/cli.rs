@@ -5,6 +5,7 @@
 //! abm-spconv analyze  <vgg16|alexnet|vgg19|tiny>
 //! abm-spconv simulate <net> [--n-cu N] [--n-knl N] [--n N] [--s-ec N] [--freq MHZ]
 //!                           [--parallel serial|auto|N]
+//!                           [--telemetry] [--report] [--trace-out PATH]
 //! abm-spconv explore  <net> [--device gxa7|arria10]
 //! abm-spconv infer    <net> [--engine dense|gemm|sparse|abm|freq] [--seed S]
 //!                           [--batch N] [--parallel serial|auto|N]
@@ -15,8 +16,12 @@ use abm_conv::{Engine, Inferencer, Parallelism};
 use abm_dse::flow::run_flow;
 use abm_dse::FpgaDevice;
 use abm_model::{synthesize_model, zoo, Network, PruneProfile, SparseModel};
-use abm_sim::{simulate_network_par, AcceleratorConfig};
+use abm_sim::{
+    network_report, simulate_network_collected, simulate_network_par, AcceleratorConfig,
+    MemorySystem, SchedulingPolicy,
+};
 use abm_sparse::SizeModel;
+use abm_telemetry::{ChromeTrace, RecordingCollector};
 use abm_tensor::Tensor3;
 use std::error::Error;
 use std::fmt;
@@ -37,6 +42,13 @@ pub enum Command {
         config: AcceleratorConfig,
         /// Host-thread parallelism for the simulation itself.
         parallelism: Parallelism,
+        /// Collect telemetry and print the cycle/stall/DDR summary.
+        telemetry: bool,
+        /// Print the per-layer roofline report annotated with the
+        /// analytic model.
+        report: bool,
+        /// Write a Chrome `trace_event` JSON file of the CU timeline.
+        trace_out: Option<String>,
     },
     /// The full design-space exploration flow.
     Explore {
@@ -82,6 +94,7 @@ commands:
   analyze  <vgg16|alexnet|vgg19|tiny>
   simulate <net> [--n-cu N] [--n-knl N] [--n N] [--s-ec N] [--freq MHZ]
                  [--parallel serial|auto|N]
+                 [--telemetry] [--report] [--trace-out PATH]
   explore  <net> [--device gxa7|arria10]
   infer    <net> [--engine dense|gemm|sparse|abm|freq] [--seed S]
                  [--batch N] [--parallel serial|auto|N]";
@@ -110,7 +123,22 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                 AcceleratorConfig::paper()
             };
             let mut parallelism = Parallelism::Auto;
+            let mut telemetry = false;
+            let mut report = false;
+            let mut trace_out = None;
             while let Some(flag) = it.next() {
+                // Boolean flags take no value; everything else does.
+                match flag.as_str() {
+                    "--telemetry" => {
+                        telemetry = true;
+                        continue;
+                    }
+                    "--report" => {
+                        report = true;
+                        continue;
+                    }
+                    _ => {}
+                }
                 let value = it
                     .next()
                     .ok_or_else(|| err(format!("flag {flag} needs a value")))?;
@@ -129,6 +157,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                             .map_err(|_| err(format!("bad frequency '{value}'")))?
                     }
                     "--parallel" => parallelism = Parallelism::parse(value).map_err(err)?,
+                    "--trace-out" => trace_out = Some(value.clone()),
                     other => return Err(err(format!("unknown flag {other}"))),
                 }
             }
@@ -139,6 +168,9 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                 net,
                 config,
                 parallelism,
+                telemetry,
+                report,
+                trace_out,
             })
         }
         "explore" => {
@@ -268,9 +300,27 @@ pub fn execute(command: &Command) -> Result<(), Box<dyn Error>> {
             net,
             config,
             parallelism,
+            telemetry,
+            report,
+            trace_out,
         } => {
-            let (network, _, model) = build(net, 2019);
-            let sim = simulate_network_par(&model, config, *parallelism);
+            let (network, profile, model) = build(net, 2019);
+            let collect = *telemetry || *report || trace_out.is_some();
+            let mut recording = RecordingCollector::new();
+            let sim = if collect {
+                // The collected core runs layers serially (deterministic
+                // event stream) but returns bit-identical numbers.
+                simulate_network_collected(
+                    &model,
+                    config,
+                    &MemorySystem::de5_net(),
+                    SchedulingPolicy::SemiSynchronous,
+                    *parallelism,
+                    &mut recording,
+                )
+            } else {
+                simulate_network_par(&model, config, *parallelism)
+            };
             println!(
                 "{} on N_cu={} N_knl={} N={} S_ec={} @ {} MHz (host threads: {}):",
                 network.name(),
@@ -288,6 +338,26 @@ pub fn execute(command: &Command) -> Result<(), Box<dyn Error>> {
                 sim.gops(),
                 sim.lane_efficiency() * 100.0
             );
+            if *telemetry {
+                let s = sim.summary();
+                println!(
+                    "  telemetry: {} compute cycles | {} stall cycles | {:.2} MiB DDR",
+                    s.compute_cycles,
+                    s.stall_cycles,
+                    s.bytes_moved as f64 / (1024.0 * 1024.0)
+                );
+            }
+            if *report {
+                let mut rep = network_report(network.name(), &sim, &recording);
+                let est = abm_dse::estimate_network(&network, &profile, config);
+                abm_dse::annotate_report(&mut rep, &est);
+                print!("{}", rep.render_table());
+            }
+            if let Some(path) = trace_out {
+                let trace = ChromeTrace::from_events(recording.events());
+                std::fs::write(path, trace.to_json())?;
+                println!("  wrote Chrome trace to {path}");
+            }
         }
         Command::Explore { net, device } => {
             let (network, profile) = lookup(net);
@@ -359,6 +429,24 @@ pub fn execute(command: &Command) -> Result<(), Box<dyn Error>> {
                     result.work.multiplications,
                     result.work.accumulations as f64 / result.work.multiplications.max(1) as f64
                 );
+                // AbmWork totals across the batch, and what they come to
+                // in ops/cycle on the simulated accelerator (paper
+                // config for this network).
+                let total_ops: u64 = results.iter().map(|r| r.work.total()).sum();
+                let cfg = if net == "alexnet" {
+                    AcceleratorConfig::paper_alexnet()
+                } else {
+                    AcceleratorConfig::paper()
+                };
+                let cycles = simulate_network_par(&model, &cfg, *parallelism)
+                    .summary()
+                    .compute_cycles;
+                println!(
+                    "  batch AbmWork: {} total ops | {:.2} ops/cycle over {} simulated cycles/image",
+                    total_ops,
+                    total_ops as f64 / (*batch as f64 * cycles.max(1) as f64),
+                    cycles
+                );
             }
         }
     }
@@ -394,6 +482,9 @@ mod tests {
                 net,
                 config,
                 parallelism,
+                telemetry,
+                report,
+                trace_out,
             } => {
                 assert_eq!(net, "tiny");
                 assert_eq!(config.n_cu, 2);
@@ -401,9 +492,38 @@ mod tests {
                 assert_eq!(config.freq_mhz, 150.0);
                 assert_eq!(config.n_knl, 14); // default preserved
                 assert_eq!(parallelism, Parallelism::Threads(4));
+                assert!(!telemetry && !report);
+                assert_eq!(trace_out, None);
             }
             other => panic!("wrong command {other:?}"),
         }
+    }
+
+    #[test]
+    fn parse_simulate_telemetry_flags() {
+        // Boolean flags take no value and mix freely with valued ones.
+        let cmd = parse(&argv(
+            "simulate tiny --telemetry --n-cu 2 --report --trace-out /tmp/t.json",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Simulate {
+                config,
+                telemetry,
+                report,
+                trace_out,
+                ..
+            } => {
+                assert_eq!(config.n_cu, 2);
+                assert!(telemetry && report);
+                assert_eq!(trace_out.as_deref(), Some("/tmp/t.json"));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse(&argv("simulate tiny --trace-out"))
+            .unwrap_err()
+            .to_string()
+            .contains("needs a value"));
     }
 
     #[test]
@@ -490,6 +610,9 @@ mod tests {
             net: "tiny".into(),
             config: AcceleratorConfig::paper(),
             parallelism: Parallelism::Serial,
+            telemetry: false,
+            report: false,
+            trace_out: None,
         })
         .unwrap();
         execute(&Command::Infer {
@@ -505,6 +628,23 @@ mod tests {
             device: FpgaDevice::stratix_v_gxa7(),
         })
         .unwrap();
+    }
+
+    #[test]
+    fn execute_simulate_with_telemetry_outputs() {
+        let trace_path = std::env::temp_dir().join("abm_cli_trace_test.json");
+        execute(&Command::Simulate {
+            net: "tiny".into(),
+            config: AcceleratorConfig::paper(),
+            parallelism: Parallelism::Serial,
+            telemetry: true,
+            report: true,
+            trace_out: Some(trace_path.to_string_lossy().into_owned()),
+        })
+        .unwrap();
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        abm_telemetry::json::validate(&trace).unwrap();
+        std::fs::remove_file(&trace_path).ok();
     }
 
     #[test]

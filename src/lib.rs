@@ -9,6 +9,7 @@
 //! * [`conv`] — SDConv / SpConv / FDConv / ABM-SpConv engines
 //! * [`sim`] — the cycle-approximate accelerator simulator
 //! * [`dse`] — design space exploration
+//! * [`telemetry`] — zero-cost-when-disabled instrumentation + exporters
 //!
 //! See the README for a tour and `examples/` for runnable entry points.
 
@@ -21,4 +22,5 @@ pub use abm_dse as dse;
 pub use abm_model as model;
 pub use abm_sim as sim;
 pub use abm_sparse as sparse;
+pub use abm_telemetry as telemetry;
 pub use abm_tensor as tensor;

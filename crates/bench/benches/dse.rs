@@ -1,6 +1,8 @@
 //! Criterion benchmarks of the exploration flow — Figure 6's `N_knl`
 //! sweep and Figure 7's `S_ec × N_cu` grid.
 
+#![forbid(unsafe_code)]
+
 use abm_dse::explore::{explore_nknl, explore_sec_ncu};
 use abm_dse::FpgaDevice;
 use abm_model::{zoo, PruneProfile};

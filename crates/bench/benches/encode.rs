@@ -1,6 +1,8 @@
 //! Criterion benchmarks of the sparse weight encoder/decoder (the
 //! offline model-preparation cost) against the CSR baseline.
 
+#![forbid(unsafe_code)]
+
 use abm_sparse::{CsrKernel, LayerCode, SizeModel};
 use abm_tensor::{Shape4, Tensor4};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};

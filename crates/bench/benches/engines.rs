@@ -2,6 +2,8 @@
 //! representative pruned layer (what a host-side functional check pays
 //! per engine).
 
+#![forbid(unsafe_code)]
+
 use abm_conv::{abm, dense, freq, sparse, Geometry};
 use abm_sparse::{CsrKernel, LayerCode};
 use abm_tensor::{Shape3, Shape4, Tensor3, Tensor4};

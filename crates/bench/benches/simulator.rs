@@ -2,6 +2,8 @@
 //! performance model — the costs a DSE loop pays per evaluated design
 //! point.
 
+#![forbid(unsafe_code)]
+
 use abm_bench::{alexnet_model, vgg16_model};
 use abm_dse::perf::estimate_network;
 use abm_model::{zoo, PruneProfile};

@@ -9,6 +9,8 @@
 //! cargo run --release --bin ablation
 //! ```
 
+#![forbid(unsafe_code)]
+
 use abm_bench::{rule, vgg16_model};
 use abm_dse::ResourceModel;
 use abm_sim::{

@@ -6,6 +6,8 @@
 //! cargo run --release -p abm-bench --bin energy
 //! ```
 
+#![forbid(unsafe_code)]
+
 use abm_bench::{alexnet_model, rule, vgg16_model};
 use abm_sim::energy::{dense_reference_energy, network_energy, EnergyModel};
 use abm_sim::{simulate_network, AcceleratorConfig};

@@ -5,6 +5,8 @@
 //! cargo run --release --bin figure1
 //! ```
 
+#![forbid(unsafe_code)]
+
 use abm_bench::{rule, vgg16_model};
 use abm_dse::{compute_roofline, FpgaDevice};
 use abm_model::{zoo, PruneProfile};

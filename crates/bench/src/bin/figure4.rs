@@ -6,6 +6,8 @@
 //! cargo run --release -p abm-bench --bin figure4
 //! ```
 
+#![forbid(unsafe_code)]
+
 use abm_bench::rule;
 use abm_sparse::compress_layer;
 use abm_sparse::{LayerCode, SizeModel};

@@ -5,6 +5,8 @@
 //! cargo run --release --bin figure6
 //! ```
 
+#![forbid(unsafe_code)]
+
 use abm_bench::rule;
 use abm_dse::explore::{explore_nknl, normalized_boost, optimal_nknl};
 use abm_dse::FpgaDevice;

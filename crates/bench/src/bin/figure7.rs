@@ -6,6 +6,8 @@
 //! cargo run --release --bin figure7
 //! ```
 
+#![forbid(unsafe_code)]
+
 use abm_bench::rule;
 use abm_dse::explore::{best_feasible, explore_sec_ncu, pareto_front};
 use abm_dse::FpgaDevice;

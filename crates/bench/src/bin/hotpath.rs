@@ -11,6 +11,8 @@
 //! engine — enough to exercise both paths end to end without tying up
 //! the CI machine.
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use abm_bench::{alexnet_model, rule, vgg16_model};

@@ -11,6 +11,8 @@
 //! cargo run --release --bin precision
 //! ```
 
+#![forbid(unsafe_code)]
+
 use abm_bench::{rule, vgg16_model};
 use abm_conv::precision::conv2d_saturating;
 use abm_conv::Geometry;

@@ -8,6 +8,8 @@
 //! cargo run --release -p abm-bench --bin projection
 //! ```
 
+#![forbid(unsafe_code)]
+
 use abm_bench::rule;
 use abm_dse::flow::run_flow;
 use abm_dse::FpgaDevice;

@@ -12,6 +12,8 @@
 //! cargo run --release -p abm-bench --bin sweep
 //! ```
 
+#![forbid(unsafe_code)]
+
 use abm_bench::rule;
 use abm_conv::ops::NetworkOps;
 use abm_model::{synthesize_model, zoo, LayerProfile, PruneProfile};

@@ -5,6 +5,8 @@
 //! cargo run --release --bin table1
 //! ```
 
+#![forbid(unsafe_code)]
+
 use abm_bench::{mop, ratio, rule, vgg16_model};
 use abm_conv::ops::NetworkOps;
 

@@ -10,6 +10,8 @@
 //! cargo run --release --bin table2
 //! ```
 
+#![forbid(unsafe_code)]
+
 use abm_bench::{alexnet_model, rule, vgg16_model};
 use abm_dse::{FpgaDevice, ResourceModel};
 use abm_sim::{simulate_network, AcceleratorConfig};

@@ -5,6 +5,8 @@
 //! cargo run --release --bin table3
 //! ```
 
+#![forbid(unsafe_code)]
+
 use abm_bench::{alexnet_model, rule, vgg16_model};
 use abm_model::SparseModel;
 use abm_sim::AcceleratorConfig;

@@ -187,7 +187,7 @@ impl PreparedConv {
             multiplications: flat.total_distinct() * out_pixels,
             final_accumulations: flat.total_distinct() * out_pixels,
         };
-        Self {
+        let prepared = Self {
             flat,
             in_shape,
             out_shape,
@@ -196,7 +196,48 @@ impl PreparedConv {
             interior_rows: layout.interior_rows(w.kernel_rows, out_shape.rows),
             interior_cols: layout.interior_cols(w.kernel_cols, out_shape.cols),
             work,
+        };
+        // Debug builds statically verify the lowering against its source
+        // streams on construction; release builds skip the pass (`cargo
+        // xtask verify` runs it explicitly over the model zoo).
+        #[cfg(debug_assertions)]
+        {
+            let report = prepared.verify_against(code);
+            debug_assert!(
+                report.is_clean(),
+                "ABM lowering failed static verification:\n{report}"
+            );
         }
+        prepared
+    }
+
+    /// Runs the `abm-verify` lowering pass against this prepared layer's
+    /// source streams: every flat offset must decode to its source tap,
+    /// the declared interior span must be provably in-bounds, the value
+    /// groups must partition the encoded non-zeros, and worst-case
+    /// accumulation must fit the host accumulator.
+    #[must_use]
+    pub fn verify_against(&self, code: &LayerCode) -> abm_verify::VerifyReport {
+        let layout = self.flat.layout();
+        let geometry = abm_verify::ConvGeometry {
+            in_channels: self.in_shape.channels,
+            in_rows: layout.in_rows,
+            in_cols: layout.in_cols,
+            stride: layout.stride,
+            pad: layout.pad,
+            groups: self.geom.groups,
+            out_rows: self.out_shape.rows,
+            out_cols: self.out_shape.cols,
+            interior_rows: (self.interior_rows.start, self.interior_rows.end),
+            interior_cols: (self.interior_cols.start, self.interior_cols.end),
+        };
+        abm_verify::verify_lowering(
+            "prepared-conv",
+            code,
+            &self.flat,
+            &geometry,
+            &abm_verify::AccumulatorModel::host(),
+        )
     }
 
     /// The input shape this layer was prepared against.
@@ -598,6 +639,9 @@ fn gather_pixel_vec_unit(
         let mut p = [0i64; PIXEL_VEC];
         for &off in &offsets[w[0] as usize..w[1] as usize] {
             let o = base + off as usize;
+            // INVARIANT: the slice is exactly PIXEL_VEC long, and the
+            // lowering verifier proves base + off + PIXEL_VEC stays
+            // inside the padded input plane for every interior pixel.
             let win: [i16; PIXEL_VEC] = data[o..o + PIXEL_VEC].try_into().expect("window");
             for i in 0..PIXEL_VEC {
                 p[i] += win[i] as i64;

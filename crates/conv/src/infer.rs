@@ -403,12 +403,16 @@ impl<'m> Inferencer<'m> {
             Engine::Dense => dense::conv2d(input, &sl.weights, geom),
             Engine::Gemm => crate::gemm::conv2d(input, &sl.weights, geom),
             Engine::Sparse => {
+                // INVARIANT: Inferencer::new builds the CSR kernels for
+                // every layer whenever the engine is Sparse.
                 let kernels = prepared.csr[layer_idx]
                     .as_ref()
                     .expect("prepared with the Sparse engine");
                 csr_engine::conv2d(input, kernels, sl.weights.shape(), geom)
             }
             Engine::Abm => {
+                // INVARIANT: Inferencer::new builds PreparedConv for
+                // every layer whenever the engine is Abm.
                 let prep = prepared.abm[layer_idx]
                     .as_ref()
                     .expect("prepared with the ABM engine");

@@ -39,7 +39,7 @@ pub mod perf;
 pub mod resource;
 pub mod roofline;
 
-pub use consistency::{annotate_report, check_consistency, Divergence};
+pub use consistency::{annotate_report, check_consistency, Tolerances};
 pub use device::FpgaDevice;
 pub use explore::{explore_nknl, explore_sec_ncu, DesignPoint};
 pub use flow::{run_flow, FlowResult};

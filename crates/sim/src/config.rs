@@ -73,6 +73,11 @@ pub struct AcceleratorConfig {
     /// Depth of the partial-sum FIFOs between accumulators and
     /// multipliers (in partial-sum sets).
     pub fifo_depth: usize,
+    /// Signed accumulator width in bits. The Stratix-V DSP blocks chain
+    /// into 48-bit accumulators (the Intel variable-precision DSP's
+    /// native accumulation width); the static overflow check proves
+    /// every layer's worst-case partial sum fits.
+    pub acc_bits: u32,
     /// Operating frequency in MHz.
     pub freq_mhz: f64,
     /// Pipeline fill / address-generator setup cycles charged per task.
@@ -101,6 +106,7 @@ impl AcceleratorConfig {
             d_w: 2048,
             d_q: 128,
             fifo_depth: 8,
+            acc_bits: 48,
             freq_mhz: 204.0,
             task_overhead: 12,
             window_sync_overhead: 64,
@@ -161,6 +167,7 @@ impl AcceleratorConfig {
             ("n", self.n),
             ("s_ec", self.s_ec),
             ("fifo_depth", self.fifo_depth),
+            ("acc_bits", self.acc_bits as usize),
         ] {
             if value == 0 {
                 return Err(ConfigError::ZeroParameter(name));

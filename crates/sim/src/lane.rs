@@ -141,6 +141,8 @@ fn vector_cycles_impl<const PROBE: bool>(
         let mut ready = acc_time + c_p;
         // ...but can only deposit when a FIFO slot is free.
         while fifo.len() >= fifo_depth {
+            // INVARIANT: the loop guard holds fifo.len() >= fifo_depth,
+            // and configs validate fifo_depth >= 1.
             let drained = fifo.pop_front().expect("fifo non-empty");
             if drained > ready {
                 acc_stall += drained - ready;

@@ -58,6 +58,7 @@ pub mod run;
 pub mod sched;
 pub mod task;
 pub mod telemetry;
+pub mod verify;
 
 pub use config::{AcceleratorConfig, ConfigError};
 pub use memory::MemorySystem;
@@ -68,3 +69,4 @@ pub use run::{
 };
 pub use sched::SchedulingPolicy;
 pub use telemetry::network_report;
+pub use verify::{verify_workload, verify_workload_lowering, verify_workload_schedule};

@@ -66,12 +66,16 @@ pub fn simulate_network_with_parallelism(
     policy: SchedulingPolicy,
     parallelism: Parallelism,
 ) -> NetworkSim {
+    // INVARIANT: documented panic — this API's contract rejects
+    // invalid configurations up front.
     cfg.validate().expect("invalid accelerator configuration");
     let workers = parallelism.worker_count();
     let layers = if model.layers.len() >= workers {
         // Enough layers to keep every worker busy: steal whole layers,
         // keep the per-kernel map serial to avoid nested pools.
         parallel_map(parallelism, &model.layers, |_, layer| {
+            // INVARIANT: documented panic — every synthesized zoo layer
+            // encodes (u16 indices, nonzero kernels).
             simulate_layer_with(layer, cfg, mem, policy, Parallelism::Serial)
                 .expect("model layers must be encodable")
         })
@@ -82,6 +86,8 @@ pub fn simulate_network_with_parallelism(
             .layers
             .iter()
             .map(|layer| {
+                // INVARIANT: documented panic — every synthesized zoo
+                // layer encodes (u16 indices, nonzero kernels).
                 simulate_layer_with(layer, cfg, mem, policy, parallelism)
                     .expect("model layers must be encodable")
             })

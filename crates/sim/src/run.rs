@@ -244,6 +244,8 @@ pub fn simulate_layer_with(
     policy: SchedulingPolicy,
     parallelism: Parallelism,
 ) -> Result<LayerSim, EncodeError> {
+    // INVARIANT: documented panic — this API's contract rejects
+    // invalid configurations up front.
     cfg.validate().expect("invalid accelerator configuration");
     let w = Workload::from_layer(layer)?;
     Ok(simulate_workload_with(&w, cfg, mem, policy, parallelism))
@@ -439,10 +441,14 @@ pub fn simulate_network_collected<C: Collector>(
     parallelism: Parallelism,
     collector: &mut C,
 ) -> NetworkSim {
+    // INVARIANT: documented panic — this API's contract rejects
+    // invalid configurations up front.
     cfg.validate().expect("invalid accelerator configuration");
     let mut start_cycle = 0u64;
     let mut layers = Vec::with_capacity(model.layers.len());
     for (i, layer) in model.layers.iter().enumerate() {
+        // INVARIANT: documented panic — every synthesized zoo layer
+        // encodes (u16 indices, nonzero kernels).
         let w = Workload::from_layer(layer).expect("model layers must be encodable");
         let sim = simulate_workload_collected(
             &w,

@@ -62,6 +62,8 @@ pub fn schedule_window_with(
                     .iter()
                     .enumerate()
                     .min_by_key(|&(_, &f)| f)
+                    // INVARIANT: AcceleratorConfig::validate rejects
+                    // n_cu == 0, so `free` is never empty.
                     .expect("n_cu > 0");
                 on_task(idx, free[idx], free[idx] + t);
                 free[idx] += t;

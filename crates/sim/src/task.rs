@@ -77,7 +77,7 @@ impl Workload {
             }
         };
         let flat = FlatCode::lower(&code, layout);
-        Ok(Self {
+        let workload = Self {
             name: layer.name().to_string(),
             code,
             flat,
@@ -90,7 +90,22 @@ impl Workload {
             stride: layer.stride(),
             is_fc,
             dense_ops: layer.layer.dense_ops(),
-        })
+        };
+        // Debug builds prove the lowering before the simulator times it
+        // (same gate as PreparedConv's constructor on the functional
+        // side); release builds rely on `cargo xtask verify`.
+        #[cfg(debug_assertions)]
+        {
+            let report = crate::verify::verify_workload_lowering(
+                &workload,
+                AcceleratorConfig::default().acc_bits,
+            );
+            debug_assert!(
+                report.is_clean(),
+                "workload lowering failed static verification:\n{report}"
+            );
+        }
+        Ok(workload)
     }
 
     /// Vector sweeps needed to cover `rows` output rows: the address

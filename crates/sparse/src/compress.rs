@@ -141,6 +141,8 @@ impl Huffman {
             .collect();
         let mut tie = freqs.len();
         while heap.len() > 1 {
+            // INVARIANT: the loop guard holds heap.len() > 1, so both
+            // pops succeed.
             let a = heap.pop().expect("len > 1");
             let b = heap.pop().expect("len > 1");
             tie += 1;
@@ -150,6 +152,8 @@ impl Huffman {
                 kind: NodeKind::Internal(Box::new(a), Box::new(b)),
             });
         }
+        // INVARIANT: at least one frequency is nonzero (documented
+        // panic contract above), so the merge loop leaves one root.
         let root = heap.pop().expect("non-empty");
 
         let mut lengths = vec![0u8; freqs.len()];

@@ -104,6 +104,27 @@ pub struct FlatKernel {
 }
 
 impl FlatKernel {
+    /// Assembles a kernel directly from its four streams, bypassing
+    /// [`FlatCode::lower`]. No structural invariants are enforced — this
+    /// exists so the verifier's negative tests (and external tools that
+    /// deserialize offset tables) can build arbitrary, possibly-corrupt
+    /// codes and prove `abm-verify` rejects them. Anything destined for
+    /// an executor should come from `lower` or pass
+    /// `abm-verify`'s lowering pass first.
+    pub fn from_raw_parts(
+        values: Vec<i8>,
+        group_bounds: Vec<u32>,
+        offsets: Vec<u32>,
+        taps: Vec<Tap>,
+    ) -> Self {
+        Self {
+            values,
+            starts: group_bounds,
+            offsets,
+            taps,
+        }
+    }
+
     /// The distinct quantized values, ascending (the Q-Table `VAL`s).
     #[inline]
     pub fn values(&self) -> &[i8] {
@@ -200,6 +221,10 @@ impl FlatCode {
                         let (n, k, kp) = code.unravel(i);
                         let off = n * plane + k * layout.in_cols + kp;
                         flat.offsets.push(
+                            // INVARIANT: source indices are u16, so
+                            // off < 65536 · plane; zoo-scale planes
+                            // keep that far below 2^32, and a larger
+                            // lowering is a bug worth aborting on.
                             u32::try_from(off)
                                 .expect("input plane exceeds the 32-bit flat-offset range"),
                         );
@@ -214,6 +239,18 @@ impl FlatCode {
                 flat
             })
             .collect();
+        Self {
+            shape,
+            layout,
+            kernels,
+        }
+    }
+
+    /// Assembles a layer from pre-built kernels without re-lowering.
+    /// Like [`FlatKernel::from_raw_parts`], this enforces nothing — it is
+    /// the escape hatch the verifier's negative tests use to construct
+    /// deliberately defective codes.
+    pub fn from_kernels(shape: Shape4, layout: FlatLayout, kernels: Vec<FlatKernel>) -> Self {
         Self {
             shape,
             layout,

@@ -1,0 +1,474 @@
+//! Pass 1 — the lowering verifier.
+//!
+//! [`FlatCode`] is what the hot path executes *unchecked*: precomputed
+//! `u32` input offsets walked as pointer bumps, an interior span swept
+//! without per-tap bounds tests, and analytic work counts trusted by
+//! construction. The hardware earns the same trust at synthesis time —
+//! the offset ROM, the Q-Table and the interior address ranges are fixed
+//! when the bitstream is built. [`verify_lowering`] is the software
+//! analogue of that synthesis-time proof: given the source
+//! [`LayerCode`], the lowered [`FlatCode`] and the concrete convolution
+//! geometry, it proves
+//!
+//! 1. **faithfulness** — every group's values and counts reconcile with
+//!    the source Q-Table (the value groups partition exactly the
+//!    non-zero weights, so the analytic `AbmWork` model counts the real
+//!    work), and every tap/offset pair decodes to exactly the source
+//!    weight position;
+//! 2. **in-bounds interior** — the declared interior span is contained
+//!    in the legal one (no halo taps inside it), and the extreme
+//!    interior pixel's reads stay inside the input tensor. Offsets are
+//!    affine and monotone in the output coordinates, so checking the
+//!    span endpoints proves every pixel in between;
+//! 3. **stream order** — offsets ascend within each group (the
+//!    forward-stream property the address generator relies on);
+//! 4. **no overflow** — the worst-case accumulation magnitude fits the
+//!    configured accumulator width.
+//!
+//! On success the executor's `debug_assert`-backed construction hook
+//! (and `cargo xtask verify`) can state, not hope, that the unchecked
+//! walk is safe.
+
+use crate::report::{Axis, Defect, VerifyReport};
+use abm_sparse::{interior_span, FlatCode, LayerCode};
+
+/// The concrete convolution geometry a lowering is verified against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConvGeometry {
+    /// Total input channels (all groups).
+    pub in_channels: usize,
+    /// Input rows `R` (pre-padding).
+    pub in_rows: usize,
+    /// Input cols `C` (pre-padding).
+    pub in_cols: usize,
+    /// Stride `S`.
+    pub stride: usize,
+    /// Padding `P` on all sides.
+    pub pad: usize,
+    /// Channel groups.
+    pub groups: usize,
+    /// Output rows `R'`.
+    pub out_rows: usize,
+    /// Output cols `C'`.
+    pub out_cols: usize,
+    /// The interior row span the executor declares unchecked.
+    pub interior_rows: (usize, usize),
+    /// The interior column span the executor declares unchecked.
+    pub interior_cols: (usize, usize),
+}
+
+/// The accumulator the verified layer will run on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccumulatorModel {
+    /// Signed accumulator width in bits.
+    pub acc_bits: u32,
+    /// Largest input magnitude the layer can see.
+    pub max_abs_input: u64,
+}
+
+impl AccumulatorModel {
+    /// The functional engine's host accumulator: `i64` partial sums over
+    /// `i16` inputs.
+    pub fn host() -> Self {
+        Self {
+            acc_bits: 64,
+            max_abs_input: 1 << 15,
+        }
+    }
+}
+
+/// Verifies a flat lowering against its source code and geometry.
+///
+/// Returns a [`VerifyReport`] whose defects name the exact invariant
+/// violated; a clean report means every property in the module docs was
+/// proven for every kernel.
+#[must_use]
+pub fn verify_lowering(
+    subject: &str,
+    code: &LayerCode,
+    flat: &FlatCode,
+    geom: &ConvGeometry,
+    acc: &AccumulatorModel,
+) -> VerifyReport {
+    let mut report = VerifyReport::new(subject);
+    let shape = code.shape();
+    let plane = geom.in_rows * geom.in_cols;
+    let input_len = (geom.in_channels * plane) as u64;
+    let channels_per_group = shape.in_channels;
+
+    if flat.kernels().len() != code.kernels().len() {
+        report.defect(Defect::KernelCountMismatch {
+            flat: flat.kernels().len(),
+            source: code.kernels().len(),
+        });
+        return report;
+    }
+
+    // Interior span legality: the declared span must sit inside the
+    // legal one. Containment, plus the per-tap decode checks below, is
+    // the whole in-bounds proof for interior pixels: the read index
+    // `chan_base + (o_r·S - P + k)·C + o_c·S - P + k'` is monotone in
+    // every coordinate, so the span endpoints bound all pixels.
+    let legal_rows = interior_span(
+        geom.in_rows,
+        shape.kernel_rows,
+        geom.stride,
+        geom.pad,
+        geom.out_rows,
+    );
+    let legal_cols = interior_span(
+        geom.in_cols,
+        shape.kernel_cols,
+        geom.stride,
+        geom.pad,
+        geom.out_cols,
+    );
+    for (axis, declared, legal) in [
+        (
+            Axis::Rows,
+            geom.interior_rows,
+            (legal_rows.start, legal_rows.end),
+        ),
+        (
+            Axis::Cols,
+            geom.interior_cols,
+            (legal_cols.start, legal_cols.end),
+        ),
+    ] {
+        let empty = declared.0 >= declared.1;
+        if !empty && (declared.0 < legal.0 || declared.1 > legal.1) {
+            report.defect(Defect::InteriorContainsHalo {
+                axis,
+                declared,
+                legal,
+            });
+        } else {
+            report.facts += 1;
+        }
+    }
+
+    let interior_nonempty =
+        geom.interior_rows.0 < geom.interior_rows.1 && geom.interior_cols.0 < geom.interior_cols.1;
+    // The worst-case interior base offset within one channel group
+    // (largest output coordinate in the declared span). Only meaningful
+    // when the span is legal and non-empty.
+    let base_max = if interior_nonempty {
+        let r = geom.interior_rows.1 - 1;
+        let c = geom.interior_cols.1 - 1;
+        (r * geom.stride).saturating_sub(geom.pad) * geom.in_cols
+            + (c * geom.stride).saturating_sub(geom.pad)
+    } else {
+        0
+    };
+
+    let m_per_group = shape.out_channels.div_ceil(geom.groups.max(1)).max(1);
+
+    for (m, (fk, sk)) in flat.kernels().iter().zip(code.kernels()).enumerate() {
+        // --- structure: bounds table, arity ---
+        let starts = fk.group_bounds();
+        let offsets = fk.offsets();
+        let taps = fk.taps();
+        let bounds_ok = !starts.is_empty()
+            && starts[0] == 0
+            && starts.windows(2).all(|w| w[0] <= w[1])
+            && *starts.last().unwrap_or(&0) as usize == offsets.len()
+            && starts.len() == fk.values().len() + 1;
+        if !bounds_ok {
+            report.defect(Defect::GroupBoundsCorrupt { kernel: m });
+            continue;
+        }
+        if offsets.len() != taps.len() {
+            report.defect(Defect::ArityMismatch {
+                kernel: m,
+                offsets: offsets.len(),
+                taps: taps.len(),
+            });
+            continue;
+        }
+        report.facts += 2;
+
+        // --- faithfulness: the groups partition exactly the source's
+        // non-zero weights, value for value and position for position.
+        if fk.values().len() != sk.distinct() {
+            report.defect(Defect::GroupValueMismatch {
+                kernel: m,
+                group: sk.distinct().min(fk.values().len()),
+            });
+            continue;
+        }
+        let mut prev_value: Option<i8> = None;
+        let mut stream_pos = 0usize;
+        for (g, ((&value, entry), (src_value, src_idxs))) in fk
+            .values()
+            .iter()
+            .zip(sk.entries())
+            .zip(sk.groups())
+            .enumerate()
+        {
+            if value == 0 || prev_value.is_some_and(|p| p >= value) || value != entry.value {
+                report.defect(Defect::GroupValueMismatch {
+                    kernel: m,
+                    group: g,
+                });
+            } else {
+                report.facts += 1;
+            }
+            prev_value = Some(value);
+            debug_assert_eq!(src_value, entry.value);
+
+            let lo = starts[g] as usize;
+            let hi = starts[g + 1] as usize;
+            if hi - lo != src_idxs.len() {
+                report.defect(Defect::GroupCountMismatch {
+                    kernel: m,
+                    group: g,
+                    flat: (hi - lo) as u64,
+                    source: src_idxs.len() as u64,
+                });
+                stream_pos = hi;
+                continue;
+            }
+            report.facts += 1;
+
+            let mut prev_off: Option<u32> = None;
+            let mut ordered = true;
+            for (j, &src_idx) in src_idxs.iter().enumerate() {
+                let i = lo + j;
+                let tap = taps[i];
+                let off = offsets[i];
+                let (n, k, kp) = code.unravel(src_idx);
+                // Tap coordinates inside the kernel volume.
+                if (tap.n as usize) >= channels_per_group
+                    || (tap.k as usize) >= shape.kernel_rows
+                    || (tap.kp as usize) >= shape.kernel_cols
+                {
+                    report.defect(Defect::TapOutOfKernel {
+                        kernel: m,
+                        index: i,
+                    });
+                    continue;
+                }
+                // Tap stands for exactly the source weight position.
+                if (tap.n as usize, tap.k as usize, tap.kp as usize) != (n, k, kp) {
+                    report.defect(Defect::TapMismatch {
+                        kernel: m,
+                        index: i,
+                    });
+                    continue;
+                }
+                // Offset is the affine decode of the tap.
+                let expected = (n * plane + k * geom.in_cols + kp) as u32;
+                if off != expected {
+                    report.defect(Defect::OffsetMismatch {
+                        kernel: m,
+                        index: i,
+                        offset: off,
+                        expected,
+                    });
+                    continue;
+                }
+                if prev_off.is_some_and(|p| p >= off) {
+                    ordered = false;
+                }
+                prev_off = Some(off);
+                report.facts += 1;
+                stream_pos = i + 1;
+            }
+            if !ordered {
+                report.defect(Defect::StreamOrderViolation {
+                    kernel: m,
+                    group: g,
+                });
+            }
+        }
+        let _ = stream_pos;
+
+        // --- in-bounds for the whole declared interior span: check the
+        // worst (largest) read the kernel can issue.
+        if interior_nonempty {
+            let chan_base = (m / m_per_group) * channels_per_group * plane;
+            if let Some(&max_off) = offsets.iter().max() {
+                let worst = chan_base as u64 + base_max as u64 + max_off as u64;
+                if worst >= input_len {
+                    report.defect(Defect::OffsetOutOfBounds {
+                        kernel: m,
+                        read_index: worst,
+                        bound: input_len,
+                    });
+                } else {
+                    report.facts += 1;
+                }
+            }
+        }
+
+        // --- arithmetic: worst-case |accumulator| must fit acc_bits.
+        // Stage 1's largest partial sum is `max count · max|input|`;
+        // stage 2's output accumulator bounds everything at
+        // `Σ |v_g|·count_g·max|input|`. u128 keeps the check itself
+        // overflow-free.
+        let worst: u128 = fk
+            .values()
+            .iter()
+            .zip(fk.group_counts())
+            .map(|(&v, c)| (v.unsigned_abs() as u128) * (c as u128) * (acc.max_abs_input as u128))
+            .sum();
+        let required_bits = 128 - worst.leading_zeros() + 1; // magnitude + sign
+        if worst > 0 && required_bits > acc.acc_bits {
+            report.defect(Defect::AccumulatorOverflow {
+                kernel: m,
+                required_bits,
+                acc_bits: acc.acc_bits,
+            });
+        } else {
+            report.facts += 1;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abm_sparse::{FlatLayout, Tap};
+    use abm_tensor::{Shape4, Tensor4};
+
+    fn sample() -> (LayerCode, FlatCode, ConvGeometry) {
+        let shape = Shape4::new(3, 2, 3, 3);
+        let w = Tensor4::from_fn(shape, |m, n, k, kp| {
+            let x = (m * 131 + n * 31 + k * 7 + kp * 3) % 7;
+            if x < 3 {
+                0
+            } else {
+                (x as i8) - 3
+            }
+        });
+        let code = LayerCode::encode(&w).unwrap();
+        let layout = FlatLayout {
+            in_rows: 8,
+            in_cols: 8,
+            stride: 1,
+            pad: 1,
+        };
+        let flat = FlatCode::lower(&code, layout);
+        let rows = layout.interior_rows(3, 8);
+        let cols = layout.interior_cols(3, 8);
+        let geom = ConvGeometry {
+            in_channels: 2,
+            in_rows: 8,
+            in_cols: 8,
+            stride: 1,
+            pad: 1,
+            groups: 1,
+            out_rows: 8,
+            out_cols: 8,
+            interior_rows: (rows.start, rows.end),
+            interior_cols: (cols.start, cols.end),
+        };
+        (code, flat, geom)
+    }
+
+    #[test]
+    fn valid_lowering_is_clean() {
+        let (code, flat, geom) = sample();
+        let r = verify_lowering("t", &code, &flat, &geom, &AccumulatorModel::host());
+        assert!(r.is_clean(), "{r}");
+        assert!(r.facts > 0);
+    }
+
+    #[test]
+    fn corrupt_offset_is_caught_as_offset_mismatch() {
+        let (code, flat, geom) = sample();
+        let mut kernels: Vec<_> = flat.kernels().to_vec();
+        let k0 = &kernels[0];
+        let mut offsets = k0.offsets().to_vec();
+        offsets[0] += 1; // one wrong address
+        kernels[0] = abm_sparse::FlatKernel::from_raw_parts(
+            k0.values().to_vec(),
+            k0.group_bounds().to_vec(),
+            offsets,
+            k0.taps().to_vec(),
+        );
+        let bad = FlatCode::from_kernels(flat.shape(), flat.layout(), kernels);
+        let r = verify_lowering("t", &code, &bad, &geom, &AccumulatorModel::host());
+        assert!(r.has_class("offset_mismatch"), "{r}");
+    }
+
+    #[test]
+    fn dropped_tap_is_caught_as_group_count_mismatch() {
+        let (code, flat, geom) = sample();
+        let mut kernels: Vec<_> = flat.kernels().to_vec();
+        let k0 = &kernels[0];
+        // Drop the last tap of the first group and re-point the bounds.
+        let mut offsets = k0.offsets().to_vec();
+        let mut taps = k0.taps().to_vec();
+        let mut starts = k0.group_bounds().to_vec();
+        let cut = starts[1] as usize - 1;
+        offsets.remove(cut);
+        taps.remove(cut);
+        for s in starts.iter_mut().skip(1) {
+            *s -= 1;
+        }
+        kernels[0] =
+            abm_sparse::FlatKernel::from_raw_parts(k0.values().to_vec(), starts, offsets, taps);
+        let bad = FlatCode::from_kernels(flat.shape(), flat.layout(), kernels);
+        let r = verify_lowering("t", &code, &bad, &geom, &AccumulatorModel::host());
+        assert!(r.has_class("group_count_mismatch"), "{r}");
+    }
+
+    #[test]
+    fn inflated_interior_span_is_caught() {
+        let (code, flat, mut geom) = sample();
+        geom.interior_rows.0 = 0; // claim the top halo row is interior
+        let r = verify_lowering("t", &code, &flat, &geom, &AccumulatorModel::host());
+        assert!(r.has_class("interior_contains_halo"), "{r}");
+    }
+
+    #[test]
+    fn swapped_tap_is_caught_as_tap_mismatch() {
+        let (code, flat, geom) = sample();
+        let mut kernels: Vec<_> = flat.kernels().to_vec();
+        let k0 = &kernels[0];
+        let mut taps = k0.taps().to_vec();
+        let mut offsets = k0.offsets().to_vec();
+        // Move a tap one column over (picking one with room, so the
+        // result stays inside the kernel volume), keeping the offset
+        // consistent with the *moved* tap: faithfulness to the source
+        // must still flag it.
+        let i = taps
+            .iter()
+            .position(|t| (t.kp as usize) + 1 < flat.shape().kernel_cols)
+            .unwrap();
+        taps[i] = Tap {
+            n: taps[i].n,
+            k: taps[i].k,
+            kp: taps[i].kp + 1,
+        };
+        offsets[i] += 1;
+        kernels[0] = abm_sparse::FlatKernel::from_raw_parts(
+            k0.values().to_vec(),
+            k0.group_bounds().to_vec(),
+            offsets,
+            taps,
+        );
+        let bad = FlatCode::from_kernels(flat.shape(), flat.layout(), kernels);
+        let r = verify_lowering("t", &code, &bad, &geom, &AccumulatorModel::host());
+        assert!(r.has_class("tap_mismatch"), "{r}");
+    }
+
+    #[test]
+    fn narrow_accumulator_overflows() {
+        let (code, flat, geom) = sample();
+        let tiny = AccumulatorModel {
+            acc_bits: 8,
+            max_abs_input: 1 << 15,
+        };
+        let r = verify_lowering("t", &code, &flat, &geom, &tiny);
+        assert!(r.has_class("accumulator_overflow"), "{r}");
+        // A paper-width accumulator is fine.
+        let wide = AccumulatorModel {
+            acc_bits: 48,
+            max_abs_input: 1 << 15,
+        };
+        assert!(verify_lowering("t", &code, &flat, &geom, &wide).is_clean());
+    }
+}

@@ -1,0 +1,312 @@
+//! Pass 2 — the schedule/legality checker.
+//!
+//! The simulated accelerator's schedule used to be trusted at runtime:
+//! the scheduler panicked mid-simulation on impossible dispatches, FIFO
+//! feasibility was only checked dynamically against golden pins, and a
+//! workload whose streams overflow the on-chip buffers was discovered
+//! when the cycle counts went wrong. The hardware makes all of these
+//! *synthesis-time* decisions — FIFO depths, buffer sizes and the
+//! `N`-accumulators-per-multiplier rotation are fixed in the bitstream —
+//! so the reproduction checks them statically before the simulator runs:
+//!
+//! * **CU legality** — every task lands on a configured CU, exactly
+//!   once, for exactly its declared cycle cost, and no CU runs two tasks
+//!   at overlapping cycles;
+//! * **FIFO feasibility** — the partial-sum FIFO high-water each kernel
+//!   demands fits the configured depth;
+//! * **buffer feasibility** — each kernel's Q-Table fits `D_q`, and
+//!   each *resident* index stream (conv kernels, which re-sweep their
+//!   stream every output vector) fits `D_w`;
+//! * **round-robin fairness** — `N` divides `S_ec`, so every multiplier
+//!   serves a full, uniform group of accumulators per rotation.
+//!
+//! The pass is pure data → data. `abm-verify` deliberately does not
+//! depend on `abm-sim`; the sim crate's `verify` glue extracts these
+//! facts (spans from `schedule_window_with`'s observation callback,
+//! high-water marks from the probed lane recurrence) and feeds them in.
+
+use crate::report::{Defect, VerifyReport};
+
+/// The configuration slice the legality checks need — a pure-data
+/// mirror of the sim crate's `AcceleratorConfig` fields so `abm-verify`
+/// stays dependency-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduleParams {
+    /// Configured convolution units.
+    pub n_cu: usize,
+    /// Accumulators per multiplier (`N`).
+    pub n: usize,
+    /// Vector width (`S_ec`).
+    pub s_ec: usize,
+    /// Partial-sum FIFO depth.
+    pub fifo_depth: usize,
+    /// Weight-buffer depth in 16-bit words (`D_w`).
+    pub d_w: usize,
+    /// Q-Table depth in 16-bit words (`D_q`).
+    pub d_q: usize,
+}
+
+/// One task's placement in a window schedule, as observed from the
+/// scheduler's dispatch callback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskSpan {
+    /// Task index in dispatch order (into the declared-cost slice).
+    pub task: usize,
+    /// CU the task ran on.
+    pub cu: usize,
+    /// Start cycle relative to window start.
+    pub start: u64,
+    /// End cycle relative to window start.
+    pub end: u64,
+}
+
+/// Per-kernel stream demands extracted from an encoded workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KernelFacts {
+    /// Kernel index.
+    pub kernel: usize,
+    /// WT-Buffer stream length in 16-bit words (the index stream).
+    pub weight_words: u64,
+    /// Whether the index stream must stay resident in the WT-Buffer.
+    /// Conv kernels sweep their stream once per output vector, so the
+    /// whole stream must fit `D_w`; FC kernels consume it exactly once
+    /// per task (`S_ec` batches images, one output per kernel), so it
+    /// can be double-buffer streamed at any length.
+    pub resident: bool,
+    /// Q-Table footprint in 16-bit words (`VAL`+`NUM` per entry, plus
+    /// the trailing total).
+    pub qtable_words: u64,
+    /// Partial-sum FIFO high-water mark the lane recurrence observed.
+    pub fifo_high_water: u32,
+}
+
+/// Statically checks one window's schedule and its kernels' stream
+/// demands against the configuration.
+///
+/// `declared` holds the per-task cycle costs the schedule was built
+/// from; `spans` the observed `(task, cu, start, end)` placements;
+/// `kernels` the per-kernel buffer/FIFO demands.
+#[must_use]
+pub fn verify_schedule(
+    subject: &str,
+    params: &ScheduleParams,
+    declared: &[u64],
+    spans: &[TaskSpan],
+    kernels: &[KernelFacts],
+) -> VerifyReport {
+    let mut report = VerifyReport::new(subject);
+
+    // Round-robin fairness is a pure configuration property.
+    if params.n == 0 || !params.s_ec.is_multiple_of(params.n) {
+        report.defect(Defect::UnfairRoundRobin {
+            n: params.n,
+            s_ec: params.s_ec,
+        });
+    } else {
+        report.facts += 1;
+    }
+
+    // Coverage and durations.
+    let mut times = vec![0usize; declared.len()];
+    for span in spans {
+        if span.cu >= params.n_cu {
+            report.defect(Defect::CuOutOfRange {
+                cu: span.cu,
+                n_cu: params.n_cu,
+            });
+        }
+        match times.get_mut(span.task) {
+            Some(t) => *t += 1,
+            None => report.defect(Defect::TaskCoverage {
+                task: span.task,
+                times: 1,
+            }),
+        }
+        let scheduled = span.end.saturating_sub(span.start);
+        let declared_cost = declared.get(span.task).copied().unwrap_or(0);
+        if span.end < span.start || scheduled != declared_cost {
+            report.defect(Defect::TaskDurationMismatch {
+                task: span.task,
+                scheduled,
+                declared: declared_cost,
+            });
+        } else {
+            report.facts += 1;
+        }
+    }
+    for (task, &t) in times.iter().enumerate() {
+        if t != 1 {
+            report.defect(Defect::TaskCoverage { task, times: t });
+        } else {
+            report.facts += 1;
+        }
+    }
+
+    // Double-booking: per CU, sort by start and look for overlap.
+    // Zero-length tasks cannot occupy a CU, so they never conflict.
+    let mut by_cu: Vec<Vec<&TaskSpan>> = vec![Vec::new(); params.n_cu];
+    for span in spans {
+        if let Some(v) = by_cu.get_mut(span.cu) {
+            v.push(span);
+        }
+    }
+    for (cu, mut lane) in by_cu.into_iter().enumerate() {
+        lane.sort_by_key(|s| (s.start, s.end));
+        for pair in lane.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            if a.end > b.start && a.start < a.end && b.start < b.end {
+                report.defect(Defect::CuDoubleBooked {
+                    cu,
+                    first: (a.start, a.end),
+                    second: (b.start, b.end),
+                });
+            } else {
+                report.facts += 1;
+            }
+        }
+    }
+
+    // Stream feasibility per kernel.
+    for k in kernels {
+        if k.fifo_high_water as usize > params.fifo_depth {
+            report.defect(Defect::FifoOverflow {
+                kernel: k.kernel,
+                high_water: k.fifo_high_water,
+                depth: params.fifo_depth,
+            });
+        } else {
+            report.facts += 1;
+        }
+        if k.resident && k.weight_words > params.d_w as u64 {
+            report.defect(Defect::WeightBufferOverflow {
+                kernel: k.kernel,
+                words: k.weight_words,
+                depth: params.d_w,
+            });
+        } else {
+            report.facts += 1;
+        }
+        if k.qtable_words > params.d_q as u64 {
+            report.defect(Defect::QTableOverflow {
+                kernel: k.kernel,
+                words: k.qtable_words,
+                depth: params.d_q,
+            });
+        } else {
+            report.facts += 1;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> ScheduleParams {
+        ScheduleParams {
+            n_cu: 3,
+            n: 4,
+            s_ec: 20,
+            fifo_depth: 8,
+            d_w: 2048,
+            d_q: 128,
+        }
+    }
+
+    fn span(task: usize, cu: usize, start: u64, end: u64) -> TaskSpan {
+        TaskSpan {
+            task,
+            cu,
+            start,
+            end,
+        }
+    }
+
+    #[test]
+    fn legal_schedule_is_clean() {
+        let declared = [10u64, 20, 5];
+        let spans = [span(0, 0, 0, 10), span(1, 1, 0, 20), span(2, 0, 10, 15)];
+        let kernels = [KernelFacts {
+            kernel: 0,
+            weight_words: 100,
+            resident: true,
+            qtable_words: 31,
+            fifo_high_water: 8,
+        }];
+        let r = verify_schedule("w", &params(), &declared, &spans, &kernels);
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn double_booking_detected() {
+        let declared = [10u64, 10];
+        let spans = [span(0, 1, 0, 10), span(1, 1, 5, 15)];
+        let r = verify_schedule("w", &params(), &declared, &spans, &[]);
+        assert!(r.has_class("cu_double_booked"), "{r}");
+    }
+
+    #[test]
+    fn lost_and_duplicated_tasks_detected() {
+        let declared = [10u64, 10, 10];
+        // Task 0 twice, task 2 never.
+        let spans = [span(0, 0, 0, 10), span(0, 1, 0, 10), span(1, 2, 0, 10)];
+        let r = verify_schedule("w", &params(), &declared, &spans, &[]);
+        assert!(r.has_class("task_coverage"), "{r}");
+        assert_eq!(
+            r.defects
+                .iter()
+                .filter(|d| d.class() == "task_coverage")
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn duration_and_cu_range_checked() {
+        let declared = [10u64];
+        let spans = [span(0, 7, 0, 12)];
+        let r = verify_schedule("w", &params(), &declared, &spans, &[]);
+        assert!(r.has_class("cu_out_of_range"));
+        assert!(r.has_class("task_duration_mismatch"));
+    }
+
+    #[test]
+    fn stream_overflows_detected() {
+        let kernels = [KernelFacts {
+            kernel: 3,
+            weight_words: 5000,
+            resident: true,
+            qtable_words: 200,
+            fifo_high_water: 9,
+        }];
+        let r = verify_schedule("w", &params(), &[], &[], &kernels);
+        assert!(r.has_class("weight_buffer_overflow"));
+        assert!(r.has_class("q_table_overflow"));
+        assert!(r.has_class("fifo_overflow"));
+    }
+
+    #[test]
+    fn streamed_kernels_may_exceed_the_weight_buffer() {
+        // An FC index stream is consumed once per task, so it is fed
+        // through the double-buffered WT-Buffer instead of residing in
+        // it — length is not a feasibility constraint.
+        let kernels = [KernelFacts {
+            kernel: 0,
+            weight_words: 5000,
+            resident: false,
+            qtable_words: 31,
+            fifo_high_water: 1,
+        }];
+        let r = verify_schedule("w", &params(), &[], &[], &kernels);
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn unfair_rotation_detected() {
+        let mut p = params();
+        p.n = 3; // 20 % 3 != 0
+        let r = verify_schedule("w", &p, &[], &[], &[]);
+        assert!(r.has_class("unfair_round_robin"));
+    }
+}

@@ -7,6 +7,8 @@
 //! cargo run --release --example alexnet_inference
 //! ```
 
+#![forbid(unsafe_code)]
+
 use abm_conv::{Engine, Inferencer};
 use abm_model::{synthesize_model, zoo, PruneProfile};
 use abm_tensor::{Shape3, Tensor3};

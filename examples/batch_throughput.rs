@@ -9,6 +9,8 @@
 //! cargo run --release --example batch_throughput
 //! ```
 
+#![forbid(unsafe_code)]
+
 use abm_conv::{Engine, Inferencer, Parallelism};
 use abm_model::{synthesize_model, zoo, PruneProfile};
 use abm_sim::{simulate_network_par, AcceleratorConfig};

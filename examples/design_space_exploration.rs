@@ -10,6 +10,8 @@
 //! cargo run --release --example design_space_exploration
 //! ```
 
+#![forbid(unsafe_code)]
+
 use abm_conv::ops::NetworkOps;
 use abm_dse::bandwidth::is_compute_bound;
 use abm_dse::explore::{best_feasible, explore_nknl, explore_sec_ncu, optimal_nknl};

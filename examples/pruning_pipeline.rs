@@ -9,6 +9,8 @@
 //! cargo run --release --example pruning_pipeline
 //! ```
 
+#![forbid(unsafe_code)]
+
 use abm_conv::{Engine, Inferencer};
 use abm_model::{synthesize_from_float, zoo, LayerStats, PruneProfile};
 use abm_sim::{simulate_network, AcceleratorConfig};

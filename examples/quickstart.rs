@@ -6,6 +6,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
+#![forbid(unsafe_code)]
+
 use abm_conv::{abm, dense, Geometry};
 use abm_model::LayerStats;
 use abm_sparse::LayerCode;

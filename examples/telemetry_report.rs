@@ -8,24 +8,21 @@
 //! cargo run --release --example telemetry_report -- --smoke # CI divergence gate
 //! ```
 //!
-//! In `--smoke` mode the example exits non-zero if any layer's simulated
-//! lane efficiency diverges from the Section 5.1 performance model by
-//! more than [`DIVERGENCE_TOLERANCE`] — the guard that keeps the cycle
-//! simulator and the closed-form model telling the same story.
+//! In `--smoke` mode the example exits non-zero if any layer's measured
+//! cycles, lane efficiency or DDR traffic diverges from the Section 5.1
+//! performance model by more than [`abm_dse::Tolerances::default`] —
+//! the guard that keeps the cycle simulator and the closed-form model
+//! telling the same story. Each failure names the metric that broke.
+
+#![forbid(unsafe_code)]
 
 use abm_conv::Parallelism;
-use abm_dse::{annotate_report, check_consistency, estimate_network};
+use abm_dse::{annotate_report, check_consistency, estimate_network, Tolerances};
 use abm_model::{synthesize_model, zoo, PruneProfile};
 use abm_sim::{
     network_report, simulate_network_collected, AcceleratorConfig, MemorySystem, SchedulingPolicy,
 };
 use abm_telemetry::{ChromeTrace, RecordingCollector};
-
-/// Absolute lane-efficiency gap CI tolerates between the simulator and
-/// the analytic model. Pinned from measurement: the worst AlexNet layer
-/// (CONV2) diverges by ~6.6%, so 10% holds the relationship without
-/// flapping on calibration noise.
-const DIVERGENCE_TOLERANCE: f64 = 0.10;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let smoke = std::env::args().any(|a| a == "--smoke");
@@ -57,29 +54,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         est.gops()
     );
 
-    match check_consistency(&report, DIVERGENCE_TOLERANCE) {
-        Ok(()) => println!(
-            "consistency: all {} layers within {:.0}% of the analytic model",
-            report.layers.len(),
-            DIVERGENCE_TOLERANCE * 100.0
-        ),
-        Err(offenders) => {
-            for o in &offenders {
-                eprintln!(
-                    "DIVERGENT {}: simulated lane eff {:.4} vs model {:.4} (gap {:.2}%)",
-                    o.layer,
-                    o.measured,
-                    o.model,
-                    o.divergence * 100.0
-                );
-            }
-            return Err(format!(
-                "{} layer(s) diverge from the performance model by more than {:.0}%",
-                offenders.len(),
-                DIVERGENCE_TOLERANCE * 100.0
-            )
-            .into());
-        }
+    let tol = Tolerances::default();
+    let verdict = check_consistency(&report, &est, &net, &profile, &cfg, &tol);
+    if verdict.is_clean() {
+        println!(
+            "consistency: all {} layers × 3 metrics within tolerance of the analytic model",
+            report.layers.len()
+        );
+    } else {
+        eprint!("{verdict}");
+        return Err(format!(
+            "{} metric(s) diverge from the performance model",
+            verdict.defects.len()
+        )
+        .into());
     }
 
     // The exporters run in smoke mode too (their output is validated),

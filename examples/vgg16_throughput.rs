@@ -7,6 +7,8 @@
 //! cargo run --release --example vgg16_throughput
 //! ```
 
+#![forbid(unsafe_code)]
+
 use abm_model::{synthesize_model, zoo, PruneProfile};
 use abm_sim::{simulate_network, AcceleratorConfig};
 

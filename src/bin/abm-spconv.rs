@@ -3,6 +3,8 @@
 //!
 //! Run `abm-spconv` without arguments for usage.
 
+#![forbid(unsafe_code)]
+
 use abm_spconv_repro::cli;
 use std::process::ExitCode;
 

@@ -9,6 +9,7 @@
 //! abm-spconv explore  <net> [--device gxa7|arria10]
 //! abm-spconv infer    <net> [--engine dense|gemm|sparse|abm|freq] [--seed S]
 //!                           [--batch N] [--parallel serial|auto|N]
+//! abm-spconv verify   <net> [--seed S]
 //! ```
 
 use abm_conv::ops::NetworkOps;
@@ -57,6 +58,15 @@ pub enum Command {
         /// Target device.
         device: FpgaDevice,
     },
+    /// Static verification of every lowered layer: the `abm-verify`
+    /// lowering and schedule/legality passes under the network's paper
+    /// configuration.
+    Verify {
+        /// Network name.
+        net: String,
+        /// Synthesis seed.
+        seed: u64,
+    },
     /// Functional inference on a batch of synthetic images.
     Infer {
         /// Network name.
@@ -97,7 +107,8 @@ commands:
                  [--telemetry] [--report] [--trace-out PATH]
   explore  <net> [--device gxa7|arria10]
   infer    <net> [--engine dense|gemm|sparse|abm|freq] [--seed S]
-                 [--batch N] [--parallel serial|auto|N]";
+                 [--batch N] [--parallel serial|auto|N]
+  verify   <net> [--seed S]";
 
 /// Parses an argument vector (without the program name).
 ///
@@ -235,6 +246,23 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                 batch,
                 parallelism,
             })
+        }
+        "verify" => {
+            let mut seed = 2019u64;
+            while let Some(flag) = it.next() {
+                let value = it
+                    .next()
+                    .ok_or_else(|| err(format!("flag {flag} needs a value")))?;
+                match flag.as_str() {
+                    "--seed" => {
+                        seed = value
+                            .parse::<u64>()
+                            .map_err(|_| err(format!("bad seed '{value}'")))?
+                    }
+                    other => return Err(err(format!("unknown flag {other}"))),
+                }
+            }
+            Ok(Command::Verify { net, seed })
         }
         other => Err(err(format!("unknown command '{other}'\n{USAGE}"))),
     }
@@ -389,6 +417,41 @@ pub fn execute(command: &Command) -> Result<(), Box<dyn Error>> {
                     "MEMORY-BOUND"
                 }
             );
+        }
+        Command::Verify { net, seed } => {
+            let (network, _, model) = build(net, *seed);
+            let cfg = if net == "alexnet" {
+                AcceleratorConfig::paper_alexnet()
+            } else {
+                AcceleratorConfig::paper()
+            };
+            println!(
+                "{} (seed {seed}) under N_cu={} N_knl={} N={} S_ec={}:",
+                network.name(),
+                cfg.n_cu,
+                cfg.n_knl,
+                cfg.n,
+                cfg.s_ec
+            );
+            let mut dirty = 0usize;
+            for layer in &model.layers {
+                let w = abm_sim::task::Workload::from_layer(layer)?;
+                let report = abm_sim::verify_workload(&w, &cfg);
+                println!(
+                    "  {:<10} {:>10} facts  {:>2} defects",
+                    w.name,
+                    report.facts,
+                    report.defects.len()
+                );
+                if !report.is_clean() {
+                    print!("{report}");
+                    dirty += report.defects.len();
+                }
+            }
+            if dirty > 0 {
+                return Err(format!("static verification found {dirty} defect(s)").into());
+            }
+            println!("all layers defect-free");
         }
         Command::Infer {
             net,
@@ -571,6 +634,34 @@ mod tests {
                 parallelism: Parallelism::Auto,
             }
         );
+    }
+
+    #[test]
+    fn parse_verify() {
+        assert_eq!(
+            parse(&argv("verify tiny")).unwrap(),
+            Command::Verify {
+                net: "tiny".into(),
+                seed: 2019
+            }
+        );
+        assert_eq!(
+            parse(&argv("verify alexnet --seed 7")).unwrap(),
+            Command::Verify {
+                net: "alexnet".into(),
+                seed: 7
+            }
+        );
+        assert!(parse(&argv("verify tiny --batch 2")).is_err());
+    }
+
+    #[test]
+    fn execute_verify_tiny_is_defect_free() {
+        execute(&Command::Verify {
+            net: "tiny".into(),
+            seed: 1,
+        })
+        .unwrap();
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! * [`conv`] — SDConv / SpConv / FDConv / ABM-SpConv engines
 //! * [`sim`] — the cycle-approximate accelerator simulator
 //! * [`dse`] — design space exploration
+//! * [`verify`] — static invariant checking + the concurrency model checker
 //! * [`telemetry`] — zero-cost-when-disabled instrumentation + exporters
 //!
 //! See the README for a tour and `examples/` for runnable entry points.
@@ -24,3 +25,4 @@ pub use abm_sim as sim;
 pub use abm_sparse as sparse;
 pub use abm_telemetry as telemetry;
 pub use abm_tensor as tensor;
+pub use abm_verify as verify;

@@ -1,0 +1,234 @@
+//! The source lint pass (`cargo xtask lint`).
+//!
+//! Two checks, both plain text scans so they cost nothing to run and
+//! cannot be silenced by `cfg` tricks:
+//!
+//! 1. **Unsafe-forbid**: every compilation root in the workspace —
+//!    crate `lib.rs`/`main.rs`, every `src/bin/*.rs`, every bench and
+//!    example — must carry a literal `#![forbid(unsafe_code)]`. The
+//!    accelerator model is pure arithmetic; nothing here justifies
+//!    `unsafe`, including the glue binaries.
+//! 2. **Panic-free core**: the non-test portions of the `tensor`,
+//!    `sparse`, `conv` and `sim` crates may not call `.unwrap()`,
+//!    `.expect(...)` or `panic!` — errors in the numeric core must be
+//!    `Result`s or proven-unreachable states. Files listed in
+//!    `xtask/lint-allow.txt` are exempt, but every surviving site in
+//!    them must carry an `// INVARIANT:` comment (same line or the two
+//!    lines above) naming the invariant that makes it unreachable.
+//!    Allowlist entries that no longer match any site are themselves
+//!    errors, so the list can only shrink.
+//!
+//! Vendored crates (`vendor/`) are third-party stand-ins and are not
+//! scanned.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Crates whose non-test code must be panic-free: everything on the
+/// path from a model file to an inference result or a cycle count.
+const PANIC_FREE_CRATES: [&str; 4] = ["tensor", "sparse", "conv", "sim"];
+
+/// Relative path of the panic-site allowlist.
+const ALLOWLIST: &str = "xtask/lint-allow.txt";
+
+/// Runs both lint checks, printing a summary line per pass. Returns an
+/// error listing every violation if any check fails.
+pub fn run(root: &Path) -> Result<(), String> {
+    let mut errors = Vec::new();
+
+    let roots = compilation_roots(root)?;
+    for file in &roots {
+        let text = read(file)?;
+        if !text.lines().any(|l| l.trim() == "#![forbid(unsafe_code)]") {
+            errors.push(format!(
+                "{}: compilation root missing #![forbid(unsafe_code)]",
+                rel(root, file)
+            ));
+        }
+    }
+    println!("lint: {} compilation roots forbid unsafe code", roots.len());
+
+    let allow = load_allowlist(root)?;
+    let mut allow_hits = vec![0usize; allow.len()];
+    let mut files = 0usize;
+    let mut sites = 0usize;
+    for krate in PANIC_FREE_CRATES {
+        for file in rust_files(&root.join("crates").join(krate).join("src"))? {
+            let text = read(&file)?;
+            let rel_path = rel(root, &file);
+            let allowed = allow.iter().position(|a| *a == rel_path);
+            let found = scan_panics(&rel_path, &text, allowed.is_some(), &mut errors);
+            if let Some(i) = allowed {
+                allow_hits[i] += found;
+            }
+            sites += found;
+            files += 1;
+        }
+    }
+    for (entry, hits) in allow.iter().zip(&allow_hits) {
+        if *hits == 0 {
+            errors.push(format!(
+                "{ALLOWLIST}: stale entry '{entry}' (no panic sites remain — delete it)"
+            ));
+        }
+    }
+    println!(
+        "lint: {files} core files scanned, {sites} panic sites, {} allowlist entries",
+        allow.len()
+    );
+
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "lint failed with {} violation(s):\n  {}",
+            errors.len(),
+            errors.join("\n  ")
+        ))
+    }
+}
+
+/// Every file rustc treats as a compilation root: workspace and crate
+/// libs, binaries, benches and examples. Vendored crates excluded.
+fn compilation_roots(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut roots = Vec::new();
+    let push_if_file = |p: PathBuf, roots: &mut Vec<PathBuf>| {
+        if p.is_file() {
+            roots.push(p);
+        }
+    };
+    push_if_file(root.join("src/lib.rs"), &mut roots);
+    push_if_file(root.join("xtask/src/main.rs"), &mut roots);
+    for dir in ["src/bin", "examples"] {
+        roots.extend(rust_files_flat(&root.join(dir))?);
+    }
+    for krate in list_dirs(&root.join("crates"))? {
+        push_if_file(krate.join("src/lib.rs"), &mut roots);
+        push_if_file(krate.join("src/main.rs"), &mut roots);
+        roots.extend(rust_files_flat(&krate.join("src/bin"))?);
+        roots.extend(rust_files_flat(&krate.join("benches"))?);
+    }
+    roots.sort();
+    Ok(roots)
+}
+
+/// Scans one core file for panic sites before its `#[cfg(test)]`
+/// module. Returns the number of sites found; pushes an error for each
+/// site that is not allowlisted or lacks its `// INVARIANT:` comment.
+fn scan_panics(rel_path: &str, text: &str, allowed: bool, errors: &mut Vec<String>) -> usize {
+    let lines: Vec<&str> = text.lines().collect();
+    // Repository convention: the test module is the tail of the file.
+    let cutoff = lines
+        .iter()
+        .position(|l| l.contains("#[cfg(test)]"))
+        .unwrap_or(lines.len());
+    let mut found = 0;
+    for (i, line) in lines[..cutoff].iter().enumerate() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("//") {
+            continue;
+        }
+        if !(line.contains(".unwrap()") || line.contains(".expect(") || line.contains("panic!")) {
+            continue;
+        }
+        found += 1;
+        // The justification may sit on the site line itself, within the
+        // two lines above (multi-line call chains), or anywhere in the
+        // contiguous comment block directly above the site.
+        let mut justified = (i.saturating_sub(2)..=i).any(|j| lines[j].contains("INVARIANT:"));
+        let mut j = i;
+        while !justified && j > 0 {
+            j -= 1;
+            let above = lines[j].trim_start();
+            if above.starts_with("//") {
+                justified = above.contains("INVARIANT:");
+            } else if j < i.saturating_sub(2) {
+                break;
+            }
+        }
+        if !allowed {
+            errors.push(format!(
+                "{rel_path}:{}: panic site in non-allowlisted core file: {}",
+                i + 1,
+                trimmed.trim_end()
+            ));
+        } else if !justified {
+            errors.push(format!(
+                "{rel_path}:{}: allowlisted panic site lacks an // INVARIANT: comment",
+                i + 1
+            ));
+        }
+    }
+    found
+}
+
+/// Parses `xtask/lint-allow.txt`: one repo-relative path per line,
+/// `#` comments and blank lines ignored.
+fn load_allowlist(root: &Path) -> Result<Vec<String>, String> {
+    let path = root.join(ALLOWLIST);
+    let text = read(&path)?;
+    Ok(text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect())
+}
+
+/// All `.rs` files under `dir`, recursively, sorted.
+fn rust_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in fs::read_dir(&d).map_err(|e| format!("{}: {e}", d.display()))? {
+            let path = entry.map_err(|e| format!("{}: {e}", d.display()))?.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// All `.rs` files directly inside `dir` (empty if it doesn't exist).
+fn rust_files_flat(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    if !dir.is_dir() {
+        return Ok(Vec::new());
+    }
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))? {
+        let path = entry.map_err(|e| format!("{}: {e}", dir.display()))?.path();
+        if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Immediate subdirectories of `dir`, sorted.
+fn list_dirs(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))? {
+        let path = entry.map_err(|e| format!("{}: {e}", dir.display()))?.path();
+        if path.is_dir() {
+            out.push(path);
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn read(path: &Path) -> Result<String, String> {
+    fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .into_owned()
+}

@@ -1,0 +1,63 @@
+//! Repository automation driver (`cargo xtask <command>`).
+//!
+//! ```text
+//! cargo xtask lint            # source lint: unsafe-forbid + panic-free core
+//! cargo xtask verify --zoo    # static verification of AlexNet + VGG16
+//! cargo xtask verify --net N  # ... of one zoo network
+//! cargo xtask mc              # exhaustive concurrency model-checker suite
+//! ```
+//!
+//! All three commands exit non-zero on the first clean/dirty verdict
+//! mismatch, so CI can call them directly. The lint pass is a source
+//! scanner (no rustc involvement): it enforces `#![forbid(unsafe_code)]`
+//! in every compilation root and denies `unwrap()`/`expect()`/`panic!`
+//! in the non-test core paths of `tensor`/`sparse`/`conv`/`sim`, with
+//! an allowlist (`xtask/lint-allow.txt`) whose every surviving site
+//! must justify itself with an `// INVARIANT:` comment.
+
+#![forbid(unsafe_code)]
+
+mod lint;
+mod zoo;
+
+use std::path::Path;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: cargo xtask <command>
+commands:
+  lint                 source lint pass (unsafe-forbid, panic-free core paths)
+  verify --zoo         statically verify every AlexNet + VGG16 layer
+  verify --net <name>  statically verify one network (tiny|alexnet|vgg16|vgg19)
+  mc                   run the exhaustive interleaving model-checker suite";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // The xtask binary lives in `<repo>/xtask`; everything it scans is
+    // addressed relative to the repository root so `cargo xtask` works
+    // from any subdirectory.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask sits one level below the repository root")
+        .to_path_buf();
+    let outcome = match args.first().map(String::as_str) {
+        Some("lint") => lint::run(&root),
+        Some("verify") => match args.get(1).map(String::as_str) {
+            Some("--zoo") | None => zoo::verify(&["alexnet", "vgg16"]),
+            Some("--net") => match args.get(2) {
+                Some(name) => zoo::verify(&[name.as_str()]),
+                None => Err("--net needs a network name".into()),
+            },
+            Some(other) => Err(format!("unknown verify flag '{other}'\n{USAGE}")),
+        },
+        Some("mc") => zoo::model_check(),
+        Some(other) => Err(format!("unknown command '{other}'\n{USAGE}")),
+        None => Err(USAGE.into()),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

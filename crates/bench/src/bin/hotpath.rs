@@ -65,8 +65,10 @@ fn bench_network(network: &'static str, model: &SparseModel, reps: usize, rows: 
         let input = synth_input(layer);
         let code = LayerCode::encode(&layer.weights).expect("encodable weights");
 
-        let (oracle, ref_ns) = best_of(reps, || reference::conv2d(&input, &code, geom));
-        let prep = PreparedConv::new(&code, input.shape(), geom);
+        let (oracle, ref_ns) = best_of(reps, || {
+            reference::conv2d(&input, &code, geom).expect("reference conv")
+        });
+        let prep = PreparedConv::try_new(&code, input.shape(), geom).expect("preparable layer");
         let (fast, prep_ns) = best_of(reps, || prep.execute(&input));
         assert_eq!(
             oracle,

@@ -1,0 +1,338 @@
+//! Algorithm-based fault tolerance (ABFT) checks for the ABM executor.
+//!
+//! The classic ABFT idea for convolution: the sum of an output plane is
+//! a *linear* functional of the input, so it can be predicted
+//! independently of the executor from the weights and cheap input
+//! aggregates. For kernel `m`,
+//!
+//! ```text
+//! Σ_pixels out[m] = Σ_groups v_g · Σ_{taps t ∈ g} S(t)
+//! ```
+//!
+//! where `S(t)` is the sum of the input values the tap `t` touches
+//! across all output pixels — a rectangle of a stride-phased subgrid of
+//! the tap's input channel. [`verify_output`] builds one 2-D prefix-sum
+//! table per (channel, row-phase, col-phase) so each `S(t)` is a
+//! four-lookup rectangle query; the whole check costs `O(C·H·W)` table
+//! construction plus `O(taps + out)` per layer — far below the
+//! convolution itself.
+//!
+//! Because the predicted sum is exact integer arithmetic (accumulators
+//! stay well inside `i64`), *any* single-bit flip in an output
+//! accumulator changes the observed plane sum and is detected; this is
+//! the software analogue of the checksum-augmented output rows ABFT
+//! schemes add to hardware MAC arrays.
+//!
+//! The module also carries the input-stream checksum helpers used by
+//! the fault campaign to detect FI-Buffer corruption (a word flipped
+//! between DDR admit and CU consume).
+
+use crate::abm::PreparedConv;
+use abm_fault::{stream_checksum_i16, AbmError};
+use abm_tensor::Tensor3;
+
+/// FNV digest of an input feature map — the "admit-side" signature the
+/// campaign compares against the consume-side stream to catch FI-Buffer
+/// word flips.
+#[must_use]
+pub fn input_checksum(input: &Tensor3<i16>) -> u64 {
+    stream_checksum_i16(input.as_slice())
+}
+
+/// Compares an input feature map against its admit-side checksum.
+///
+/// # Errors
+///
+/// Returns [`AbmError::InputCorrupt`] when the digests differ.
+pub fn verify_input(input: &Tensor3<i16>, expected: u64) -> Result<(), AbmError> {
+    let computed = input_checksum(input);
+    if computed == expected {
+        Ok(())
+    } else {
+        Err(AbmError::InputCorrupt { expected, computed })
+    }
+}
+
+/// Checks every output plane's sum against its ABFT prediction.
+///
+/// `input` and `out` must be the tensors the prepared layer consumed
+/// and produced; shapes are checked first.
+///
+/// # Errors
+///
+/// Returns [`AbmError::ShapeMismatch`] if the tensors do not match the
+/// prepared geometry, or [`AbmError::AbftMismatch`] naming the first
+/// kernel whose observed plane sum disagrees with the prediction.
+pub fn verify_output(
+    prep: &PreparedConv,
+    input: &Tensor3<i16>,
+    out: &Tensor3<i64>,
+) -> Result<(), AbmError> {
+    if input.shape() != prep.input_shape() {
+        return Err(AbmError::ShapeMismatch {
+            got: (
+                input.shape().channels,
+                input.shape().rows,
+                input.shape().cols,
+            ),
+            want: (
+                prep.input_shape().channels,
+                prep.input_shape().rows,
+                prep.input_shape().cols,
+            ),
+        });
+    }
+    if out.shape() != prep.output_shape() {
+        return Err(AbmError::ShapeMismatch {
+            got: (out.shape().channels, out.shape().rows, out.shape().cols),
+            want: (
+                prep.output_shape().channels,
+                prep.output_shape().rows,
+                prep.output_shape().cols,
+            ),
+        });
+    }
+
+    let tables = PhaseTables::build(input, prep.geometry().stride);
+    let flat = prep.flat();
+    let shape = flat.shape();
+    let geom = prep.geometry();
+    let out_shape = prep.output_shape();
+    let pad = geom.pad as isize;
+    let m_per_group = shape.out_channels / geom.groups;
+    let out_plane = out_shape.rows * out_shape.cols;
+    let out_data = out.as_slice();
+
+    for (m, kernel) in flat.kernels().iter().enumerate() {
+        let channel_base = (m / m_per_group) * shape.in_channels;
+        let mut predicted = 0i64;
+        let bounds = kernel.group_bounds();
+        for (g, &value) in kernel.values().iter().enumerate() {
+            let taps = &kernel.taps()[bounds[g] as usize..bounds[g + 1] as usize];
+            let mut tap_sum = 0i64;
+            for tap in taps {
+                tap_sum += tables.tap_sum(
+                    channel_base + tap.n as usize,
+                    tap.k as isize - pad,
+                    tap.kp as isize - pad,
+                    out_shape.rows,
+                    out_shape.cols,
+                );
+            }
+            predicted += value as i64 * tap_sum;
+        }
+        let observed: i64 = out_data[m * out_plane..(m + 1) * out_plane].iter().sum();
+        if observed != predicted {
+            return Err(AbmError::AbftMismatch {
+                kernel: m,
+                predicted,
+                observed,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Per-(channel, row-phase, col-phase) 2-D prefix sums over the
+/// stride-phased subgrids of the input. For stride 1 this degenerates
+/// to one plain prefix table per channel.
+struct PhaseTables {
+    stride: usize,
+    in_rows: usize,
+    in_cols: usize,
+    /// Indexed `[channel * s * s + a * s + b]`; each entry is a
+    /// `(rows(a)+1) × (cols(b)+1)` prefix table, row-major.
+    tables: Vec<Vec<i64>>,
+}
+
+impl PhaseTables {
+    fn build(input: &Tensor3<i16>, stride: usize) -> Self {
+        let shape = input.shape();
+        let s = stride;
+        let data = input.as_slice();
+        let plane = shape.rows * shape.cols;
+        let grid = |dim: usize, phase: usize| {
+            if phase >= dim {
+                0
+            } else {
+                (dim - phase).div_ceil(s)
+            }
+        };
+        let mut tables = Vec::with_capacity(shape.channels * s * s);
+        for c in 0..shape.channels {
+            let chan = &data[c * plane..(c + 1) * plane];
+            for a in 0..s {
+                for b in 0..s {
+                    let gr = grid(shape.rows, a);
+                    let gc = grid(shape.cols, b);
+                    let mut p = vec![0i64; (gr + 1) * (gc + 1)];
+                    for i in 0..gr {
+                        let row = &chan[(a + i * s) * shape.cols..];
+                        for j in 0..gc {
+                            p[(i + 1) * (gc + 1) + (j + 1)] = row[b + j * s] as i64
+                                + p[i * (gc + 1) + (j + 1)]
+                                + p[(i + 1) * (gc + 1) + j]
+                                - p[i * (gc + 1) + j];
+                        }
+                    }
+                    tables.push(p);
+                }
+            }
+        }
+        Self {
+            stride: s,
+            in_rows: shape.rows,
+            in_cols: shape.cols,
+            tables,
+        }
+    }
+
+    /// `S(t)` for the tap displaced `(dr, dc)` from the output origin on
+    /// input channel `c`: the sum of `input[c, orow·s + dr, ocol·s + dc]`
+    /// over all in-bounds output pixels (out-of-bounds reads are the
+    /// padding zeros and contribute nothing).
+    fn tap_sum(&self, c: usize, dr: isize, dc: isize, out_rows: usize, out_cols: usize) -> i64 {
+        let s = self.stride;
+        let Some((i_lo, i_hi)) = span(dr, s, self.in_rows, out_rows) else {
+            return 0;
+        };
+        let Some((j_lo, j_hi)) = span(dc, s, self.in_cols, out_cols) else {
+            return 0;
+        };
+        let a = dr.rem_euclid(s as isize) as usize;
+        let b = dc.rem_euclid(s as isize) as usize;
+        let gc = if b >= self.in_cols {
+            0
+        } else {
+            (self.in_cols - b).div_ceil(s)
+        };
+        let p = &self.tables[c * s * s + a * s + b];
+        let at = |i: usize, j: usize| p[i * (gc + 1) + j];
+        at(i_hi + 1, j_hi + 1) - at(i_lo, j_hi + 1) - at(i_hi + 1, j_lo) + at(i_lo, j_lo)
+    }
+}
+
+/// The inclusive subgrid-index range `[i_lo, i_hi]` a tap displaced `d`
+/// covers along one axis, or `None` when no output position lands the
+/// tap inside the input.
+fn span(d: isize, s: usize, in_dim: usize, out_dim: usize) -> Option<(usize, usize)> {
+    let si = s as isize;
+    // Smallest output index whose tapped input position is >= 0.
+    let o_min = ((-d).max(0) as usize).div_ceil(s) as isize;
+    // Largest output index whose tapped input position fits the input.
+    let top = in_dim as isize - 1 - d;
+    if top < 0 {
+        return None;
+    }
+    let o_max = (top / si).min(out_dim as isize - 1);
+    if o_max < o_min {
+        return None;
+    }
+    // Subgrid index: with d = q·s + phase, position o maps to o + q.
+    let a = d.rem_euclid(si);
+    let q = (d - a) / si;
+    Some(((o_min + q) as usize, (o_max + q) as usize))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::Geometry;
+    use abm_sparse::LayerCode;
+    use abm_tensor::{Shape3, Shape4, Tensor3, Tensor4};
+
+    fn weights(shape: Shape4, salt: usize) -> Tensor4<i8> {
+        Tensor4::from_fn(shape, |m, n, k, kp| {
+            let x = (m * 13 + n * 7 + k * 5 + kp * 3 + salt) % 5;
+            if x == 0 {
+                0
+            } else {
+                x as i8 - 2
+            }
+        })
+    }
+
+    fn check(in_shape: Shape3, w_shape: Shape4, geom: Geometry, salt: usize) {
+        let w = weights(w_shape, salt);
+        let code = LayerCode::encode(&w).unwrap();
+        let prep = PreparedConv::try_new(&code, in_shape, geom).unwrap();
+        let input = Tensor3::from_fn(in_shape, |c, r, col| {
+            (((c * 31 + r * 17 + col * 3 + salt) % 255) as i16) - 127
+        });
+        let out = prep.execute(&input);
+        verify_output(&prep, &input, &out).unwrap();
+    }
+
+    #[test]
+    fn prediction_matches_execution() {
+        check(
+            Shape3::new(3, 8, 8),
+            Shape4::new(4, 3, 3, 3),
+            Geometry::new(1, 1),
+            0,
+        );
+    }
+
+    #[test]
+    fn prediction_matches_strided_and_padded() {
+        // Stride 2 exercises the phase decomposition; pad 2 with a 5x5
+        // kernel exercises taps that fall outside the input for every
+        // output position at the borders.
+        check(
+            Shape3::new(2, 11, 9),
+            Shape4::new(3, 2, 5, 5),
+            Geometry::new(2, 2),
+            1,
+        );
+        check(
+            Shape3::new(1, 7, 7),
+            Shape4::new(2, 1, 3, 3),
+            Geometry::new(3, 0),
+            2,
+        );
+    }
+
+    #[test]
+    fn prediction_matches_grouped() {
+        check(
+            Shape3::new(4, 6, 6),
+            Shape4::new(4, 2, 3, 3),
+            Geometry::new(1, 1).with_groups(2),
+            3,
+        );
+    }
+
+    #[test]
+    fn every_output_bit_flip_is_detected() {
+        let in_shape = Shape3::new(2, 6, 6);
+        let w = weights(Shape4::new(2, 2, 3, 3), 4);
+        let code = LayerCode::encode(&w).unwrap();
+        let prep = PreparedConv::try_new(&code, in_shape, Geometry::new(1, 1)).unwrap();
+        let input = Tensor3::from_fn(in_shape, |c, r, col| ((c + r * 3 + col) % 11) as i16 - 5);
+        let clean = prep.execute(&input);
+        let plane = clean.shape().rows * clean.shape().cols;
+        for bit in [0u32, 7, 23, 41, 62] {
+            for idx in [0usize, plane + 3] {
+                let mut corrupted = clean.clone();
+                corrupted.as_mut_slice()[idx] ^= 1i64 << bit;
+                let err = verify_output(&prep, &input, &corrupted).unwrap_err();
+                let kernel = idx / plane;
+                assert!(
+                    matches!(err, AbmError::AbftMismatch { kernel: k, .. } if k == kernel),
+                    "bit {bit} idx {idx}: {err}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn input_checksum_round_trips() {
+        let input = Tensor3::from_fn(Shape3::new(1, 4, 4), |_, r, c| (r * 4 + c) as i16);
+        let sum = input_checksum(&input);
+        verify_input(&input, sum).unwrap();
+        let mut tampered = input.clone();
+        tampered.as_mut_slice()[5] ^= 1;
+        let err = verify_input(&tampered, sum).unwrap_err();
+        assert!(matches!(err, AbmError::InputCorrupt { expected, .. } if expected == sum));
+    }
+}

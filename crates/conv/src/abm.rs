@@ -31,6 +31,7 @@
 //! ([`crate::infer::Inferencer`]) prepare once and reuse.
 
 use crate::dense::Geometry;
+use abm_fault::AbmError;
 use abm_sparse::{FlatCode, FlatKernel, FlatLayout, LayerCode, Tap};
 use abm_tensor::{Shape3, Shape4, Tensor3};
 use std::ops::Range;
@@ -74,26 +75,28 @@ impl AbmWork {
 /// `groups` must be positive and divide the output channels, and the
 /// input must carry `in_channels × groups` channels.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics with a descriptive message when the contract is violated.
-pub(crate) fn validate_grouping(input: Shape3, weights: Shape4, geom: Geometry) {
-    assert!(geom.groups > 0, "groups must be positive");
-    assert_eq!(
-        weights.out_channels % geom.groups,
-        0,
-        "groups {} must divide out_channels {}",
-        geom.groups,
-        weights.out_channels
-    );
-    assert_eq!(
-        input.channels,
-        weights.in_channels * geom.groups,
-        "input channels {} != weight in_channels {} x groups {}",
-        input.channels,
-        weights.in_channels,
-        geom.groups
-    );
+/// Returns [`AbmError::BadGrouping`] or [`AbmError::ChannelMismatch`]
+/// when the contract is violated.
+pub(crate) fn validate_grouping(
+    input: Shape3,
+    weights: Shape4,
+    geom: Geometry,
+) -> Result<(), AbmError> {
+    if geom.groups == 0 || !weights.out_channels.is_multiple_of(geom.groups) {
+        return Err(AbmError::BadGrouping {
+            groups: geom.groups,
+            out_channels: weights.out_channels,
+        });
+    }
+    if input.channels != weights.in_channels * geom.groups {
+        return Err(AbmError::ChannelMismatch {
+            input_channels: input.channels,
+            expected: weights.in_channels * geom.groups,
+        });
+    }
+    Ok(())
 }
 
 /// Runs ABM-SpConv over an encoded layer, returning the exact
@@ -105,13 +108,16 @@ pub(crate) fn validate_grouping(input: Shape3, weights: Shape4, geom: Geometry) 
 /// This prepares the flat-offset form on the fly; callers convolving the
 /// same layer repeatedly should build a [`PreparedConv`] once instead.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on inconsistent channel counts or a group count that does not
-/// divide the output channels.
-#[must_use]
-pub fn conv2d(input: &Tensor3<i16>, code: &LayerCode, geom: Geometry) -> Tensor3<i64> {
-    PreparedConv::new(code, input.shape(), geom).execute(input)
+/// Returns [`AbmError`] on inconsistent channel counts, a group count
+/// that does not divide the output channels, or an un-lowerable code.
+pub fn conv2d(
+    input: &Tensor3<i16>,
+    code: &LayerCode,
+    geom: Geometry,
+) -> Result<Tensor3<i64>, AbmError> {
+    PreparedConv::try_new(code, input.shape(), geom)?.try_execute(input)
 }
 
 /// Like [`conv2d`] but also reports the per-stage operation counts.
@@ -120,17 +126,18 @@ pub fn conv2d(input: &Tensor3<i16>, code: &LayerCode, geom: Geometry) -> Tensor3
 /// the output geometry) and exactly equal what [`reference::conv2d_counted`]
 /// counts iteration by iteration.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on inconsistent channel counts or a group count that does not
-/// divide the output channels.
-#[must_use]
+/// Returns [`AbmError`] on inconsistent channel counts, a group count
+/// that does not divide the output channels, or an un-lowerable code.
 pub fn conv2d_counted(
     input: &Tensor3<i16>,
     code: &LayerCode,
     geom: Geometry,
-) -> (Tensor3<i64>, AbmWork) {
-    PreparedConv::new(code, input.shape(), geom).execute_counted(input)
+) -> Result<(Tensor3<i64>, AbmWork), AbmError> {
+    let prepared = PreparedConv::try_new(code, input.shape(), geom)?;
+    let out = prepared.try_execute(input)?;
+    Ok((out, prepared.work))
 }
 
 /// An ABM layer prepared for repeated execution against one input
@@ -151,27 +158,87 @@ pub struct PreparedConv {
     interior_rows: Range<usize>,
     interior_cols: Range<usize>,
     work: AbmWork,
+    /// FNV digest of the flat streams, recorded at preparation: the
+    /// golden signature [`verify_checksum`](Self::verify_checksum)
+    /// compares against to catch post-load bit flips.
+    checksum: u64,
 }
 
 impl PreparedConv {
     /// Lowers an encoded layer against a concrete input shape and
     /// geometry.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on inconsistent channel counts or a group count that does
-    /// not divide the output channels.
-    #[must_use]
-    pub fn new(code: &LayerCode, in_shape: Shape3, geom: Geometry) -> Self {
+    /// Returns [`AbmError`] on inconsistent channel counts, a group
+    /// count that does not divide the output channels, or a flat offset
+    /// that overflows the 32-bit encoding.
+    pub fn try_new(code: &LayerCode, in_shape: Shape3, geom: Geometry) -> Result<Self, AbmError> {
         let w = code.shape();
-        validate_grouping(in_shape, w, geom);
+        validate_grouping(in_shape, w, geom)?;
         let layout = FlatLayout {
             in_rows: in_shape.rows,
             in_cols: in_shape.cols,
             stride: geom.stride,
             pad: geom.pad,
         };
-        let flat = FlatCode::lower(code, layout);
+        let flat = FlatCode::lower(code, layout)?;
+        let prepared = Self::assemble(flat, in_shape, geom);
+        // Debug builds statically verify the lowering against its source
+        // streams on construction; release builds skip the pass (`cargo
+        // xtask verify` runs it explicitly over the model zoo).
+        #[cfg(debug_assertions)]
+        {
+            let report = prepared.verify_against(code);
+            debug_assert!(
+                report.is_clean(),
+                "ABM lowering failed static verification:\n{report}"
+            );
+        }
+        Ok(prepared)
+    }
+
+    /// Loads a pre-lowered flat code (e.g. one deserialized from a
+    /// WT-Buffer/Q-Table image) after structurally validating it —
+    /// unlike the [`FlatCode::from_kernels`] escape hatch, nothing gets
+    /// past this constructor without its streams being self-consistent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AbmError::CodeCorrupt`] when validation rejects the
+    /// streams, or a contract error when the shape/grouping disagrees
+    /// with `in_shape`/`geom`.
+    pub fn try_from_flat(
+        flat: FlatCode,
+        in_shape: Shape3,
+        geom: Geometry,
+    ) -> Result<Self, AbmError> {
+        validate_grouping(in_shape, flat.shape(), geom)?;
+        let expected = FlatLayout {
+            in_rows: in_shape.rows,
+            in_cols: in_shape.cols,
+            stride: geom.stride,
+            pad: geom.pad,
+        };
+        if flat.layout() != expected {
+            return Err(AbmError::ShapeMismatch {
+                got: (
+                    in_shape.channels,
+                    flat.layout().in_rows,
+                    flat.layout().in_cols,
+                ),
+                want: (in_shape.channels, in_shape.rows, in_shape.cols),
+            });
+        }
+        abm_fault::validate_flat(&flat)?;
+        Ok(Self::assemble(flat, in_shape, geom))
+    }
+
+    /// Shared tail of the constructors: derive the output geometry,
+    /// interior split, analytic work and the golden checksum.
+    fn assemble(flat: FlatCode, in_shape: Shape3, geom: Geometry) -> Self {
+        let w = flat.shape();
+        let layout = flat.layout();
         let out_shape = Shape3::new(
             w.out_channels,
             abm_tensor::shape::conv_out_dim(in_shape.rows, w.kernel_rows, geom.stride, geom.pad),
@@ -187,8 +254,8 @@ impl PreparedConv {
             multiplications: flat.total_distinct() * out_pixels,
             final_accumulations: flat.total_distinct() * out_pixels,
         };
-        let prepared = Self {
-            flat,
+        let checksum = abm_fault::flat_checksum(&flat);
+        Self {
             in_shape,
             out_shape,
             geom,
@@ -196,19 +263,9 @@ impl PreparedConv {
             interior_rows: layout.interior_rows(w.kernel_rows, out_shape.rows),
             interior_cols: layout.interior_cols(w.kernel_cols, out_shape.cols),
             work,
-        };
-        // Debug builds statically verify the lowering against its source
-        // streams on construction; release builds skip the pass (`cargo
-        // xtask verify` runs it explicitly over the model zoo).
-        #[cfg(debug_assertions)]
-        {
-            let report = prepared.verify_against(code);
-            debug_assert!(
-                report.is_clean(),
-                "ABM lowering failed static verification:\n{report}"
-            );
+            checksum,
+            flat,
         }
-        prepared
     }
 
     /// Runs the `abm-verify` lowering pass against this prepared layer's
@@ -252,6 +309,12 @@ impl PreparedConv {
         self.out_shape
     }
 
+    /// The convolution geometry this layer was prepared against.
+    #[must_use]
+    pub fn geometry(&self) -> Geometry {
+        self.geom
+    }
+
     /// The analytic per-invocation work (identical for every input).
     #[must_use]
     pub fn work(&self) -> AbmWork {
@@ -262,6 +325,45 @@ impl PreparedConv {
     #[must_use]
     pub fn flat(&self) -> &FlatCode {
         &self.flat
+    }
+
+    /// The golden stream checksum recorded at preparation time.
+    #[must_use]
+    pub fn checksum(&self) -> u64 {
+        self.checksum
+    }
+
+    /// Re-hashes the flat streams and compares against the golden
+    /// checksum recorded at preparation — the cheap pre-execution guard
+    /// that catches post-load bit flips (an M20K SEU in hardware
+    /// terms).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AbmError::ChecksumMismatch`] when the streams no
+    /// longer hash to the stored digest.
+    pub fn verify_checksum(&self) -> Result<(), AbmError> {
+        let computed = abm_fault::flat_checksum(&self.flat);
+        if computed == self.checksum {
+            Ok(())
+        } else {
+            Err(AbmError::ChecksumMismatch {
+                stored: self.checksum,
+                computed,
+            })
+        }
+    }
+
+    /// Replaces the flat streams while **keeping the golden checksum**
+    /// — the fault-injection escape hatch modelling a post-load SEU:
+    /// the streams change underneath the layer, the signature recorded
+    /// at load does not, and [`verify_checksum`](Self::verify_checksum)
+    /// is expected to notice. Never a correctness tool; campaign and
+    /// test use only.
+    #[must_use]
+    pub fn with_flat(mut self, flat: FlatCode) -> Self {
+        self.flat = flat;
+        self
     }
 
     /// Runs the prepared layer, returning the exact full-precision
@@ -441,6 +543,29 @@ impl PreparedConv {
             }
         }
         out
+    }
+
+    /// [`execute`](Self::execute) behind a typed shape guard instead of
+    /// an assertion — the entry point the resilient inference path
+    /// uses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AbmError::ShapeMismatch`] if `input`'s shape differs
+    /// from the prepared shape.
+    pub fn try_execute(&self, input: &Tensor3<i16>) -> Result<Tensor3<i64>, AbmError> {
+        let got = input.shape();
+        if got != self.in_shape {
+            return Err(AbmError::ShapeMismatch {
+                got: (got.channels, got.rows, got.cols),
+                want: (
+                    self.in_shape.channels,
+                    self.in_shape.rows,
+                    self.in_shape.cols,
+                ),
+            });
+        }
+        Ok(self.execute(input))
     }
 
     /// [`execute`](Self::execute) plus the analytic work counts.
@@ -639,10 +764,12 @@ fn gather_pixel_vec_unit(
         let mut p = [0i64; PIXEL_VEC];
         for &off in &offsets[w[0] as usize..w[1] as usize] {
             let o = base + off as usize;
-            // INVARIANT: the slice is exactly PIXEL_VEC long, and the
-            // lowering verifier proves base + off + PIXEL_VEC stays
-            // inside the padded input plane for every interior pixel.
-            let win: [i16; PIXEL_VEC] = data[o..o + PIXEL_VEC].try_into().expect("window");
+            // One range check covers all eight reads: the slice is
+            // exactly PIXEL_VEC long, so the constant-index loads below
+            // need no further checks. The lowering verifier proves
+            // base + off + PIXEL_VEC stays inside the input plane for
+            // every interior pixel.
+            let win = &data[o..o + PIXEL_VEC];
             for i in 0..PIXEL_VEC {
                 p[i] += win[i] as i64;
             }
@@ -700,8 +827,8 @@ mod tests {
     fn check_equivalence(input: &Tensor3<i16>, weights: &Tensor4<i8>, geom: Geometry) {
         let dense_out = dense::conv2d(input, weights, geom);
         let code = LayerCode::encode(weights).unwrap();
-        let (ref_out, ref_work) = reference::conv2d_counted(input, &code, geom);
-        let prepared = PreparedConv::new(&code, input.shape(), geom);
+        let (ref_out, ref_work) = reference::conv2d_counted(input, &code, geom).unwrap();
+        let prepared = PreparedConv::try_new(&code, input.shape(), geom).unwrap();
         let (out, work) = prepared.execute_counted(input);
         assert_eq!(dense_out, ref_out);
         assert_eq!(ref_out, out);
@@ -783,7 +910,7 @@ mod tests {
         let input = pseudo_input(Shape3::new(24, 1, 1));
         let weights = pseudo_weights(Shape4::new(5, 24, 1, 1), 6);
         let code = LayerCode::encode(&weights).unwrap();
-        let prepared = PreparedConv::new(&code, input.shape(), Geometry::unit());
+        let prepared = PreparedConv::try_new(&code, input.shape(), Geometry::unit()).unwrap();
         assert_eq!(prepared.interior_rows, 0..1);
         assert_eq!(prepared.interior_cols, 0..1);
         check_equivalence(&input, &weights, Geometry::unit());
@@ -794,7 +921,7 @@ mod tests {
         let input = pseudo_input(Shape3::new(1, 4, 4));
         let weights = Tensor4::<i8>::zeros(Shape4::new(2, 1, 3, 3));
         let code = LayerCode::encode(&weights).unwrap();
-        let (out, work) = conv2d_counted(&input, &code, Geometry::new(1, 1));
+        let (out, work) = conv2d_counted(&input, &code, Geometry::new(1, 1)).unwrap();
         assert!(out.as_slice().iter().all(|&x| x == 0));
         assert_eq!(work.total(), 0);
     }
@@ -804,7 +931,7 @@ mod tests {
         let input = pseudo_input(Shape3::new(1, 3, 3));
         let weights = Tensor4::from_vec(Shape4::new(1, 1, 2, 2), vec![3i8, 3, -1, 0]);
         let code = LayerCode::encode(&weights).unwrap();
-        let (_, work) = conv2d_counted(&input, &code, Geometry::new(1, 0));
+        let (_, work) = conv2d_counted(&input, &code, Geometry::new(1, 0)).unwrap();
         // 4 output pixels, nnz=3, Q=2 — identical to the reference pins.
         assert_eq!(work.accumulations, 12);
         assert_eq!(work.multiplications, 8);
@@ -818,7 +945,7 @@ mod tests {
         let weights = pseudo_weights(Shape4::new(3, 2, 3, 3), 6);
         let code = LayerCode::encode(&weights).unwrap();
         let geom = Geometry::new(1, 1);
-        let prepared = PreparedConv::new(&code, shape, geom);
+        let prepared = PreparedConv::try_new(&code, shape, geom).unwrap();
         for salt in 0..3 {
             let input = Tensor3::from_fn(shape, |c, r, col| {
                 ((c * 97 + r * 13 + col * 5 + salt * 41) % 200) as i16 - 100
@@ -831,29 +958,107 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "must divide out_channels")]
-    fn invalid_grouping_panics() {
+    fn invalid_grouping_is_typed_error() {
         let input = Tensor3::<i16>::zeros(Shape3::new(2, 4, 4));
         let w = Tensor4::<i8>::zeros(Shape4::new(3, 1, 1, 1));
         let code = LayerCode::encode(&w).unwrap();
-        let _ = conv2d(&input, &code, Geometry::new(1, 0).with_groups(2));
+        let err = conv2d(&input, &code, Geometry::new(1, 0).with_groups(2)).unwrap_err();
+        assert_eq!(
+            err,
+            AbmError::BadGrouping {
+                groups: 2,
+                out_channels: 3
+            }
+        );
     }
 
     #[test]
-    #[should_panic(expected = "input channels")]
-    fn channel_mismatch_panics() {
+    fn channel_mismatch_is_typed_error() {
         let input = Tensor3::<i16>::zeros(Shape3::new(3, 4, 4));
         let w = Tensor4::<i8>::zeros(Shape4::new(2, 2, 1, 1));
         let code = LayerCode::encode(&w).unwrap();
-        let _ = conv2d(&input, &code, Geometry::new(1, 0));
+        let err = conv2d(&input, &code, Geometry::new(1, 0)).unwrap_err();
+        assert_eq!(
+            err,
+            AbmError::ChannelMismatch {
+                input_channels: 3,
+                expected: 2
+            }
+        );
     }
 
     #[test]
-    #[should_panic(expected = "prepared shape")]
-    fn wrong_input_shape_panics() {
+    fn wrong_input_shape_is_typed_error() {
         let w = Tensor4::<i8>::zeros(Shape4::new(1, 1, 1, 1));
         let code = LayerCode::encode(&w).unwrap();
-        let prepared = PreparedConv::new(&code, Shape3::new(1, 4, 4), Geometry::unit());
-        let _ = prepared.execute(&Tensor3::<i16>::zeros(Shape3::new(1, 5, 5)));
+        let prepared =
+            PreparedConv::try_new(&code, Shape3::new(1, 4, 4), Geometry::unit()).unwrap();
+        let err = prepared
+            .try_execute(&Tensor3::<i16>::zeros(Shape3::new(1, 5, 5)))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            AbmError::ShapeMismatch {
+                got: (1, 5, 5),
+                want: (1, 4, 4)
+            }
+        );
+    }
+
+    #[test]
+    fn checksum_guard_catches_post_load_flip() {
+        let weights = pseudo_weights(Shape4::new(2, 2, 3, 3), 6);
+        let code = LayerCode::encode(&weights).unwrap();
+        let prepared =
+            PreparedConv::try_new(&code, Shape3::new(2, 6, 6), Geometry::new(1, 1)).unwrap();
+        assert!(prepared.verify_checksum().is_ok());
+        // Flip one offset bit post-load, keeping the golden checksum.
+        let flat = prepared.flat().clone();
+        let k = &flat.kernels()[0];
+        let mut offsets = k.offsets().to_vec();
+        offsets[0] ^= 1 << 3;
+        let corrupted_kernel = abm_sparse::FlatKernel::from_raw_parts(
+            k.values().to_vec(),
+            k.group_bounds().to_vec(),
+            offsets,
+            k.taps().to_vec(),
+        );
+        let mut kernels: Vec<abm_sparse::FlatKernel> = flat.kernels().to_vec();
+        kernels[0] = corrupted_kernel;
+        let corrupted = FlatCode::from_kernels(flat.shape(), flat.layout(), kernels);
+        let poisoned = prepared.clone().with_flat(corrupted);
+        let err = poisoned.verify_checksum().unwrap_err();
+        assert!(matches!(err, AbmError::ChecksumMismatch { .. }));
+    }
+
+    #[test]
+    fn try_from_flat_rejects_corrupt_streams() {
+        let weights = pseudo_weights(Shape4::new(2, 2, 3, 3), 6);
+        let code = LayerCode::encode(&weights).unwrap();
+        let in_shape = Shape3::new(2, 6, 6);
+        let geom = Geometry::new(1, 1);
+        let pristine = PreparedConv::try_new(&code, in_shape, geom).unwrap();
+        // The pristine streams load fine through the validated path.
+        let reloaded =
+            PreparedConv::try_from_flat(pristine.flat().clone(), in_shape, geom).unwrap();
+        assert_eq!(reloaded, pristine);
+        // A pre-load offset corruption is rejected at the door.
+        let flat = pristine.flat();
+        let k = &flat.kernels()[1];
+        let mut offsets = k.offsets().to_vec();
+        offsets[2] ^= 1 << 7;
+        let mut kernels: Vec<abm_sparse::FlatKernel> = flat.kernels().to_vec();
+        kernels[1] = abm_sparse::FlatKernel::from_raw_parts(
+            k.values().to_vec(),
+            k.group_bounds().to_vec(),
+            offsets,
+            k.taps().to_vec(),
+        );
+        let bad = FlatCode::from_kernels(flat.shape(), flat.layout(), kernels);
+        let err = PreparedConv::try_from_flat(bad, in_shape, geom).unwrap_err();
+        assert!(
+            matches!(err, AbmError::CodeCorrupt { kernel: 1, .. }),
+            "{err}"
+        );
     }
 }

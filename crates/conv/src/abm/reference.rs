@@ -10,37 +10,40 @@
 
 use super::{validate_grouping, AbmWork};
 use crate::dense::{padded_read, Geometry};
+use abm_fault::AbmError;
 use abm_sparse::LayerCode;
 use abm_tensor::{Shape3, Tensor3};
 
 /// Runs the reference two-stage ABM convolution, returning the exact
 /// full-precision output.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on inconsistent channel counts or a group count that does not
-/// divide the output channels.
-#[must_use]
-pub fn conv2d(input: &Tensor3<i16>, code: &LayerCode, geom: Geometry) -> Tensor3<i64> {
-    conv2d_counted(input, code, geom).0
+/// Returns [`AbmError`] on inconsistent channel counts or a group count
+/// that does not divide the output channels.
+pub fn conv2d(
+    input: &Tensor3<i16>,
+    code: &LayerCode,
+    geom: Geometry,
+) -> Result<Tensor3<i64>, AbmError> {
+    Ok(conv2d_counted(input, code, geom)?.0)
 }
 
 /// Like [`conv2d`] but also reports the per-stage operation counts,
 /// incremented one by one as the loop executes (the analytic accounting
 /// of the prepared engine is proven against these).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on inconsistent channel counts or a group count that does not
-/// divide the output channels.
-#[must_use]
+/// Returns [`AbmError`] on inconsistent channel counts or a group count
+/// that does not divide the output channels.
 pub fn conv2d_counted(
     input: &Tensor3<i16>,
     code: &LayerCode,
     geom: Geometry,
-) -> (Tensor3<i64>, AbmWork) {
+) -> Result<(Tensor3<i64>, AbmWork), AbmError> {
     let w = code.shape();
-    validate_grouping(input.shape(), w, geom);
+    validate_grouping(input.shape(), w, geom)?;
     let out_shape = Shape3::new(
         w.out_channels,
         abm_tensor::shape::conv_out_dim(input.shape().rows, w.kernel_rows, geom.stride, geom.pad),
@@ -85,7 +88,7 @@ pub fn conv2d_counted(
             }
         }
     }
-    (out, work)
+    Ok((out, work))
 }
 
 #[cfg(test)]
@@ -97,7 +100,7 @@ mod tests {
     fn check_equivalence(input: &Tensor3<i16>, weights: &Tensor4<i8>, geom: Geometry) {
         let reference = dense::conv2d(input, weights, geom);
         let code = LayerCode::encode(weights).unwrap();
-        let (result, work) = conv2d_counted(input, &code, geom);
+        let (result, work) = conv2d_counted(input, &code, geom).unwrap();
         assert_eq!(reference, result);
         // Work accounting sanity: accumulations = nnz * output pixels,
         // multiplications = sum of Q(m) * output pixels per kernel.
@@ -159,7 +162,7 @@ mod tests {
         let input = Tensor3::from_fn(Shape3::new(1, 4, 4), |_, r, c| (r + c) as i16);
         let weights = Tensor4::<i8>::zeros(Shape4::new(2, 1, 3, 3));
         let code = LayerCode::encode(&weights).unwrap();
-        let (out, work) = conv2d_counted(&input, &code, Geometry::new(1, 0));
+        let (out, work) = conv2d_counted(&input, &code, Geometry::new(1, 0)).unwrap();
         assert!(out.as_slice().iter().all(|&x| x == 0));
         assert_eq!(work.total(), 0);
     }
@@ -183,7 +186,7 @@ mod tests {
         let input = Tensor3::from_fn(Shape3::new(1, 3, 3), |_, r, c| (r * 3 + c) as i16);
         let weights = Tensor4::from_vec(Shape4::new(1, 1, 2, 2), vec![3i8, 3, -1, 0]);
         let code = LayerCode::encode(&weights).unwrap();
-        let (_, work) = conv2d_counted(&input, &code, Geometry::new(1, 0));
+        let (_, work) = conv2d_counted(&input, &code, Geometry::new(1, 0)).unwrap();
         // 4 output pixels, nnz=3, Q=2.
         assert_eq!(work.accumulations, 12);
         assert_eq!(work.multiplications, 8);
@@ -192,20 +195,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "must divide out_channels")]
-    fn invalid_grouping_panics() {
+    fn invalid_grouping_is_typed_error() {
         let input = Tensor3::<i16>::zeros(Shape3::new(2, 4, 4));
         let w = Tensor4::<i8>::zeros(Shape4::new(3, 1, 1, 1));
         let code = LayerCode::encode(&w).unwrap();
-        let _ = conv2d(&input, &code, Geometry::new(1, 0).with_groups(2));
+        let err = conv2d(&input, &code, Geometry::new(1, 0).with_groups(2)).unwrap_err();
+        assert!(matches!(err, AbmError::BadGrouping { .. }));
     }
 
     #[test]
-    #[should_panic(expected = "input channels")]
-    fn channel_mismatch_panics() {
+    fn channel_mismatch_is_typed_error() {
         let input = Tensor3::<i16>::zeros(Shape3::new(3, 4, 4));
         let w = Tensor4::<i8>::zeros(Shape4::new(2, 2, 1, 1));
         let code = LayerCode::encode(&w).unwrap();
-        let _ = conv2d(&input, &code, Geometry::new(1, 0));
+        let err = conv2d(&input, &code, Geometry::new(1, 0)).unwrap_err();
+        assert!(matches!(err, AbmError::ChannelMismatch { .. }));
     }
 }

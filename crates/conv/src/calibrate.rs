@@ -10,8 +10,8 @@
 //! out-of-range outliers, counted and reported).
 
 use crate::infer::{Engine, InferenceResult, Inferencer};
+use abm_fault::AbmError;
 use abm_model::SparseModel;
-use abm_sparse::EncodeError;
 use abm_tensor::quantize::choose_frac;
 use abm_tensor::{QFormat, Tensor3};
 
@@ -58,16 +58,17 @@ impl Calibration {
 ///
 /// # Errors
 ///
-/// Returns [`EncodeError`] if the model cannot be prepared.
+/// Returns [`AbmError`] if the model cannot be prepared or an input
+/// shape mismatches the network.
 ///
 /// # Panics
 ///
-/// Panics if `inputs` is empty or an input shape mismatches the network.
+/// Panics if `inputs` is empty.
 pub fn calibrate(
     model: &SparseModel,
     inputs: &[Tensor3<i16>],
     input_format: QFormat,
-) -> Result<Calibration, EncodeError> {
+) -> Result<Calibration, AbmError> {
     assert!(!inputs.is_empty(), "calibration needs at least one input");
     let inferencer = Inferencer::new(model)
         .engine(Engine::Dense)
@@ -90,13 +91,14 @@ pub fn calibrate(
 ///
 /// # Errors
 ///
-/// Returns [`EncodeError`] if the model cannot be prepared.
+/// Returns [`AbmError`] if the model cannot be prepared or an input
+/// shape mismatches the network.
 pub fn calibrated_inferencer<'m>(
     model: &'m SparseModel,
     inputs: &[Tensor3<i16>],
     input_format: QFormat,
     engine: Engine,
-) -> Result<(Inferencer<'m>, Calibration), EncodeError> {
+) -> Result<(Inferencer<'m>, Calibration), AbmError> {
     let cal = calibrate(model, inputs, input_format)?;
     let inf = Inferencer::new(model)
         .engine(engine)
@@ -110,13 +112,14 @@ pub fn calibrated_inferencer<'m>(
 ///
 /// # Errors
 ///
-/// Returns [`EncodeError`] if the model cannot be prepared.
+/// Returns [`AbmError`] if the model cannot be prepared or an input
+/// shape mismatches the network.
 pub fn saturation_rate(
     model: &SparseModel,
     cal: &Calibration,
     inputs: &[Tensor3<i16>],
     input_format: QFormat,
-) -> Result<f64, EncodeError> {
+) -> Result<f64, AbmError> {
     let inferencer = Inferencer::new(model)
         .engine(Engine::Dense)
         .input_format(input_format)

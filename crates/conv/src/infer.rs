@@ -12,15 +12,17 @@
 //! **bit-identical** feature maps at every layer; this is asserted by the
 //! integration tests.
 
-use crate::abm::{AbmWork, PreparedConv};
+use crate::abft;
+use crate::abm::{self, AbmWork, PreparedConv};
 use crate::dense::{self, Geometry};
 use crate::freq;
 use crate::host;
-use crate::parallel::{parallel_map_traced, Parallelism};
+use crate::parallel::{parallel_map_caught, Parallelism};
 use crate::sparse as csr_engine;
+use abm_fault::AbmError;
 use abm_model::{LayerKind, SparseLayer, SparseModel};
-use abm_sparse::{CsrKernel, EncodeError, LayerCode};
-use abm_telemetry::TelemetrySink;
+use abm_sparse::{CsrKernel, LayerCode};
+use abm_telemetry::{FaultAction, TelemetrySink};
 use abm_tensor::fixed::{round_shift, saturate};
 use abm_tensor::quantize::choose_frac;
 use abm_tensor::{QFormat, Rounding, Shape3, Tensor3};
@@ -85,6 +87,61 @@ impl InferenceResult {
     }
 }
 
+/// How the inference path detects and recovers from corrupted state —
+/// the host-side expression of the fault model in `abm-fault`.
+///
+/// With `verify` off (the default) the hot path is exactly the
+/// unchecked executor; golden pins and benchmarks are unaffected. With
+/// `verify` on, every ABM layer re-hashes its code streams before
+/// executing ([`PreparedConv::verify_checksum`]) and checks the output
+/// against its ABFT prediction ([`abft::verify_output`]) after; a
+/// detected corruption triggers re-lowering from the retained
+/// [`LayerCode`] (`max_retries` times) and then, when `fallback` is
+/// set, graceful degradation to the `abm::reference` oracle and finally
+/// the dense engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResiliencePolicy {
+    /// Run the checksum + ABFT detectors around every ABM layer.
+    pub verify: bool,
+    /// Re-lowering attempts before falling back (0 disables retry).
+    pub max_retries: u32,
+    /// Degrade to the reference (then dense) engine when retries fail.
+    pub fallback: bool,
+}
+
+impl Default for ResiliencePolicy {
+    fn default() -> Self {
+        Self {
+            verify: false,
+            max_retries: 2,
+            fallback: true,
+        }
+    }
+}
+
+impl ResiliencePolicy {
+    /// Detection and the full recovery ladder enabled — the
+    /// configuration fault campaigns run under.
+    #[must_use]
+    pub fn hardened() -> Self {
+        Self {
+            verify: true,
+            ..Self::default()
+        }
+    }
+
+    /// Detection on, recovery off: any detected corruption surfaces as
+    /// an error. Useful for measuring raw detector coverage.
+    #[must_use]
+    pub fn detect_only() -> Self {
+        Self {
+            verify: true,
+            max_retries: 0,
+            fallback: false,
+        }
+    }
+}
+
 /// Runs a [`SparseModel`] on quantized inputs with a selectable engine.
 #[derive(Debug, Clone)]
 pub struct Inferencer<'m> {
@@ -94,6 +151,7 @@ pub struct Inferencer<'m> {
     calibration: Option<crate::calibrate::Calibration>,
     parallelism: Parallelism,
     telemetry: Option<TelemetrySink>,
+    resilience: ResiliencePolicy,
 }
 
 impl<'m> Inferencer<'m> {
@@ -107,6 +165,7 @@ impl<'m> Inferencer<'m> {
             calibration: None,
             parallelism: Parallelism::Auto,
             telemetry: None,
+            resilience: ResiliencePolicy::default(),
         }
     }
 
@@ -127,6 +186,13 @@ impl<'m> Inferencer<'m> {
     /// Sets the fixed-point format of the input features.
     pub fn input_format(mut self, format: QFormat) -> Self {
         self.input_format = format;
+        self
+    }
+
+    /// Sets the detection/recovery policy for ABM layers (see
+    /// [`ResiliencePolicy`]). The default leaves every detector off.
+    pub fn resilience(mut self, policy: ResiliencePolicy) -> Self {
+        self.resilience = policy;
         self
     }
 
@@ -159,28 +225,40 @@ impl<'m> Inferencer<'m> {
     ///
     /// # Errors
     ///
-    /// Returns [`EncodeError`] if a layer's kernels cannot be encoded.
-    pub fn prepare(&self) -> Result<PreparedWeights, EncodeError> {
+    /// Returns [`AbmError`] if a layer's kernels cannot be encoded or
+    /// lowered (e.g. a flat offset overflowing the 32-bit encoding),
+    /// tagged with the failing layer.
+    pub fn prepare(&self) -> Result<PreparedWeights, AbmError> {
         let mut abm = Vec::new();
         let mut csr = Vec::new();
-        for sl in &self.model.layers {
+        let mut codes = Vec::new();
+        for (idx, sl) in self.model.layers.iter().enumerate() {
             match self.engine {
                 Engine::Abm => {
-                    let code = LayerCode::encode(&sl.weights)?;
+                    let code = LayerCode::encode(&sl.weights)
+                        .map_err(|e| AbmError::from(e).at_layer(idx))?;
                     let (in_shape, geom) = accel_geometry(sl);
-                    abm.push(Some(PreparedConv::new(&code, in_shape, geom)));
+                    let prep = PreparedConv::try_new(&code, in_shape, geom)
+                        .map_err(|e| e.at_layer(idx))?;
+                    abm.push(Some(prep));
+                    csr.push(None);
+                    // Retain the source code so a corrupted layer can be
+                    // re-lowered without re-encoding the whole model.
+                    codes.push(Some(code));
                 }
-                Engine::Sparse => csr.push(Some(CsrKernel::encode_layer(&sl.weights))),
-                _ => {}
-            }
-            if self.engine != Engine::Abm {
-                abm.push(None);
-            }
-            if self.engine != Engine::Sparse {
-                csr.push(None);
+                Engine::Sparse => {
+                    abm.push(None);
+                    csr.push(Some(CsrKernel::encode_layer(&sl.weights)));
+                    codes.push(None);
+                }
+                _ => {
+                    abm.push(None);
+                    csr.push(None);
+                    codes.push(None);
+                }
             }
         }
-        Ok(PreparedWeights { abm, csr })
+        Ok(PreparedWeights { abm, csr, codes })
     }
 
     /// Runs inference on a batch of images, encoding weights only once
@@ -194,15 +272,51 @@ impl<'m> Inferencer<'m> {
     ///
     /// # Errors
     ///
-    /// Returns [`EncodeError`] if a layer's kernels cannot be encoded.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any input's shape differs from the network's input
-    /// shape.
-    pub fn run_batch(&self, inputs: &[Tensor3<i16>]) -> Result<Vec<InferenceResult>, EncodeError> {
+    /// Returns [`AbmError`] if preparation fails, any input's shape
+    /// differs from the network's input shape, or any item fails; a
+    /// worker panic is caught at the pool boundary and surfaces as
+    /// [`AbmError::WorkerPanic`] naming the item. For per-item error
+    /// reporting instead of first-error-aborts, use
+    /// [`run_batch_salvage`](Self::run_batch_salvage).
+    pub fn run_batch(&self, inputs: &[Tensor3<i16>]) -> Result<Vec<InferenceResult>, AbmError> {
         let prepared = self.prepare()?;
         self.run_batch_prepared(&prepared, inputs)
+    }
+
+    /// Runs a batch, salvaging what it can: every item gets its own
+    /// `Result`, so one corrupted image (or even a worker panic while
+    /// processing it) never takes down the rest of the batch. Results
+    /// stay in input order.
+    ///
+    /// # Errors
+    ///
+    /// The outer `Result` fails only when weight preparation fails —
+    /// nothing has run at that point. Per-item failures (shape
+    /// mismatches, detected corruptions under a
+    /// [`ResiliencePolicy`], caught worker panics) land in the inner
+    /// `Result`s.
+    pub fn run_batch_salvage(
+        &self,
+        inputs: &[Tensor3<i16>],
+    ) -> Result<Vec<Result<InferenceResult, AbmError>>, AbmError> {
+        let prepared = self.prepare()?;
+        let caught = parallel_map_caught(
+            self.parallelism,
+            inputs,
+            self.telemetry.as_ref(),
+            |worker, _, input| {
+                self.check_input_shape(input)?;
+                self.run_prepared_on(&prepared, input, worker as u32)
+            },
+        );
+        Ok(caught
+            .into_iter()
+            .enumerate()
+            .map(|(item, r)| match r {
+                Ok(inner) => inner,
+                Err(message) => Err(AbmError::WorkerPanic { item, message }),
+            })
+            .collect())
     }
 
     /// [`run_batch`](Self::run_batch) against weights prepared earlier
@@ -211,37 +325,34 @@ impl<'m> Inferencer<'m> {
     ///
     /// # Errors
     ///
-    /// Currently infallible after preparation, but kept fallible for
-    /// future engines.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any input's shape differs from the network's input
-    /// shape or `prepared` came from a differently-configured
-    /// inferencer.
+    /// Returns [`AbmError::ShapeMismatch`] if any input's shape differs
+    /// from the network's input shape,
+    /// [`AbmError::NotPrepared`] if `prepared` came from a
+    /// differently-configured inferencer, and
+    /// [`AbmError::WorkerPanic`] if a worker panicked mid-item (caught
+    /// at the pool boundary, never crossing the join).
     pub fn run_batch_prepared(
         &self,
         prepared: &PreparedWeights,
         inputs: &[Tensor3<i16>],
-    ) -> Result<Vec<InferenceResult>, EncodeError> {
-        // Validate shapes up front so the panic carries a clean message
-        // from the calling thread instead of crossing a worker join.
+    ) -> Result<Vec<InferenceResult>, AbmError> {
+        // Validate shapes up front so the error points at the bad input
+        // before any worker spins up.
         for input in inputs {
-            assert_eq!(
-                input.shape(),
-                self.model.network.input_shape(),
-                "input shape {} != network input {}",
-                input.shape(),
-                self.model.network.input_shape()
-            );
+            self.check_input_shape(input)?;
         }
-        parallel_map_traced(
+        parallel_map_caught(
             self.parallelism,
             inputs,
             self.telemetry.as_ref(),
             |worker, _, input| self.run_prepared_on(prepared, input, worker as u32),
         )
         .into_iter()
+        .enumerate()
+        .map(|(item, r)| match r {
+            Ok(inner) => inner,
+            Err(message) => Err(AbmError::WorkerPanic { item, message }),
+        })
         .collect()
     }
 
@@ -249,13 +360,10 @@ impl<'m> Inferencer<'m> {
     ///
     /// # Errors
     ///
-    /// Returns [`EncodeError`] if a layer's kernels cannot be encoded for
-    /// the ABM engine.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `input`'s shape differs from the network's input shape.
-    pub fn run(&self, input: &Tensor3<i16>) -> Result<InferenceResult, EncodeError> {
+    /// Returns [`AbmError`] if preparation fails, the input shape is
+    /// wrong, or a detector under the configured [`ResiliencePolicy`]
+    /// finds an unrecoverable corruption.
+    pub fn run(&self, input: &Tensor3<i16>) -> Result<InferenceResult, AbmError> {
         let prepared = self.prepare()?;
         self.run_prepared(&prepared, input)
     }
@@ -264,18 +372,15 @@ impl<'m> Inferencer<'m> {
     ///
     /// # Errors
     ///
-    /// Currently infallible after preparation, but kept fallible for
-    /// future engines.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `input`'s shape differs from the network's input shape
-    /// or `prepared` came from a differently-configured inferencer.
+    /// Returns [`AbmError::ShapeMismatch`] on a wrong input shape,
+    /// [`AbmError::NotPrepared`] if `prepared` came from a
+    /// differently-configured inferencer, and detector/recovery errors
+    /// under the configured [`ResiliencePolicy`].
     pub fn run_prepared(
         &self,
         prepared: &PreparedWeights,
         input: &Tensor3<i16>,
-    ) -> Result<InferenceResult, EncodeError> {
+    ) -> Result<InferenceResult, AbmError> {
         self.run_prepared_on(prepared, input, 0)
     }
 
@@ -287,15 +392,9 @@ impl<'m> Inferencer<'m> {
         prepared: &PreparedWeights,
         input: &Tensor3<i16>,
         track: u32,
-    ) -> Result<InferenceResult, EncodeError> {
+    ) -> Result<InferenceResult, AbmError> {
         let net = &self.model.network;
-        assert_eq!(
-            input.shape(),
-            net.input_shape(),
-            "input shape {} != network input {}",
-            input.shape(),
-            net.input_shape()
-        );
+        self.check_input_shape(input)?;
         let mut features = input.clone();
         let mut fmt = self.input_format;
         let mut work = AbmWork::default();
@@ -312,8 +411,9 @@ impl<'m> Inferencer<'m> {
                 LayerKind::Conv(spec) => {
                     let sl = &self.model.layers[accel_idx];
                     let geom = Geometry::new(spec.stride, spec.pad).with_groups(spec.groups);
-                    let (out, out_fmt, w, numerics) =
-                        self.conv_layer(&features, fmt, sl, prepared, accel_idx, geom, track);
+                    let (out, out_fmt, w, numerics) = self
+                        .conv_layer(&features, fmt, sl, prepared, accel_idx, geom, track)
+                        .map_err(|e| e.at_layer(accel_idx))?;
                     layer_max_activation.push(numerics.max_real);
                     saturated_features += numerics.saturated;
                     total_features += out.len() as u64;
@@ -327,15 +427,9 @@ impl<'m> Inferencer<'m> {
                 LayerKind::FullyConnected(_) => {
                     let sl = &self.model.layers[accel_idx];
                     let flat = host::flatten(&features);
-                    let (out, out_fmt, w, numerics) = self.conv_layer(
-                        &flat,
-                        fmt,
-                        sl,
-                        prepared,
-                        accel_idx,
-                        Geometry::unit(),
-                        track,
-                    );
+                    let (out, out_fmt, w, numerics) = self
+                        .conv_layer(&flat, fmt, sl, prepared, accel_idx, Geometry::unit(), track)
+                        .map_err(|e| e.at_layer(accel_idx))?;
                     layer_max_activation.push(numerics.max_real);
                     saturated_features += numerics.saturated;
                     total_features += out.len() as u64;
@@ -396,27 +490,48 @@ impl<'m> Inferencer<'m> {
         layer_idx: usize,
         geom: Geometry,
         track: u32,
-    ) -> (Tensor3<i16>, QFormat, AbmWork, LayerNumerics) {
+    ) -> Result<(Tensor3<i16>, QFormat, AbmWork, LayerNumerics), AbmError> {
         let span_start = self.telemetry.as_ref().map(TelemetrySink::now_ns);
         let mut work = AbmWork::default();
         let acc: Tensor3<i64> = match self.engine {
             Engine::Dense => dense::conv2d(input, &sl.weights, geom),
             Engine::Gemm => crate::gemm::conv2d(input, &sl.weights, geom),
             Engine::Sparse => {
-                // INVARIANT: Inferencer::new builds the CSR kernels for
-                // every layer whenever the engine is Sparse.
-                let kernels = prepared.csr[layer_idx]
-                    .as_ref()
-                    .expect("prepared with the Sparse engine");
+                let kernels = prepared.csr.get(layer_idx).and_then(Option::as_ref).ok_or(
+                    AbmError::NotPrepared {
+                        layer: layer_idx,
+                        engine: "Sparse",
+                    },
+                )?;
                 csr_engine::conv2d(input, kernels, sl.weights.shape(), geom)
             }
             Engine::Abm => {
-                // INVARIANT: Inferencer::new builds PreparedConv for
-                // every layer whenever the engine is Abm.
-                let prep = prepared.abm[layer_idx]
-                    .as_ref()
-                    .expect("prepared with the ABM engine");
-                let (out, w) = prep.execute_counted(input);
+                let prep = prepared.abm.get(layer_idx).and_then(Option::as_ref).ok_or(
+                    AbmError::NotPrepared {
+                        layer: layer_idx,
+                        engine: "ABM",
+                    },
+                )?;
+                if input.shape() != prep.input_shape() {
+                    return Err(AbmError::ShapeMismatch {
+                        got: (
+                            input.shape().channels,
+                            input.shape().rows,
+                            input.shape().cols,
+                        ),
+                        want: (
+                            prep.input_shape().channels,
+                            prep.input_shape().rows,
+                            prep.input_shape().cols,
+                        ),
+                    });
+                }
+                let (out, w) = if self.resilience.verify {
+                    let code = prepared.codes.get(layer_idx).and_then(Option::as_ref);
+                    self.execute_abm_checked(prep, code, sl, input, layer_idx, geom)?
+                } else {
+                    prep.execute_counted(input)
+                };
                 work = w;
                 out
             }
@@ -433,7 +548,122 @@ impl<'m> Inferencer<'m> {
             // engines that don't count work).
             sink.record_span(track, sl.name(), start, work.total());
         }
-        (out, out_fmt, work, numerics)
+        Ok((out, out_fmt, work, numerics))
+    }
+
+    /// The detect-and-recover ABM executor: checksum before, ABFT after,
+    /// and on a detected corruption climb the recovery ladder —
+    /// re-lower from the retained [`LayerCode`] up to
+    /// `max_retries` times, then (with `fallback`) degrade to the
+    /// `abm::reference` oracle and finally the dense engine. Every
+    /// detection and recovery is recorded as a telemetry
+    /// [`Event::Fault`](abm_telemetry::Event::Fault).
+    fn execute_abm_checked(
+        &self,
+        prep: &PreparedConv,
+        code: Option<&LayerCode>,
+        sl: &SparseLayer,
+        input: &Tensor3<i16>,
+        layer_idx: usize,
+        geom: Geometry,
+    ) -> Result<(Tensor3<i64>, AbmWork), AbmError> {
+        let attempt = |p: &PreparedConv| -> Result<(Tensor3<i64>, AbmWork), AbmError> {
+            p.verify_checksum()?;
+            let (out, w) = p.execute_counted(input);
+            abft::verify_output(p, input, &out)?;
+            Ok((out, w))
+        };
+        let mut last = match attempt(prep) {
+            Ok(r) => return Ok(r),
+            Err(e) if e.is_corruption() => e,
+            Err(e) => return Err(e),
+        };
+        self.record_fault(
+            layer_idx,
+            FaultAction::Detected,
+            detector_name(&last),
+            &last.to_string(),
+        );
+        if let Some(code) = code {
+            for attempts in 1..=self.resilience.max_retries {
+                match PreparedConv::try_new(code, prep.input_shape(), geom)
+                    .and_then(|fresh| attempt(&fresh))
+                {
+                    Ok(r) => {
+                        self.record_fault(
+                            layer_idx,
+                            FaultAction::Recovered,
+                            "re-lower",
+                            &format!("clean after {attempts} re-lowering(s)"),
+                        );
+                        return Ok(r);
+                    }
+                    Err(e) => last = e,
+                }
+            }
+        }
+        if self.resilience.fallback {
+            if let Some(code) = code {
+                if let Ok((out, w)) = abm::reference::conv2d_counted(input, code, geom) {
+                    self.record_fault(
+                        layer_idx,
+                        FaultAction::Recovered,
+                        "reference-fallback",
+                        "degraded to the abm::reference oracle",
+                    );
+                    return Ok((out, w));
+                }
+            }
+            // Last resort: the dense engine needs nothing but the raw
+            // weights, which the model always has. Work counters stay
+            // zero — the layer no longer ran the two-stage scheme.
+            let out = dense::conv2d(input, &sl.weights, geom);
+            self.record_fault(
+                layer_idx,
+                FaultAction::Recovered,
+                "dense-fallback",
+                "degraded to the dense oracle",
+            );
+            return Ok((out, AbmWork::default()));
+        }
+        Err(AbmError::RecoveryExhausted {
+            layer: layer_idx,
+            attempts: self.resilience.max_retries,
+            last: Box::new(last),
+        })
+    }
+
+    /// Typed replacement for the old input-shape assertion.
+    fn check_input_shape(&self, input: &Tensor3<i16>) -> Result<(), AbmError> {
+        let want = self.model.network.input_shape();
+        if input.shape() != want {
+            return Err(AbmError::ShapeMismatch {
+                got: (
+                    input.shape().channels,
+                    input.shape().rows,
+                    input.shape().cols,
+                ),
+                want: (want.channels, want.rows, want.cols),
+            });
+        }
+        Ok(())
+    }
+
+    fn record_fault(&self, layer: usize, action: FaultAction, class: &str, detail: &str) {
+        if let Some(sink) = &self.telemetry {
+            sink.record_fault(layer as u32, action, class, detail);
+        }
+    }
+}
+
+/// The detector a corruption error names in telemetry and reports.
+fn detector_name(e: &AbmError) -> &'static str {
+    match e.root_cause() {
+        AbmError::ChecksumMismatch { .. } => "checksum",
+        AbmError::CodeCorrupt { .. } => "load-validate",
+        AbmError::AbftMismatch { .. } => "abft",
+        AbmError::InputCorrupt { .. } => "input-checksum",
+        _ => "guard",
     }
 }
 
@@ -453,10 +683,39 @@ pub struct LayerNumerics {
 /// ([`PreparedConv`]): flat-offset streams, interior/halo split and
 /// analytic work accounting, lowered once and shared read-only across
 /// batch items and host workers.
+///
+/// Alongside the prepared forms, the source [`LayerCode`]s are retained
+/// so a corrupted layer can be re-lowered in place by the recovery path
+/// (see [`ResiliencePolicy`]).
 #[derive(Debug, Clone, Default)]
 pub struct PreparedWeights {
     abm: Vec<Option<PreparedConv>>,
     csr: Vec<Option<Vec<CsrKernel>>>,
+    codes: Vec<Option<LayerCode>>,
+}
+
+impl PreparedWeights {
+    /// A layer's prepared ABM form (`None` for non-ABM engines or an
+    /// out-of-range index).
+    #[must_use]
+    pub fn abm_layer(&self, layer: usize) -> Option<&PreparedConv> {
+        self.abm.get(layer).and_then(Option::as_ref)
+    }
+
+    /// Mutable access to a layer's prepared ABM form — the escape hatch
+    /// fault campaigns use to corrupt a layer's streams in place (see
+    /// [`PreparedConv::with_flat`]). Never needed on correct paths.
+    #[must_use]
+    pub fn abm_layer_mut(&mut self, layer: usize) -> Option<&mut PreparedConv> {
+        self.abm.get_mut(layer).and_then(Option::as_mut)
+    }
+
+    /// The retained source code for a layer (`None` unless prepared
+    /// with the ABM engine).
+    #[must_use]
+    pub fn layer_code(&self, layer: usize) -> Option<&LayerCode> {
+        self.codes.get(layer).and_then(Option::as_ref)
+    }
 }
 
 /// The input shape and geometry an accelerated layer convolves at: conv
@@ -610,11 +869,105 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "input shape")]
-    fn wrong_input_shape_panics() {
+    fn wrong_input_shape_is_typed_error() {
         let model = tiny_model();
         let bad = Tensor3::<i16>::zeros(Shape3::new(1, 8, 8));
-        let _ = Inferencer::new(&model).run(&bad);
+        let err = Inferencer::new(&model).run(&bad).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                AbmError::ShapeMismatch {
+                    got: (1, 8, 8),
+                    want: (3, 32, 32)
+                }
+            ),
+            "{err}"
+        );
+        // The batch paths reject it the same way, without panicking.
+        let inf = Inferencer::new(&model);
+        assert!(inf.run_batch(std::slice::from_ref(&bad)).is_err());
+        let salvaged = inf.run_batch_salvage(&[tiny_input(), bad]).unwrap();
+        assert!(salvaged[0].is_ok());
+        assert!(matches!(salvaged[1], Err(AbmError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn hardened_policy_matches_unchecked_run() {
+        // With nothing injected, the detectors must pass and the result
+        // must be bit-identical to the unchecked path.
+        let model = tiny_model();
+        let input = tiny_input();
+        let plain = Inferencer::new(&model).run(&input).unwrap();
+        let checked = Inferencer::new(&model)
+            .resilience(ResiliencePolicy::hardened())
+            .run(&input)
+            .unwrap();
+        assert_eq!(plain, checked);
+    }
+
+    #[test]
+    fn corrupted_layer_recovers_by_relowering() {
+        let model = tiny_model();
+        let input = tiny_input();
+        let inf = Inferencer::new(&model).resilience(ResiliencePolicy::hardened());
+        let golden = inf.run(&input).unwrap();
+        let mut prepared = inf.prepare().unwrap();
+        // Flip one offset bit in layer 0's streams, keeping the golden
+        // checksum — a post-load SEU.
+        let prep = prepared.abm_layer_mut(0).unwrap();
+        let flat = prep.flat().clone();
+        let k = &flat.kernels()[0];
+        let mut offsets = k.offsets().to_vec();
+        offsets[0] ^= 1 << 2;
+        let corrupted = abm_sparse::FlatCode::from_kernels(
+            flat.shape(),
+            flat.layout(),
+            std::iter::once(abm_sparse::FlatKernel::from_raw_parts(
+                k.values().to_vec(),
+                k.group_bounds().to_vec(),
+                offsets,
+                k.taps().to_vec(),
+            ))
+            .chain(flat.kernels()[1..].iter().cloned())
+            .collect(),
+        );
+        *prep = prep.clone().with_flat(corrupted);
+        let recovered = inf.run_prepared(&prepared, &input).unwrap();
+        assert_eq!(recovered.logits, golden.logits);
+        assert_eq!(recovered.probabilities, golden.probabilities);
+    }
+
+    #[test]
+    fn detect_only_policy_surfaces_corruption() {
+        let model = tiny_model();
+        let input = tiny_input();
+        let inf = Inferencer::new(&model).resilience(ResiliencePolicy::detect_only());
+        let mut prepared = inf.prepare().unwrap();
+        let prep = prepared.abm_layer_mut(0).unwrap();
+        let flat = prep.flat().clone();
+        let k = &flat.kernels()[0];
+        let mut values = k.values().to_vec();
+        values[0] = values[0].wrapping_add(1);
+        let corrupted = abm_sparse::FlatCode::from_kernels(
+            flat.shape(),
+            flat.layout(),
+            std::iter::once(abm_sparse::FlatKernel::from_raw_parts(
+                values,
+                k.group_bounds().to_vec(),
+                k.offsets().to_vec(),
+                k.taps().to_vec(),
+            ))
+            .chain(flat.kernels()[1..].iter().cloned())
+            .collect(),
+        );
+        *prep = prep.clone().with_flat(corrupted);
+        let err = inf.run_prepared(&prepared, &input).unwrap_err();
+        assert!(err.is_corruption(), "{err}");
+        assert!(
+            matches!(err.root_cause(), AbmError::ChecksumMismatch { .. }),
+            "{err}"
+        );
+        assert!(matches!(err, AbmError::Layer { layer: 0, .. }), "{err}");
     }
 
     #[test]

@@ -39,14 +39,20 @@
 //!
 //! let reference = dense::conv2d(&input, &weights, geom);
 //! let code = LayerCode::encode(&weights)?;
-//! let two_stage = abm::conv2d(&input, &code, geom);
+//! let two_stage = abm::conv2d(&input, &code, geom)?;
 //! assert_eq!(reference, two_stage); // bit-exact
-//! # Ok::<(), abm_sparse::EncodeError>(())
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! Runtime contract violations and detected corruptions surface as the
+//! typed [`AbmError`](abm_fault::AbmError) hierarchy from the
+//! [`abm-fault`](abm_fault) crate; [`abft`] adds the online
+//! output-checksum detector the resilient inference path uses.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod abft;
 pub mod abm;
 pub mod calibrate;
 pub mod dense;
@@ -64,6 +70,8 @@ pub use abm::conv2d as abm_conv2d;
 pub use abm::{AbmWork, PreparedConv};
 pub use calibrate::{calibrate, Calibration};
 pub use dense::{conv2d as dense_conv2d, Geometry};
-pub use infer::{Engine, InferenceResult, Inferencer, PreparedWeights};
+pub use infer::{Engine, InferenceResult, Inferencer, PreparedWeights, ResiliencePolicy};
 pub use ops::{LayerOps, NetworkOps};
-pub use parallel::{parallel_map, parallel_map_traced, Parallelism};
+pub use parallel::{
+    parallel_map, parallel_map_caught, parallel_map_deadline, parallel_map_traced, Parallelism,
+};

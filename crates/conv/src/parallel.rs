@@ -17,6 +17,7 @@
 use abm_telemetry::{Event, TelemetrySink};
 use crossbeam::deque::{Injector, Steal};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 /// How much host-thread parallelism to use for batch-level work.
@@ -196,6 +197,108 @@ where
     })
 }
 
+/// [`parallel_map_traced`] with a panic boundary at each item: a panic
+/// inside `f` is caught on the worker (never crosses the scope join)
+/// and comes back as `Err(message)` for that item alone — the rest of
+/// the batch completes normally. This is the salvage path
+/// [`Inferencer::run_batch_salvage`](crate::Inferencer::run_batch_salvage)
+/// builds on: one corrupted image must not abort the batch.
+pub fn parallel_map_caught<T, R, F>(
+    parallelism: Parallelism,
+    items: &[T],
+    sink: Option<&TelemetrySink>,
+    f: F,
+) -> Vec<Result<R, String>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, usize, &T) -> R + Sync,
+{
+    parallel_map_traced(parallelism, items, sink, |worker, i, item| {
+        catch_unwind(AssertUnwindSafe(|| f(worker, i, item))).map_err(|payload| {
+            payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .unwrap_or_else(|| "worker panicked with a non-string payload".to_string())
+        })
+    })
+}
+
+/// [`parallel_map`] with a wall-clock deadline: workers stop claiming
+/// new items once `deadline` passes. Returns `Ok(results)` when every
+/// item completed in time, or `Err(completed)` — the number of items
+/// that finished — when the deadline cut the batch short. Items already
+/// claimed when the deadline passes run to completion (cancellation is
+/// cooperative, at steal granularity), so the pool always joins cleanly.
+///
+/// # Errors
+///
+/// Returns `Err(completed_count)` if the deadline expired before every
+/// item was processed.
+pub fn parallel_map_deadline<T, R, F>(
+    parallelism: Parallelism,
+    items: &[T],
+    deadline: Instant,
+    f: F,
+) -> Result<Vec<R>, usize>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = parallelism.worker_count().min(items.len());
+    if workers <= 1 {
+        let mut out = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            if Instant::now() >= deadline {
+                return Err(out.len());
+            }
+            out.push(f(i, item));
+        }
+        return Ok(out);
+    }
+
+    let injector: Injector<usize> = Injector::new();
+    for i in 0..items.len() {
+        injector.push(i);
+    }
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let injector = &injector;
+            let f = &f;
+            scope.spawn(move || loop {
+                if Instant::now() >= deadline {
+                    break;
+                }
+                match injector.steal() {
+                    Steal::Success(i) => {
+                        if tx.send((i, f(i, &items[i]))).is_err() {
+                            break;
+                        }
+                    }
+                    Steal::Empty => break,
+                    Steal::Retry => {}
+                }
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+        let mut completed = 0usize;
+        for (i, result) in rx.iter() {
+            slots[i] = Some(result);
+            completed += 1;
+        }
+        if completed == items.len() {
+            Ok(slots.into_iter().flatten().collect())
+        } else {
+            Err(completed)
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -296,6 +399,42 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn caught_map_isolates_panics() {
+        let items: Vec<u32> = (0..20).collect();
+        for par in [Parallelism::Serial, Parallelism::Threads(4)] {
+            let out = parallel_map_caught(par, &items, None, |_, _, &x| {
+                assert!(x != 13, "poisoned item {x}");
+                x * 2
+            });
+            assert_eq!(out.len(), 20);
+            for (i, r) in out.iter().enumerate() {
+                if i == 13 {
+                    let msg = r.as_ref().unwrap_err();
+                    assert!(msg.contains("poisoned item 13"), "{par}: {msg}");
+                } else {
+                    assert_eq!(*r, Ok(i as u32 * 2), "{par}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deadline_map_completes_or_reports_progress() {
+        let items: Vec<u64> = (0..32).collect();
+        for par in [Parallelism::Serial, Parallelism::Threads(4)] {
+            let generous = Instant::now() + std::time::Duration::from_secs(60);
+            assert_eq!(
+                parallel_map_deadline(par, &items, generous, |_, &x| x + 1),
+                Ok((1..=32).collect::<Vec<u64>>()),
+                "{par}"
+            );
+            let expired = Instant::now() - std::time::Duration::from_millis(1);
+            let cut = parallel_map_deadline(par, &items, expired, |_, &x| x + 1).unwrap_err();
+            assert!(cut < items.len(), "{par}: {cut}");
+        }
     }
 
     #[test]

@@ -189,7 +189,7 @@ mod tests {
         assert!(!report.is_lossless());
         assert!(report.max_output_error > 0);
         // ...and be bounded by the rails.
-        let exact = abm::conv2d(&input, &code, geom);
+        let exact = abm::conv2d(&input, &code, geom).unwrap();
         assert!(out[(0, 0, 0)] < exact[(0, 0, 0)]);
         assert!(report.margin_bits(8) < 0.0);
     }

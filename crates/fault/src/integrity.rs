@@ -1,0 +1,247 @@
+//! Integrity primitives over the lowered code streams: a stream
+//! checksum for post-load SEU detection and a structural validator for
+//! load-time corruption.
+//!
+//! Both operate on [`FlatCode`] — the software image of the WT-Buffer
+//! (offsets), Q-Table (values and group bounds) and the decoded taps —
+//! so they live here, next to [`AbmError`], rather than in `abm-sparse`
+//! which must stay free of the fault vocabulary.
+
+use crate::error::AbmError;
+use crate::inject::fnv1a_bytes;
+use abm_sparse::FlatCode;
+
+/// FNV-1a digest of every stream a [`FlatCode`] carries, plus its shape
+/// and layout. A `PreparedConv` records this at construction and
+/// re-verifies before execution: any post-load bit flip in an offset,
+/// value, group bound or tap changes the digest.
+#[must_use]
+pub fn flat_checksum(flat: &FlatCode) -> u64 {
+    let shape = flat.shape();
+    let layout = flat.layout();
+    let header = [
+        shape.out_channels,
+        shape.in_channels,
+        shape.kernel_rows,
+        shape.kernel_cols,
+        layout.in_rows,
+        layout.in_cols,
+        layout.stride,
+        layout.pad,
+    ];
+    let bytes = header
+        .into_iter()
+        .flat_map(|d| (d as u64).to_le_bytes())
+        .chain(flat.kernels().iter().flat_map(|k| {
+            k.values()
+                .iter()
+                .map(|&v| v as u8)
+                .chain(k.group_bounds().iter().flat_map(|b| b.to_le_bytes()))
+                .chain(k.offsets().iter().flat_map(|o| o.to_le_bytes()))
+                .chain(
+                    k.taps()
+                        .iter()
+                        .flat_map(|t| [t.n, t.k, t.kp])
+                        .flat_map(|c| c.to_le_bytes()),
+                )
+        }));
+    fnv1a_bytes(bytes)
+}
+
+/// Structural validation of a [`FlatCode`] at load time — the software
+/// analogue of checking a WT-Buffer/Q-Table page after the DDR
+/// transfer, before any executor trusts it.
+///
+/// Checks, per kernel: group bounds start at zero, are monotone and
+/// consistent with the value/offset/tap stream lengths; Q-Table values
+/// are strictly ascending (the encoder's order); offsets are strictly
+/// ascending within each group and each one decodes to exactly its tap
+/// under the lowered layout; taps stay inside the kernel volume.
+///
+/// # Errors
+///
+/// Returns [`AbmError::CodeCorrupt`] naming the first inconsistent
+/// kernel.
+pub fn validate_flat(flat: &FlatCode) -> Result<(), AbmError> {
+    let shape = flat.shape();
+    let layout = flat.layout();
+    let plane = layout.in_rows * layout.in_cols;
+    let corrupt = |kernel: usize, detail: String| AbmError::CodeCorrupt { kernel, detail };
+    for (m, k) in flat.kernels().iter().enumerate() {
+        let bounds = k.group_bounds();
+        if bounds.first() != Some(&0) {
+            return Err(corrupt(m, "group bounds must start at 0".into()));
+        }
+        if bounds.len() != k.values().len() + 1 {
+            return Err(corrupt(
+                m,
+                format!(
+                    "{} group bounds for {} values (want values + 1)",
+                    bounds.len(),
+                    k.values().len()
+                ),
+            ));
+        }
+        if let Some(w) = bounds.windows(2).find(|w| w[0] > w[1]) {
+            return Err(corrupt(
+                m,
+                format!("group bounds not monotone: {} > {}", w[0], w[1]),
+            ));
+        }
+        if bounds.last().copied().unwrap_or(0) as usize != k.offsets().len() {
+            return Err(corrupt(
+                m,
+                format!(
+                    "group bounds end at {} but the kernel has {} offsets",
+                    bounds.last().copied().unwrap_or(0),
+                    k.offsets().len()
+                ),
+            ));
+        }
+        if k.taps().len() != k.offsets().len() {
+            return Err(corrupt(
+                m,
+                format!("{} taps for {} offsets", k.taps().len(), k.offsets().len()),
+            ));
+        }
+        if let Some(w) = k.values().windows(2).find(|w| w[0] >= w[1]) {
+            return Err(corrupt(
+                m,
+                format!("Q-Table values not ascending: {} then {}", w[0], w[1]),
+            ));
+        }
+        for (i, (&off, tap)) in k.offsets().iter().zip(k.taps()).enumerate() {
+            if tap.n as usize >= shape.in_channels
+                || tap.k as usize >= shape.kernel_rows
+                || tap.kp as usize >= shape.kernel_cols
+            {
+                return Err(corrupt(
+                    m,
+                    format!(
+                        "tap {i} ({}, {}, {}) outside the {}x{}x{} kernel volume",
+                        tap.n,
+                        tap.k,
+                        tap.kp,
+                        shape.in_channels,
+                        shape.kernel_rows,
+                        shape.kernel_cols
+                    ),
+                ));
+            }
+            let want = tap.n as usize * plane + tap.k as usize * layout.in_cols + tap.kp as usize;
+            if off as usize != want {
+                return Err(corrupt(
+                    m,
+                    format!("offset {off} at index {i} does not decode to its tap (want {want})"),
+                ));
+            }
+        }
+        for (_, group) in k.offset_groups() {
+            if let Some(w) = group.windows(2).find(|w| w[0] >= w[1]) {
+                return Err(corrupt(
+                    m,
+                    format!(
+                        "offsets not ascending within a group: {} then {}",
+                        w[0], w[1]
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abm_sparse::{FlatCode, FlatKernel, FlatLayout, LayerCode};
+    use abm_tensor::{Shape4, Tensor4};
+
+    fn lowered() -> (LayerCode, FlatCode) {
+        let shape = Shape4::new(2, 2, 3, 3);
+        let w = Tensor4::from_fn(shape, |m, n, k, kp| {
+            let x = (m * 7 + n * 5 + k * 3 + kp) % 4;
+            if x == 0 {
+                0
+            } else {
+                x as i8 - 2
+            }
+        });
+        let code = LayerCode::encode(&w).unwrap();
+        let layout = FlatLayout {
+            in_rows: 6,
+            in_cols: 6,
+            stride: 1,
+            pad: 1,
+        };
+        let flat = FlatCode::lower(&code, layout).unwrap();
+        (code, flat)
+    }
+
+    #[test]
+    fn pristine_code_validates() {
+        let (_, flat) = lowered();
+        assert!(validate_flat(&flat).is_ok());
+        assert_eq!(flat_checksum(&flat), flat_checksum(&flat));
+    }
+
+    #[test]
+    fn every_offset_bit_flip_is_caught() {
+        let (_, flat) = lowered();
+        let k = &flat.kernels()[0];
+        for bit in [0u32, 3, 17, 31] {
+            let mut offsets = k.offsets().to_vec();
+            offsets[1] ^= 1 << bit;
+            let corrupted = FlatKernel::from_raw_parts(
+                k.values().to_vec(),
+                k.group_bounds().to_vec(),
+                offsets,
+                k.taps().to_vec(),
+            );
+            let bad = FlatCode::from_kernels(flat.shape(), flat.layout(), vec![corrupted]);
+            let err = validate_flat(&bad).unwrap_err();
+            assert!(
+                matches!(err, AbmError::CodeCorrupt { kernel: 0, .. }),
+                "bit {bit}: {err}"
+            );
+            assert_ne!(flat_checksum(&bad), flat_checksum(&flat));
+        }
+    }
+
+    #[test]
+    fn broken_group_bounds_are_caught() {
+        let (_, flat) = lowered();
+        let k = &flat.kernels()[0];
+        let mut bounds = k.group_bounds().to_vec();
+        let last = bounds.len() - 1;
+        bounds.swap(0, last);
+        let corrupted = FlatKernel::from_raw_parts(
+            k.values().to_vec(),
+            bounds,
+            k.offsets().to_vec(),
+            k.taps().to_vec(),
+        );
+        let bad = FlatCode::from_kernels(flat.shape(), flat.layout(), vec![corrupted]);
+        assert!(validate_flat(&bad).is_err());
+    }
+
+    #[test]
+    fn checksum_covers_values_and_taps() {
+        let (_, flat) = lowered();
+        let base = flat_checksum(&flat);
+        let k = &flat.kernels()[0];
+        let mut values = k.values().to_vec();
+        values[0] ^= 1;
+        let tweaked = FlatCode::from_kernels(
+            flat.shape(),
+            flat.layout(),
+            vec![FlatKernel::from_raw_parts(
+                values,
+                k.group_bounds().to_vec(),
+                k.offsets().to_vec(),
+                k.taps().to_vec(),
+            )],
+        );
+        assert_ne!(flat_checksum(&tweaked), base);
+    }
+}

@@ -350,7 +350,8 @@ mod tests {
                 stride: 1,
                 pad: 1,
             },
-        );
+        )
+        .unwrap();
         for (kc, fk) in layer.kernels().iter().zip(flat.kernels()) {
             for n in 1..5u64 {
                 for depth in [1usize, 2, 8] {

@@ -24,6 +24,10 @@
 //! * [`cycle`] — a cycle-stepped structural model of a lane, validated
 //!   cycle-exactly against [`lane`]'s analytic recurrence;
 //! * [`energy`] — a first-order per-op energy model (extension);
+//! * [`fault`] — fail-stop watchdogs over injected timing faults
+//!   (FIFO overflow, hung CU, lost deposit, bandwidth collapse) and
+//!   budgeted network simulation with typed
+//!   [`AbmError`](abm_fault::AbmError) timeouts;
 //! * [`telemetry`] — the bridge from simulation results to the
 //!   `abm-telemetry` exporters. The simulation core is generic over a
 //!   [`Collector`](abm_telemetry::Collector); with the default
@@ -51,6 +55,7 @@
 pub mod config;
 pub mod cycle;
 pub mod energy;
+pub mod fault;
 pub mod lane;
 pub mod memory;
 pub mod parallel;
@@ -61,6 +66,7 @@ pub mod telemetry;
 pub mod verify;
 
 pub use config::{AcceleratorConfig, ConfigError};
+pub use fault::{simulate_network_budgeted, simulate_workload_guarded, SimBudget, Watchdog};
 pub use memory::MemorySystem;
 pub use parallel::{simulate_network_par, simulate_network_with_parallelism, Parallelism};
 pub use run::{

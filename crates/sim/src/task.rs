@@ -76,7 +76,7 @@ impl Workload {
                 pad: layer.pad(),
             }
         };
-        let flat = FlatCode::lower(&code, layout);
+        let flat = FlatCode::lower(&code, layout)?;
         let workload = Self {
             name: layer.name().to_string(),
             code,

@@ -229,6 +229,12 @@ pub enum EncodeError {
         /// The offending kernel volume (`N·K·K'`).
         kernel_len: usize,
     },
+    /// A flattened tap offset does not fit the 32-bit flat-offset
+    /// encoding (input plane too large for the lowered layout).
+    OffsetOverflow {
+        /// The offending flat offset.
+        offset: usize,
+    },
 }
 
 impl fmt::Display for EncodeError {
@@ -237,6 +243,10 @@ impl fmt::Display for EncodeError {
             EncodeError::IndexOverflow { kernel_len } => write!(
                 f,
                 "kernel volume {kernel_len} exceeds the 16-bit WT-Buffer index range"
+            ),
+            EncodeError::OffsetOverflow { offset } => write!(
+                f,
+                "flat offset {offset} exceeds the 32-bit flat-offset range"
             ),
         }
     }

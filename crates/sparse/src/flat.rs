@@ -18,7 +18,7 @@
 //! [`Tap`]s) for the padded halo region, where per-tap validity must
 //! still be checked.
 
-use crate::encode::LayerCode;
+use crate::encode::{EncodeError, LayerCode};
 use abm_tensor::Shape4;
 use std::ops::Range;
 
@@ -197,53 +197,46 @@ pub struct FlatCode {
 impl FlatCode {
     /// Lowers an encoded layer to flat offsets against `layout`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the input plane is so large that an offset would not fit
-    /// 32 bits (`in_channels · R · C` must stay below `2^32`).
-    pub fn lower(code: &LayerCode, layout: FlatLayout) -> Self {
+    /// Returns [`EncodeError::OffsetOverflow`] if the input plane is so
+    /// large that an offset would not fit 32 bits
+    /// (`in_channels · R · C` must stay below `2^32`).
+    pub fn lower(code: &LayerCode, layout: FlatLayout) -> Result<Self, EncodeError> {
         let shape = code.shape();
         let plane = layout.in_rows * layout.in_cols;
-        let kernels = code
-            .kernels()
-            .iter()
-            .map(|kernel| {
-                let mut flat = FlatKernel {
-                    values: Vec::with_capacity(kernel.distinct()),
-                    starts: Vec::with_capacity(kernel.distinct() + 1),
-                    offsets: Vec::with_capacity(kernel.total() as usize),
-                    taps: Vec::with_capacity(kernel.total() as usize),
-                };
-                flat.starts.push(0);
-                for (value, idxs) in kernel.groups() {
-                    flat.values.push(value);
-                    for &i in idxs {
-                        let (n, k, kp) = code.unravel(i);
-                        let off = n * plane + k * layout.in_cols + kp;
-                        flat.offsets.push(
-                            // INVARIANT: source indices are u16, so
-                            // off < 65536 · plane; zoo-scale planes
-                            // keep that far below 2^32, and a larger
-                            // lowering is a bug worth aborting on.
-                            u32::try_from(off)
-                                .expect("input plane exceeds the 32-bit flat-offset range"),
-                        );
-                        flat.taps.push(Tap {
-                            n: n as u16,
-                            k: k as u16,
-                            kp: kp as u16,
-                        });
-                    }
-                    flat.starts.push(flat.offsets.len() as u32);
+        let mut kernels = Vec::with_capacity(code.kernels().len());
+        for kernel in code.kernels() {
+            let mut flat = FlatKernel {
+                values: Vec::with_capacity(kernel.distinct()),
+                starts: Vec::with_capacity(kernel.distinct() + 1),
+                offsets: Vec::with_capacity(kernel.total() as usize),
+                taps: Vec::with_capacity(kernel.total() as usize),
+            };
+            flat.starts.push(0);
+            for (value, idxs) in kernel.groups() {
+                flat.values.push(value);
+                for &i in idxs {
+                    let (n, k, kp) = code.unravel(i);
+                    let off = n * plane + k * layout.in_cols + kp;
+                    let off32 = u32::try_from(off)
+                        .map_err(|_| EncodeError::OffsetOverflow { offset: off })?;
+                    flat.offsets.push(off32);
+                    flat.taps.push(Tap {
+                        n: n as u16,
+                        k: k as u16,
+                        kp: kp as u16,
+                    });
                 }
-                flat
-            })
-            .collect();
-        Self {
+                flat.starts.push(flat.offsets.len() as u32);
+            }
+            kernels.push(flat);
+        }
+        Ok(Self {
             shape,
             layout,
             kernels,
-        }
+        })
     }
 
     /// Assembles a layer from pre-built kernels without re-lowering.
@@ -323,7 +316,7 @@ mod tests {
             }
         });
         let code = LayerCode::encode(&w).unwrap();
-        let flat = FlatCode::lower(&code, layout(7, 7, 1, 1));
+        let flat = FlatCode::lower(&code, layout(7, 7, 1, 1)).unwrap();
         assert_eq!(flat.shape(), shape);
         assert_eq!(flat.total_nnz(), code.total_nnz());
         assert_eq!(flat.total_distinct(), code.total_distinct());
@@ -345,7 +338,7 @@ mod tests {
         let w = Tensor4::from_fn(shape, |_, _, _, _| 1i8);
         let code = LayerCode::encode(&w).unwrap();
         let lay = layout(5, 6, 1, 0);
-        let flat = FlatCode::lower(&code, lay);
+        let flat = FlatCode::lower(&code, lay).unwrap();
         let fk = &flat.kernels()[0];
         assert_eq!(fk.offsets().len(), fk.taps().len());
         for (&off, tap) in fk.offsets().iter().zip(fk.taps()) {
@@ -399,7 +392,7 @@ mod tests {
     fn empty_layer_lowering() {
         let w = Tensor4::<i8>::zeros(Shape4::new(2, 1, 3, 3));
         let code = LayerCode::encode(&w).unwrap();
-        let flat = FlatCode::lower(&code, layout(4, 4, 1, 0));
+        let flat = FlatCode::lower(&code, layout(4, 4, 1, 0)).unwrap();
         assert_eq!(flat.total_nnz(), 0);
         assert_eq!(flat.max_distinct(), 0);
         assert!(flat.kernels().iter().all(|k| k.offset_groups().len() == 0));

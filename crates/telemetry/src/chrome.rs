@@ -49,6 +49,9 @@ pub struct ChromeTrace {
 pub const PID_ACCELERATOR: u32 = 0;
 /// The host process id.
 pub const PID_HOST: u32 = 1;
+/// The host-process track id fault events render on — far above any
+/// plausible worker index so it never collides with a worker track.
+pub const TID_FAULTS: u32 = 999;
 
 impl ChromeTrace {
     /// An empty trace.
@@ -94,6 +97,7 @@ impl ChromeTrace {
         let mut trace = Self::new();
         let mut cus_seen: Vec<u32> = Vec::new();
         let mut workers_seen: Vec<u32> = Vec::new();
+        let mut faults_seen = false;
         for e in events {
             match e {
                 Event::CuTask {
@@ -135,6 +139,26 @@ impl ChromeTrace {
                         args: vec![("ops".to_string(), ops.to_string())],
                     });
                 }
+                Event::Fault {
+                    layer,
+                    action,
+                    class,
+                    detail,
+                    at,
+                } => {
+                    faults_seen = true;
+                    trace.span(Span {
+                        pid: PID_HOST,
+                        tid: TID_FAULTS,
+                        name: format!("{action}:{class}"),
+                        ts: at / 1000,
+                        dur: 1,
+                        args: vec![
+                            ("layer".to_string(), layer.to_string()),
+                            ("detail".to_string(), detail.clone()),
+                        ],
+                    });
+                }
                 _ => {}
             }
         }
@@ -143,6 +167,9 @@ impl ChromeTrace {
         }
         for w in workers_seen {
             trace.name_track(PID_HOST, w, format!("worker{w}"));
+        }
+        if faults_seen {
+            trace.name_track(PID_HOST, TID_FAULTS, "faults");
         }
         trace
     }

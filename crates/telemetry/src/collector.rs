@@ -111,6 +111,58 @@ pub enum Event {
         /// Wall-clock nanoseconds the worker spent executing tasks.
         busy_ns: u64,
     },
+    /// A resilience event: a fault was injected, detected, masked or
+    /// recovered from. Rendered on a dedicated "faults" track in the
+    /// Chrome trace so campaigns line up against the layer timeline.
+    Fault {
+        /// Layer index the event is attributed to.
+        layer: u32,
+        /// Which resilience stage fired.
+        action: FaultAction,
+        /// Fault class (kebab-case, e.g. `wt-word-flip`) or detector
+        /// name for detections.
+        class: String,
+        /// Human-readable detail (error display, recovery action, …).
+        detail: String,
+        /// Host-domain timestamp, nanoseconds from the sink epoch.
+        at: u64,
+    },
+}
+
+/// Which stage of the resilience pipeline an [`Event::Fault`] records.
+///
+/// Defined here (not in `abm-fault`) because `abm-telemetry` sits at the
+/// bottom of the dependency graph and must stay dependency-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultAction {
+    /// An injector perturbed state.
+    Injected,
+    /// A detector (checksum, ABFT, watchdog) caught a corruption.
+    Detected,
+    /// The perturbation was provably absorbed by slack; output unchanged.
+    Masked,
+    /// A recovery path (re-lowering, fallback engine, replay) restored a
+    /// correct result.
+    Recovered,
+}
+
+impl FaultAction {
+    /// Stable lowercase name used in traces and reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultAction::Injected => "injected",
+            FaultAction::Detected => "detected",
+            FaultAction::Masked => "masked",
+            FaultAction::Recovered => "recovered",
+        }
+    }
+}
+
+impl std::fmt::Display for FaultAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 /// A sink for instrumentation events.

@@ -41,6 +41,6 @@ pub mod report;
 pub mod sink;
 
 pub use chrome::ChromeTrace;
-pub use collector::{Collector, Event, NullCollector, RecordingCollector};
+pub use collector::{Collector, Event, FaultAction, NullCollector, RecordingCollector};
 pub use report::{LayerReport, TelemetryReport};
 pub use sink::TelemetrySink;

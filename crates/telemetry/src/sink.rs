@@ -8,7 +8,7 @@
 //! *computation* they observe is not — attaching a sink never changes
 //! inference results (asserted by `tests/telemetry.rs`).
 
-use crate::collector::Event;
+use crate::collector::{Event, FaultAction};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -54,6 +54,18 @@ impl TelemetrySink {
             start_ns,
             dur_ns: end.saturating_sub(start_ns),
             ops,
+        });
+    }
+
+    /// Records a resilience event stamped with the sink's current time.
+    pub fn record_fault(&self, layer: u32, action: FaultAction, class: &str, detail: &str) {
+        let at = self.now_ns();
+        self.record(Event::Fault {
+            layer,
+            action,
+            class: class.to_string(),
+            detail: detail.to_string(),
+            at,
         });
     }
 

@@ -349,7 +349,7 @@ mod tests {
             stride: 1,
             pad: 1,
         };
-        let flat = FlatCode::lower(&code, layout);
+        let flat = FlatCode::lower(&code, layout).unwrap();
         let rows = layout.interior_rows(3, 8);
         let cols = layout.interior_cols(3, 8);
         let geom = ConvGeometry {

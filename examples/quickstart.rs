@@ -41,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Run both engines.
     let geom = Geometry::new(1, 1);
     let reference = dense::conv2d(&input, &weights, geom);
-    let (result, work) = abm::conv2d_counted(&input, &code, geom);
+    let (result, work) = abm::conv2d_counted(&input, &code, geom)?;
 
     assert_eq!(reference, result, "ABM-SpConv must be bit-exact");
     println!("\nABM-SpConv output == dense reference (bit-exact)");

@@ -10,6 +10,7 @@
 //! abm-spconv infer    <net> [--engine dense|gemm|sparse|abm|freq] [--seed S]
 //!                           [--batch N] [--parallel serial|auto|N]
 //! abm-spconv verify   <net> [--seed S]
+//! abm-spconv faults   <net> [--seed S] [--trials N] [--json PATH] [--trace-out PATH]
 //! ```
 
 use abm_conv::ops::NetworkOps;
@@ -67,6 +68,21 @@ pub enum Command {
         /// Synthesis seed.
         seed: u64,
     },
+    /// Seeded fault-injection campaign: every fault class against the
+    /// network's detectors and recovery paths, gated on zero silent
+    /// corruptions.
+    Faults {
+        /// Network name.
+        net: String,
+        /// Campaign seed (reproduces every trial).
+        seed: u64,
+        /// Trials per fault class.
+        trials: usize,
+        /// Write the JSON campaign report here.
+        json: Option<String>,
+        /// Write a Chrome trace of the fault telemetry here.
+        trace_out: Option<String>,
+    },
     /// Functional inference on a batch of synthetic images.
     Infer {
         /// Network name.
@@ -108,7 +124,8 @@ commands:
   explore  <net> [--device gxa7|arria10]
   infer    <net> [--engine dense|gemm|sparse|abm|freq] [--seed S]
                  [--batch N] [--parallel serial|auto|N]
-  verify   <net> [--seed S]";
+  verify   <net> [--seed S]
+  faults   <net> [--seed S] [--trials N] [--json PATH] [--trace-out PATH]";
 
 /// Parses an argument vector (without the program name).
 ///
@@ -263,6 +280,41 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                 }
             }
             Ok(Command::Verify { net, seed })
+        }
+        "faults" => {
+            let mut seed = 2019u64;
+            let mut trials = 1usize;
+            let mut json = None;
+            let mut trace_out = None;
+            while let Some(flag) = it.next() {
+                let value = it
+                    .next()
+                    .ok_or_else(|| err(format!("flag {flag} needs a value")))?;
+                match flag.as_str() {
+                    "--seed" => {
+                        seed = value
+                            .parse::<u64>()
+                            .map_err(|_| err(format!("bad seed '{value}'")))?
+                    }
+                    "--trials" => {
+                        trials = value
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| err(format!("bad trial count '{value}'")))?
+                    }
+                    "--json" => json = Some(value.clone()),
+                    "--trace-out" => trace_out = Some(value.clone()),
+                    other => return Err(err(format!("unknown flag {other}"))),
+                }
+            }
+            Ok(Command::Faults {
+                net,
+                seed,
+                trials,
+                json,
+                trace_out,
+            })
         }
         other => Err(err(format!("unknown command '{other}'\n{USAGE}"))),
     }
@@ -452,6 +504,35 @@ pub fn execute(command: &Command) -> Result<(), Box<dyn Error>> {
                 return Err(format!("static verification found {dirty} defect(s)").into());
             }
             println!("all layers defect-free");
+        }
+        Command::Faults {
+            net,
+            seed,
+            trials,
+            json,
+            trace_out,
+        } => {
+            let config = crate::campaign::CampaignConfig {
+                nets: vec![net.clone()],
+                seed: *seed,
+                trials_per_class: *trials,
+            };
+            let sink = abm_telemetry::TelemetrySink::new();
+            let report = crate::campaign::run_campaign(&config, &sink)?;
+            println!("fault campaign: {net} (seed {seed}, {trials} trial(s) per class)");
+            print!("{}", report.summary_table());
+            if let Some(path) = json {
+                std::fs::write(path, report.to_json())?;
+                println!("  wrote campaign report to {path}");
+            }
+            if let Some(path) = trace_out {
+                let trace = ChromeTrace::from_events(&sink.drain());
+                std::fs::write(path, trace.to_json())?;
+                println!("  wrote Chrome trace to {path}");
+            }
+            if !report.is_clean() {
+                return Err("campaign is DIRTY: silent or unrecovered faults".into());
+            }
         }
         Command::Infer {
             net,
@@ -653,6 +734,52 @@ mod tests {
             }
         );
         assert!(parse(&argv("verify tiny --batch 2")).is_err());
+    }
+
+    #[test]
+    fn parse_faults() {
+        assert_eq!(
+            parse(&argv("faults tiny")).unwrap(),
+            Command::Faults {
+                net: "tiny".into(),
+                seed: 2019,
+                trials: 1,
+                json: None,
+                trace_out: None,
+            }
+        );
+        assert_eq!(
+            parse(&argv("faults alexnet --seed 7 --trials 3 --json r.json")).unwrap(),
+            Command::Faults {
+                net: "alexnet".into(),
+                seed: 7,
+                trials: 3,
+                json: Some("r.json".into()),
+                trace_out: None,
+            }
+        );
+        assert!(parse(&argv("faults tiny --trials 0")).is_err());
+    }
+
+    #[test]
+    fn execute_faults_tiny_is_clean_and_writes_reports() {
+        let json_path = std::env::temp_dir().join("abm_cli_faults_test.json");
+        let trace_path = std::env::temp_dir().join("abm_cli_faults_trace_test.json");
+        execute(&Command::Faults {
+            net: "tiny".into(),
+            seed: 3,
+            trials: 1,
+            json: Some(json_path.to_string_lossy().into_owned()),
+            trace_out: Some(trace_path.to_string_lossy().into_owned()),
+        })
+        .unwrap();
+        let report = std::fs::read_to_string(&json_path).unwrap();
+        assert!(report.contains("\"clean\": true"));
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        abm_telemetry::json::validate(&trace).unwrap();
+        assert!(trace.contains("fault"), "fault track missing from trace");
+        std::fs::remove_file(&json_path).ok();
+        std::fs::remove_file(&trace_path).ok();
     }
 
     #[test]

@@ -11,15 +11,19 @@
 //! * [`dse`] — design space exploration
 //! * [`verify`] — static invariant checking + the concurrency model checker
 //! * [`telemetry`] — zero-cost-when-disabled instrumentation + exporters
+//! * [`fault`] — typed errors, deterministic fault injection, campaign reports
+//! * [`campaign`] — the seeded fault-injection campaign over the model zoo
 //!
 //! See the README for a tour and `examples/` for runnable entry points.
 
 #![forbid(unsafe_code)]
 
+pub mod campaign;
 pub mod cli;
 
 pub use abm_conv as conv;
 pub use abm_dse as dse;
+pub use abm_fault as fault;
 pub use abm_model as model;
 pub use abm_sim as sim;
 pub use abm_sparse as sparse;

@@ -68,7 +68,7 @@ proptest! {
         let geom = Geometry::new(stride, pad);
         let reference = dense::conv2d(&input, &weights, geom);
         let code = LayerCode::encode(&weights).unwrap();
-        let result = abm::conv2d(&input, &code, geom);
+        let result = abm::conv2d(&input, &code, geom).unwrap();
         prop_assert_eq!(reference, result);
     }
 
@@ -104,8 +104,8 @@ proptest! {
         });
         let geom = Geometry::new(stride, pad).with_groups(groups);
         let code = LayerCode::encode(&weights).unwrap();
-        let (ref_out, ref_work) = abm::reference::conv2d_counted(&input, &code, geom);
-        let prepared = abm::PreparedConv::new(&code, in_shape, geom);
+        let (ref_out, ref_work) = abm::reference::conv2d_counted(&input, &code, geom).unwrap();
+        let prepared = abm::PreparedConv::try_new(&code, in_shape, geom).unwrap();
         let (out, work) = prepared.execute_counted(&input);
         prop_assert_eq!(ref_out, out);
         prop_assert_eq!(ref_work, work);

@@ -138,7 +138,9 @@ fn pinned_prepared_alexnet_conv_outputs() {
         });
         let code = LayerCode::encode(&layer.weights).unwrap();
         let geom = Geometry::new(spec.stride, spec.pad).with_groups(spec.groups);
-        let out = PreparedConv::new(&code, input.shape(), geom).execute(&input);
+        let out = PreparedConv::try_new(&code, input.shape(), geom)
+            .unwrap()
+            .execute(&input);
         let sum: i64 = out.as_slice().iter().sum();
         let max: i64 = out.as_slice().iter().copied().max().unwrap();
         measured.push((layer.name().to_string(), sum, max));

@@ -144,7 +144,7 @@ proptest! {
         let in_shape = Shape3::new(shape.in_channels, side, side);
         let code = LayerCode::encode(&weights).expect("small kernels encode");
 
-        let prepared = abm::PreparedConv::new(&code, in_shape, geom);
+        let prepared = abm::PreparedConv::try_new(&code, in_shape, geom).unwrap();
         let report = prepared.verify_against(&code);
         prop_assert!(report.is_clean(), "{}", report);
 
@@ -152,7 +152,7 @@ proptest! {
             ((((c + salt) * 131 + r * 37 + col * 11) % 255) as i16) - 127
         });
         let fast = prepared.execute(&input);
-        let oracle = abm::reference::conv2d(&input, &code, geom);
+        let oracle = abm::reference::conv2d(&input, &code, geom).unwrap();
         prop_assert_eq!(fast.as_slice(), oracle.as_slice());
     }
 }

@@ -1,0 +1,33 @@
+//! `cargo xtask faults [--smoke]` — the fault-injection campaign gate.
+//!
+//! Delegates to the `fault_campaign` example in a release build (the
+//! campaign runs full AlexNet/VGG16 inference per trial; a debug build
+//! would blow the CI smoke budget), forwarding `--smoke` through. The
+//! example exits non-zero when any injected fault is silent or
+//! detected-but-unrecovered, so a status check is the whole gate.
+
+use std::path::Path;
+use std::process::Command;
+
+/// Runs the campaign example, smoke or full.
+///
+/// # Errors
+///
+/// Returns a message when the campaign binary cannot be spawned or
+/// reports a dirty campaign (non-zero exit).
+pub fn run(root: &Path, smoke: bool) -> Result<(), String> {
+    let mut cmd = Command::new("cargo");
+    cmd.current_dir(root)
+        .args(["run", "--release", "--example", "fault_campaign"]);
+    if smoke {
+        cmd.args(["--", "--smoke"]);
+    }
+    let status = cmd
+        .status()
+        .map_err(|e| format!("failed to spawn cargo: {e}"))?;
+    if status.success() {
+        Ok(())
+    } else {
+        Err("fault campaign failed: silent or unrecovered faults (see report above)".into())
+    }
+}

@@ -9,7 +9,7 @@
 //!    accelerator model is pure arithmetic; nothing here justifies
 //!    `unsafe`, including the glue binaries.
 //! 2. **Panic-free core**: the non-test portions of the `tensor`,
-//!    `sparse`, `conv` and `sim` crates may not call `.unwrap()`,
+//!    `sparse`, `conv`, `sim` and `fault` crates may not call `.unwrap()`,
 //!    `.expect(...)` or `panic!` — errors in the numeric core must be
 //!    `Result`s or proven-unreachable states. Files listed in
 //!    `xtask/lint-allow.txt` are exempt, but every surviving site in
@@ -25,8 +25,10 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 /// Crates whose non-test code must be panic-free: everything on the
-/// path from a model file to an inference result or a cycle count.
-const PANIC_FREE_CRATES: [&str; 4] = ["tensor", "sparse", "conv", "sim"];
+/// path from a model file to an inference result or a cycle count,
+/// plus the fault/error layer itself (an error path that panics
+/// defeats the whole subsystem).
+const PANIC_FREE_CRATES: [&str; 5] = ["tensor", "sparse", "conv", "sim", "fault"];
 
 /// Relative path of the panic-site allowlist.
 const ALLOWLIST: &str = "xtask/lint-allow.txt";

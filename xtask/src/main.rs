@@ -5,6 +5,7 @@
 //! cargo xtask verify --zoo    # static verification of AlexNet + VGG16
 //! cargo xtask verify --net N  # ... of one zoo network
 //! cargo xtask mc              # exhaustive concurrency model-checker suite
+//! cargo xtask faults --smoke  # seeded fault-injection campaign gate
 //! ```
 //!
 //! All three commands exit non-zero on the first clean/dirty verdict
@@ -17,6 +18,7 @@
 
 #![forbid(unsafe_code)]
 
+mod faults;
 mod lint;
 mod zoo;
 
@@ -28,7 +30,8 @@ commands:
   lint                 source lint pass (unsafe-forbid, panic-free core paths)
   verify --zoo         statically verify every AlexNet + VGG16 layer
   verify --net <name>  statically verify one network (tiny|alexnet|vgg16|vgg19)
-  mc                   run the exhaustive interleaving model-checker suite";
+  mc                   run the exhaustive interleaving model-checker suite
+  faults [--smoke]     run the fault-injection campaign (smoke = AlexNet only)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -50,6 +53,11 @@ fn main() -> ExitCode {
             Some(other) => Err(format!("unknown verify flag '{other}'\n{USAGE}")),
         },
         Some("mc") => zoo::model_check(),
+        Some("faults") => match args.get(1).map(String::as_str) {
+            Some("--smoke") => faults::run(&root, true),
+            None => faults::run(&root, false),
+            Some(other) => Err(format!("unknown faults flag '{other}'\n{USAGE}")),
+        },
         Some(other) => Err(format!("unknown command '{other}'\n{USAGE}")),
         None => Err(USAGE.into()),
     };

@@ -20,7 +20,7 @@ use crate::host;
 use crate::parallel::{parallel_map_caught, Parallelism};
 use crate::sparse as csr_engine;
 use abm_fault::AbmError;
-use abm_model::{LayerKind, SparseLayer, SparseModel};
+use abm_model::{Layer, LayerKind, SparseLayer, SparseModel};
 use abm_sparse::{CsrKernel, LayerCode};
 use abm_telemetry::{FaultAction, TelemetrySink};
 use abm_tensor::fixed::{round_shift, saturate};
@@ -356,6 +356,100 @@ impl<'m> Inferencer<'m> {
         .collect()
     }
 
+    /// Runs a batch through a **layer-pipelined** executor — the
+    /// host-side mirror of the simulator's
+    /// [`PipelinedSchedule`](https://docs.rs/abm-sim): the network is
+    /// split into `n_stages` contiguous layer spans (balanced by
+    /// accelerated-layer count, with host-only layers riding along),
+    /// each span owned by one stage thread, and images stream between
+    /// stages over small bounded channels. Image `n` runs its
+    /// stage-`s` layers while image `n + 1` is still in stage `s - 1`.
+    ///
+    /// Every stage advances images with the same per-layer step the
+    /// sequential executors use, over the same shared read-only
+    /// [`PreparedWeights`], and an image's state never depends on any
+    /// other image — so the results are **bit-identical** to
+    /// [`run_batch_prepared`](Self::run_batch_prepared), logits and
+    /// per-layer traces alike (`tests/pipelined.rs` proves it with
+    /// proptest). Telemetry spans from stage `s` are tagged with track
+    /// `s`.
+    ///
+    /// `n_stages` is clamped to `1..=` the number of accelerated
+    /// layers, so any requested depth is safe.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AbmError::ShapeMismatch`] if any input's shape differs
+    /// from the network's input shape (checked up front, before any
+    /// stage spins up), and [`AbmError::NotPrepared`] if `prepared`
+    /// came from a differently-configured inferencer. A failing image's
+    /// error passes through the remaining stages untouched and the
+    /// first error in **input order** is returned, matching
+    /// [`run_batch_prepared`](Self::run_batch_prepared).
+    pub fn run_batch_pipelined(
+        &self,
+        prepared: &PreparedWeights,
+        inputs: &[Tensor3<i16>],
+        n_stages: usize,
+    ) -> Result<Vec<InferenceResult>, AbmError> {
+        for input in inputs {
+            self.check_input_shape(input)?;
+        }
+        let layers = self.model.network.layers();
+        let spans = stage_spans(layers, n_stages);
+        let mut slots: Vec<Option<Result<InferenceResult, AbmError>>> = Vec::new();
+        slots.resize_with(inputs.len(), || None);
+        std::thread::scope(|scope| {
+            // Feeder → stage 0 → … → last stage → collector (this
+            // thread). Depth-2 channels give each boundary one image of
+            // slack — enough to keep neighbours busy, small enough that
+            // a slow stage backpressures instead of buffering the batch.
+            let (first_tx, mut rx) =
+                crossbeam::channel::bounded::<(usize, Result<ImageState, AbmError>)>(2);
+            scope.spawn(move || {
+                for (idx, input) in inputs.iter().enumerate() {
+                    if first_tx.send((idx, Ok(self.begin_image(input)))).is_err() {
+                        break;
+                    }
+                }
+            });
+            for (s, span) in spans.iter().cloned().enumerate() {
+                let (tx, next_rx) = crossbeam::channel::bounded(2);
+                let rx_in = std::mem::replace(&mut rx, next_rx);
+                scope.spawn(move || {
+                    for (idx, state) in rx_in.iter() {
+                        let stepped = state.and_then(|mut st| {
+                            for layer in &layers[span.clone()] {
+                                self.step_layer(prepared, &mut st, layer, s as u32)?;
+                            }
+                            Ok(st)
+                        });
+                        if tx.send((idx, stepped)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            for (idx, state) in rx.iter() {
+                slots[idx] = Some(state.map(ImageState::finish));
+            }
+        });
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(item, slot)| {
+                // Every image leaves the pipeline exactly once; an empty
+                // slot means a stage thread died before forwarding it.
+                slot.unwrap_or_else(|| {
+                    Err(AbmError::WorkerPanic {
+                        item,
+                        message: "image lost in the stage pipeline".into(),
+                    })
+                })
+            })
+            .collect()
+    }
+
     /// Runs inference on a quantized input feature map.
     ///
     /// # Errors
@@ -393,89 +487,96 @@ impl<'m> Inferencer<'m> {
         input: &Tensor3<i16>,
         track: u32,
     ) -> Result<InferenceResult, AbmError> {
-        let net = &self.model.network;
         self.check_input_shape(input)?;
-        let mut features = input.clone();
-        let mut fmt = self.input_format;
-        let mut work = AbmWork::default();
-        let mut trace = Vec::new();
-        let mut accel_idx = 0usize;
-        let mut pre_softmax: Option<Vec<f32>> = None;
-        let mut probabilities = Vec::new();
-        let mut layer_max_activation = Vec::new();
-        let mut saturated_features = 0u64;
-        let mut total_features = 0u64;
-
-        for layer in net.layers() {
-            match &layer.kind {
-                LayerKind::Conv(spec) => {
-                    let sl = &self.model.layers[accel_idx];
-                    let geom = Geometry::new(spec.stride, spec.pad).with_groups(spec.groups);
-                    let (out, out_fmt, w, numerics) = self
-                        .conv_layer(&features, fmt, sl, prepared, accel_idx, geom, track)
-                        .map_err(|e| e.at_layer(accel_idx))?;
-                    layer_max_activation.push(numerics.max_real);
-                    saturated_features += numerics.saturated;
-                    total_features += out.len() as u64;
-                    accel_idx += 1;
-                    work.accumulations += w.accumulations;
-                    work.multiplications += w.multiplications;
-                    work.final_accumulations += w.final_accumulations;
-                    features = out;
-                    fmt = out_fmt;
-                }
-                LayerKind::FullyConnected(_) => {
-                    let sl = &self.model.layers[accel_idx];
-                    let flat = host::flatten(&features);
-                    let (out, out_fmt, w, numerics) = self
-                        .conv_layer(&flat, fmt, sl, prepared, accel_idx, Geometry::unit(), track)
-                        .map_err(|e| e.at_layer(accel_idx))?;
-                    layer_max_activation.push(numerics.max_real);
-                    saturated_features += numerics.saturated;
-                    total_features += out.len() as u64;
-                    accel_idx += 1;
-                    work.accumulations += w.accumulations;
-                    work.multiplications += w.multiplications;
-                    work.final_accumulations += w.final_accumulations;
-                    features = out;
-                    fmt = out_fmt;
-                }
-                LayerKind::Pool(spec) => features = host::pool(&features, *spec),
-                LayerKind::Relu => features = host::relu(&features),
-                LayerKind::Lrn(spec) => features = host::lrn(&features, fmt, spec),
-                LayerKind::Softmax => {
-                    let logits: Vec<f32> = features
-                        .as_slice()
-                        .iter()
-                        .map(|&v| fmt.dequantize(v as i32))
-                        .collect();
-                    probabilities = host::softmax(&logits);
-                    pre_softmax = Some(logits);
-                }
-            }
-            trace.push(LayerTrace {
-                name: layer.name.clone(),
-                shape: features.shape(),
-                format: fmt,
-            });
+        let mut state = self.begin_image(input);
+        for layer in self.model.network.layers() {
+            self.step_layer(prepared, &mut state, layer, track)?;
         }
+        Ok(state.finish())
+    }
 
-        let logits = pre_softmax.unwrap_or_else(|| {
-            features
-                .as_slice()
-                .iter()
-                .map(|&v| fmt.dequantize(v as i32))
-                .collect()
+    /// Starts an image's flow through the network: the per-image state
+    /// every layer step threads forward.
+    fn begin_image(&self, input: &Tensor3<i16>) -> ImageState {
+        ImageState {
+            features: input.clone(),
+            fmt: self.input_format,
+            work: AbmWork::default(),
+            trace: Vec::new(),
+            accel_idx: 0,
+            pre_softmax: None,
+            probabilities: Vec::new(),
+            layer_max_activation: Vec::new(),
+            saturated_features: 0,
+            total_features: 0,
+        }
+    }
+
+    /// Advances an image through exactly one network layer. The
+    /// sequential and pipelined executors share this step, which is
+    /// what makes them bit-identical by construction: an image's state
+    /// never depends on any other image, only on the shared read-only
+    /// [`PreparedWeights`].
+    fn step_layer(
+        &self,
+        prepared: &PreparedWeights,
+        state: &mut ImageState,
+        layer: &Layer,
+        track: u32,
+    ) -> Result<(), AbmError> {
+        match &layer.kind {
+            LayerKind::Conv(spec) => {
+                let sl = &self.model.layers[state.accel_idx];
+                let geom = Geometry::new(spec.stride, spec.pad).with_groups(spec.groups);
+                let (out, out_fmt, w, numerics) = self
+                    .conv_layer(
+                        &state.features,
+                        state.fmt,
+                        sl,
+                        prepared,
+                        state.accel_idx,
+                        geom,
+                        track,
+                    )
+                    .map_err(|e| e.at_layer(state.accel_idx))?;
+                state.absorb_accelerated(out, out_fmt, w, numerics);
+            }
+            LayerKind::FullyConnected(_) => {
+                let sl = &self.model.layers[state.accel_idx];
+                let flat = host::flatten(&state.features);
+                let (out, out_fmt, w, numerics) = self
+                    .conv_layer(
+                        &flat,
+                        state.fmt,
+                        sl,
+                        prepared,
+                        state.accel_idx,
+                        Geometry::unit(),
+                        track,
+                    )
+                    .map_err(|e| e.at_layer(state.accel_idx))?;
+                state.absorb_accelerated(out, out_fmt, w, numerics);
+            }
+            LayerKind::Pool(spec) => state.features = host::pool(&state.features, *spec),
+            LayerKind::Relu => state.features = host::relu(&state.features),
+            LayerKind::Lrn(spec) => state.features = host::lrn(&state.features, state.fmt, spec),
+            LayerKind::Softmax => {
+                let logits: Vec<f32> = state
+                    .features
+                    .as_slice()
+                    .iter()
+                    .map(|&v| state.fmt.dequantize(v as i32))
+                    .collect();
+                state.probabilities = host::softmax(&logits);
+                state.pre_softmax = Some(logits);
+            }
+        }
+        state.trace.push(LayerTrace {
+            name: layer.name.clone(),
+            shape: state.features.shape(),
+            format: state.fmt,
         });
-        Ok(InferenceResult {
-            logits,
-            probabilities,
-            work,
-            trace,
-            layer_max_activation,
-            saturated_features,
-            total_features,
-        })
+        Ok(())
     }
 
     /// Executes one accelerated layer: convolve exactly, then rescale to
@@ -665,6 +766,100 @@ fn detector_name(e: &AbmError) -> &'static str {
         AbmError::InputCorrupt { .. } => "input-checksum",
         _ => "guard",
     }
+}
+
+/// The state one image threads through the network — created by
+/// `begin_image`, advanced layer by layer by `step_layer`, consumed by
+/// [`finish`](Self::finish). It is self-contained per image (no shared
+/// mutable state), which is what lets the pipelined executor hand it
+/// between stage threads without changing a single computed bit.
+#[derive(Debug, Clone)]
+struct ImageState {
+    features: Tensor3<i16>,
+    fmt: QFormat,
+    work: AbmWork,
+    trace: Vec<LayerTrace>,
+    accel_idx: usize,
+    pre_softmax: Option<Vec<f32>>,
+    probabilities: Vec<f32>,
+    layer_max_activation: Vec<f32>,
+    saturated_features: u64,
+    total_features: u64,
+}
+
+impl ImageState {
+    /// Folds one accelerated layer's output into the running state.
+    fn absorb_accelerated(
+        &mut self,
+        out: Tensor3<i16>,
+        out_fmt: QFormat,
+        w: AbmWork,
+        numerics: LayerNumerics,
+    ) {
+        self.layer_max_activation.push(numerics.max_real);
+        self.saturated_features += numerics.saturated;
+        self.total_features += out.len() as u64;
+        self.accel_idx += 1;
+        self.work.accumulations += w.accumulations;
+        self.work.multiplications += w.multiplications;
+        self.work.final_accumulations += w.final_accumulations;
+        self.features = out;
+        self.fmt = out_fmt;
+    }
+
+    /// Packages the finished image: logits are the pre-softmax
+    /// activations if a softmax ran, else the dequantized features.
+    fn finish(self) -> InferenceResult {
+        let logits = self.pre_softmax.unwrap_or_else(|| {
+            self.features
+                .as_slice()
+                .iter()
+                .map(|&v| self.fmt.dequantize(v as i32))
+                .collect()
+        });
+        InferenceResult {
+            logits,
+            probabilities: self.probabilities,
+            work: self.work,
+            trace: self.trace,
+            layer_max_activation: self.layer_max_activation,
+            saturated_features: self.saturated_features,
+            total_features: self.total_features,
+        }
+    }
+}
+
+/// Splits the network's layers into at most `n_stages` contiguous
+/// spans, balanced by accelerated-layer count; host-only layers (pool,
+/// ReLU, LRN, softmax) ride with the accelerated layer they follow.
+/// The stage count is clamped to the number of accelerated layers, so
+/// no span is ever left without real work.
+fn stage_spans(layers: &[Layer], n_stages: usize) -> Vec<std::ops::Range<usize>> {
+    let accel: Vec<usize> = layers
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| matches!(l.kind, LayerKind::Conv(_) | LayerKind::FullyConnected(_)))
+        .map(|(i, _)| i)
+        .collect();
+    let stages = n_stages.clamp(1, accel.len().max(1));
+    let base = accel.len() / stages;
+    let extra = accel.len() % stages;
+    let mut spans = Vec::with_capacity(stages);
+    let mut start = 0usize;
+    let mut taken = 0usize;
+    for s in 0..stages {
+        taken += base + usize::from(s < extra);
+        let end = if s + 1 == stages {
+            layers.len()
+        } else {
+            // Cut right before the next group's first accelerated
+            // layer, so trailing host layers stay with their producer.
+            accel[taken]
+        };
+        spans.push(start..end);
+        start = end;
+    }
+    spans
 }
 
 /// Numeric side-channel of one accelerated layer's requantization.

@@ -36,6 +36,7 @@ pub mod device;
 pub mod explore;
 pub mod flow;
 pub mod perf;
+pub mod pipeline;
 pub mod resource;
 pub mod roofline;
 
@@ -44,5 +45,6 @@ pub use device::FpgaDevice;
 pub use explore::{explore_nknl, explore_sec_ncu, DesignPoint};
 pub use flow::{run_flow, FlowResult};
 pub use perf::{estimate_network, PerfEstimate};
+pub use pipeline::{explore_pipeline, PipelineDesign, PipelineExploration, PIPELINE_FMAX_BOOST};
 pub use resource::{ResourceEstimate, ResourceModel};
 pub use roofline::{compute as compute_roofline, Roofline};

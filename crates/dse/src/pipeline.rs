@@ -1,0 +1,354 @@
+//! The pipelined-vs-time-multiplexed design-space axis.
+//!
+//! The paper's accelerator time-multiplexes all `N_cu` CUs over one
+//! layer at a time. HPIPE-style layer pipelining (Hall & Betz,
+//! arXiv:2007.10451) instead dedicates hardware per layer group and
+//! streams images through: each stage becomes a smaller, simpler
+//! design, which is exactly why HPIPE closes timing far above the
+//! monolithic design's Fmax. This module explores that trade under the
+//! Section 5.1 resource model:
+//!
+//! * **streaming, same silicon** — the paper configuration's lanes
+//!   repartitioned into stages at the nominal clock: overlap alone;
+//! * **streaming, retimed stages** — the lane budget regrown to the
+//!   device's post-partition headroom and the clock raised by
+//!   [`PIPELINE_FMAX_BOOST`] (then derated through the
+//!   [`achievable_freq_mhz`] droop model at the design's ALM
+//!   utilization).
+//!
+//! Every candidate is evaluated by the cycle-accurate dataflow
+//! simulator, and each evaluation is **gated by a sim-vs-analytic
+//! consistency check**: the measured makespan must lie inside the
+//! analytic bracket `[bottleneck busy, bottleneck + one-image fill]`
+//! (perfect row-granular overlap at the lower end, whole-image
+//! staging at the upper), within a tolerance, or the design point is
+//! reported with a [`Defect::ModelDivergence`] and excluded from
+//! selection — the same discipline `check_consistency` applies to the
+//! time-multiplexed flow.
+//!
+//! Per-stage resources come from the same linear model: Equations 8–10
+//! are linear in `N_knl` per CU, so a heterogeneous stage partition
+//! with the same total CU and lane counts sums to the same totals as
+//! the homogeneous configuration the estimate is evaluated on.
+
+use crate::device::FpgaDevice;
+use crate::resource::{achievable_freq_mhz, ResourceEstimate, ResourceModel};
+use abm_sim::task::Workload;
+use abm_sim::{
+    plan_pipeline, simulate_pipeline, simulate_sequential_batch, AcceleratorConfig,
+    PipelineOptions, PipelineSim, PlanError,
+};
+use abm_verify::{Defect, Metric, VerifyReport};
+
+/// Clock multiplier a stage-partitioned design can close over the
+/// monolithic one. HPIPE (arXiv:2007.10451) retimes its per-layer
+/// stages to 1.5–2× the frequencies monolithic CNN accelerators reach
+/// on the same FPGA family; we take the conservative end.
+pub const PIPELINE_FMAX_BOOST: f64 = 1.5;
+
+/// Relative makespan tolerance for the sim-vs-analytic gate.
+pub const MAKESPAN_TOLERANCE: f64 = 0.10;
+
+/// One evaluated point on the pipelining axis.
+#[derive(Debug, Clone)]
+pub struct PipelineDesign {
+    /// Human-readable candidate name.
+    pub label: String,
+    /// Stages the planner partitioned the network into.
+    pub n_stages: usize,
+    /// Total kernel lanes across all stages.
+    pub lane_budget: usize,
+    /// Clock the design runs at, after the utilization droop.
+    pub freq_mhz: f64,
+    /// Linear-model resource estimate for the staged design.
+    pub resources: ResourceEstimate,
+    /// ALM utilization on the target device.
+    pub alm_utilization: f64,
+    /// Whether the design fits the device (DSP/M20K hard, ALM ≤ 100%).
+    pub feasible: bool,
+    /// Measured batch throughput from the dataflow simulator.
+    pub images_per_second: f64,
+    /// Throughput relative to the time-multiplexed baseline.
+    pub speedup: f64,
+    /// The sim-vs-analytic consistency gate for this point: clean, or
+    /// one `model_divergence` defect naming the makespan gap.
+    pub consistency: VerifyReport,
+}
+
+impl PipelineDesign {
+    /// A design is selectable only when it fits the device *and* its
+    /// simulation agrees with the analytic model.
+    #[must_use]
+    pub fn selectable(&self) -> bool {
+        self.feasible && self.consistency.is_clean()
+    }
+}
+
+/// The full pipelining exploration for one network.
+#[derive(Debug, Clone)]
+pub struct PipelineExploration {
+    /// Baseline: all lanes time-multiplexed over one layer at a time,
+    /// at the baseline configuration's droop-derated clock.
+    pub sequential_images_per_second: f64,
+    /// Evaluated pipelined candidates.
+    pub designs: Vec<PipelineDesign>,
+}
+
+impl PipelineExploration {
+    /// The fastest selectable (feasible + consistency-clean) candidate.
+    #[must_use]
+    pub fn best(&self) -> Option<&PipelineDesign> {
+        self.designs
+            .iter()
+            .filter(|d| d.selectable())
+            .max_by(|a, b| a.images_per_second.total_cmp(&b.images_per_second))
+    }
+
+    /// Whether the axis pays off: some selectable pipelined design
+    /// out-throughputs the time-multiplexed baseline.
+    #[must_use]
+    pub fn recommends_pipelining(&self) -> bool {
+        self.best()
+            .is_some_and(|d| d.images_per_second > self.sequential_images_per_second)
+    }
+}
+
+/// Steady-state analytic makespan bracket for a pipelined batch.
+/// Stage busy times are themselves analytic (row units execute back to
+/// back — the dataflow simulator's work-conservation invariant), and
+/// the true makespan is pinched between two closed forms:
+///
+/// * **lower** — the bottleneck stage's whole-batch busy time (and, for
+///   shallow batches, one image's serial pass through every stage):
+///   what perfect row-granular overlap would achieve;
+/// * **upper** — the bottleneck plus one *whole image's* busy time
+///   through every other stage: fill and drain at image granularity,
+///   as if stages handed off complete feature maps.
+///
+/// The dataflow simulator streams rows, not images, so its measured
+/// makespan must land inside this bracket; escaping it in either
+/// direction means the simulation and the cost model disagree about
+/// the work itself.
+fn analytic_makespan_bounds(sim: &PipelineSim) -> (f64, f64) {
+    let batch = sim.batch.max(1) as u64;
+    let bottleneck = sim.stages.iter().map(|s| s.busy_cycles).max().unwrap_or(0);
+    let one_image: u64 = sim.stages.iter().map(|s| s.busy_cycles / batch).sum();
+    let fill = one_image - bottleneck / batch;
+    let lower = bottleneck.max(one_image);
+    (lower as f64, (bottleneck + fill) as f64)
+}
+
+/// Gates one simulated design against the analytic bracket.
+fn consistency_gate(label: &str, sim: &PipelineSim) -> VerifyReport {
+    let mut report = VerifyReport::new(label);
+    let (lower, upper) = analytic_makespan_bounds(sim);
+    let measured = sim.makespan_cycles as f64;
+    if measured < lower * (1.0 - MAKESPAN_TOLERANCE) {
+        report.defect(Defect::ModelDivergence {
+            layer: "pipeline-makespan".into(),
+            metric: Metric::Cycles,
+            measured,
+            model: lower,
+            tolerance: MAKESPAN_TOLERANCE,
+        });
+    } else if measured > upper * (1.0 + MAKESPAN_TOLERANCE) {
+        report.defect(Defect::ModelDivergence {
+            layer: "pipeline-makespan".into(),
+            metric: Metric::Cycles,
+            measured,
+            model: upper,
+            tolerance: MAKESPAN_TOLERANCE,
+        });
+    } else {
+        report.facts += 1;
+    }
+    report
+}
+
+/// The largest uniform per-CU lane count whose staged design still
+/// fits the device at the knee of the frequency droop (so the boosted
+/// clock is not immediately eaten back by routing pressure).
+fn max_staged_n_knl(model: &ResourceModel, device: &FpgaDevice, base: &AcceleratorConfig) -> usize {
+    let mut best = base.n_knl;
+    for n_knl in base.n_knl..=64 {
+        let cfg = AcceleratorConfig { n_knl, ..*base };
+        if model.estimate(&cfg).fits(device, 0.72) {
+            best = n_knl;
+        }
+    }
+    best
+}
+
+/// Silicon and baseline context shared by every candidate evaluation.
+struct EvalEnv<'a> {
+    resources: ResourceEstimate,
+    device: &'a FpgaDevice,
+    sequential_ips: f64,
+}
+
+fn evaluate(
+    label: &str,
+    workloads: &[Workload],
+    base: &AcceleratorConfig,
+    opts: &PipelineOptions,
+    batch: usize,
+    env: EvalEnv<'_>,
+) -> Result<PipelineDesign, PlanError> {
+    let schedule = plan_pipeline(workloads, base, opts, batch)?;
+    let sim = simulate_pipeline(workloads, base, &schedule, batch);
+    let (alm_utilization, _, _) = env.resources.utilization(env.device);
+    Ok(PipelineDesign {
+        label: label.to_string(),
+        n_stages: schedule.stages.len(),
+        lane_budget: opts.lane_budget,
+        freq_mhz: opts.freq_mhz,
+        resources: env.resources,
+        alm_utilization,
+        feasible: env.resources.fits(env.device, 1.0),
+        images_per_second: sim.images_per_second(),
+        speedup: sim.images_per_second() / env.sequential_ips,
+        consistency: consistency_gate(label, &sim),
+    })
+}
+
+/// Explores the pipelining axis for one lowered network: the
+/// time-multiplexed baseline against stage-streamed designs at the
+/// nominal and retimed clocks, every point simulated by the dataflow
+/// engine and gated for sim-vs-analytic consistency.
+///
+/// # Errors
+///
+/// Returns the planner's [`PlanError`] if the network cannot be
+/// partitioned at all under `base` (fewer layers than CUs, say) —
+/// individual infeasible *candidates* are reported, not errors.
+pub fn explore_pipeline(
+    workloads: &[Workload],
+    base: &AcceleratorConfig,
+    device: &FpgaDevice,
+    model: &ResourceModel,
+    batch: usize,
+) -> Result<PipelineExploration, PlanError> {
+    let base_resources = model.estimate(base);
+    let (base_alm, _, _) = base_resources.utilization(device);
+    let base_freq = achievable_freq_mhz(base.freq_mhz, base_alm);
+
+    // Time-multiplexed baseline: every lane on one layer at a time.
+    let seq = simulate_sequential_batch(workloads, base, batch);
+    let sequential_ips = batch as f64 / (seq.total_cycles as f64 / (base_freq * 1e6));
+
+    let mut designs = Vec::new();
+
+    // Candidate 1: the baseline silicon, repartitioned into stages at
+    // the droop-derated nominal clock — isolates the overlap win.
+    let same = PipelineOptions {
+        freq_mhz: base_freq,
+        ..PipelineOptions::for_config(base)
+    };
+    designs.push(evaluate(
+        "streaming@nominal",
+        workloads,
+        base,
+        &same,
+        batch,
+        EvalEnv {
+            resources: base_resources,
+            device,
+            sequential_ips,
+        },
+    )?);
+
+    // Candidate 2: regrow the lane budget to the device's headroom at
+    // the droop knee and retime the simpler stages to the boosted
+    // clock — the HPIPE configuration.
+    let n_knl = max_staged_n_knl(model, device, base);
+    let grown = AcceleratorConfig { n_knl, ..*base };
+    let grown_resources = model.estimate(&grown);
+    let (grown_alm, _, _) = grown_resources.utilization(device);
+    let boosted = PipelineOptions {
+        lane_budget: grown.n_cu * grown.n_knl,
+        freq_mhz: achievable_freq_mhz(base.freq_mhz * PIPELINE_FMAX_BOOST, grown_alm),
+        ..PipelineOptions::for_config(base)
+    };
+    designs.push(evaluate(
+        "streaming+retimed",
+        workloads,
+        base,
+        &boosted,
+        batch,
+        EvalEnv {
+            resources: grown_resources,
+            device,
+            sequential_ips,
+        },
+    )?);
+
+    Ok(PipelineExploration {
+        sequential_images_per_second: sequential_ips,
+        designs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abm_model::{synthesize_model, zoo, LayerProfile, PruneProfile};
+
+    fn tiny_workloads() -> Vec<Workload> {
+        let net = zoo::tiny();
+        let profile = PruneProfile::uniform(LayerProfile::new(0.5, 8));
+        let model = synthesize_model(&net, &profile, 9);
+        model
+            .layers
+            .iter()
+            .map(|l| Workload::from_layer(l).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn exploration_produces_two_gated_candidates() {
+        let w = tiny_workloads();
+        let cfg = AcceleratorConfig::paper();
+        let dev = FpgaDevice::stratix_v_gxa7();
+        let model = ResourceModel::paper();
+        let exp = explore_pipeline(&w, &cfg, &dev, &model, 4).unwrap();
+        assert!(exp.sequential_images_per_second > 0.0);
+        assert_eq!(exp.designs.len(), 2);
+        for d in &exp.designs {
+            assert!(d.images_per_second > 0.0, "{}", d.label);
+            assert!(d.lane_budget >= cfg.n_cu * cfg.n_knl, "{}", d.label);
+            assert!(d.consistency.is_clean(), "{}: {}", d.label, d.consistency);
+        }
+        // The retimed candidate grows the budget and keeps the clock at
+        // or above nominal even after the droop.
+        assert!(exp.designs[1].lane_budget >= exp.designs[0].lane_budget);
+        assert!(exp.designs[1].freq_mhz > exp.designs[0].freq_mhz);
+    }
+
+    #[test]
+    fn boosted_design_is_selectable_and_recommended() {
+        let w = tiny_workloads();
+        let cfg = AcceleratorConfig::paper();
+        let dev = FpgaDevice::stratix_v_gxa7();
+        let model = ResourceModel::paper();
+        let exp = explore_pipeline(&w, &cfg, &dev, &model, 8).unwrap();
+        let best = exp.best().expect("some candidate is selectable");
+        assert!(best.feasible);
+        assert!(exp.recommends_pipelining(), "best {:?}", best.label);
+    }
+
+    #[test]
+    fn divergent_points_are_named_not_hidden() {
+        // Force a divergence by lying to the gate: a single-image
+        // "batch" has no steady state, so fill dominates — but the
+        // analytic form still holds there. Check instead that the gate
+        // machinery produces the exact defect class on a synthetic gap.
+        let w = tiny_workloads();
+        let cfg = AcceleratorConfig::paper();
+        let opts = PipelineOptions::for_config(&cfg);
+        let schedule = plan_pipeline(&w, &cfg, &opts, 2).unwrap();
+        let mut sim = simulate_pipeline(&w, &cfg, &schedule, 2);
+        sim.makespan_cycles *= 3; // a stall the model cannot explain
+        let report = consistency_gate("synthetic", &sim);
+        assert!(report.has_class("model_divergence"), "{report}");
+    }
+}

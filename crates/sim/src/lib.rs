@@ -59,6 +59,7 @@ pub mod fault;
 pub mod lane;
 pub mod memory;
 pub mod parallel;
+pub mod pipeline;
 pub mod run;
 pub mod sched;
 pub mod task;
@@ -69,10 +70,16 @@ pub use config::{AcceleratorConfig, ConfigError};
 pub use fault::{simulate_network_budgeted, simulate_workload_guarded, SimBudget, Watchdog};
 pub use memory::MemorySystem;
 pub use parallel::{simulate_network_par, simulate_network_with_parallelism, Parallelism};
+pub use pipeline::{
+    plan_pipeline, simulate_pipeline, simulate_pipeline_collected, simulate_pipeline_guarded,
+    simulate_sequential_batch, PipelineOptions, PipelineSim, PlanError, SequentialBatchSim,
+};
 pub use run::{
     simulate_layer, simulate_layer_with, simulate_network, simulate_network_collected,
     simulate_network_with, LayerSim, NetworkSim, SimSummary,
 };
-pub use sched::SchedulingPolicy;
+pub use sched::{PipelineStage, PipelinedSchedule, SchedulingPolicy};
 pub use telemetry::network_report;
-pub use verify::{verify_workload, verify_workload_lowering, verify_workload_schedule};
+pub use verify::{
+    verify_pipelined_schedule, verify_workload, verify_workload_lowering, verify_workload_schedule,
+};

@@ -17,6 +17,80 @@ pub enum SchedulingPolicy {
     LockStep,
 }
 
+/// One stage of a layer-pipelined schedule: a contiguous span of
+/// network layers bound to a dedicated slice of the accelerator's CUs,
+/// with its own (heterogeneous) kernel-lane count — the HPIPE idea of
+/// per-layer hardware, quantized to whole CUs.
+///
+/// Stages communicate through inter-stage FIFOs holding whole feature
+/// rows; `fifo_rows` is the provisioned depth of the FIFO feeding this
+/// stage (stage 0 reads the input image directly and carries 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PipelineStage {
+    /// First CU owned by this stage.
+    pub cu_start: usize,
+    /// Number of CUs owned by this stage (disjoint across stages).
+    pub cu_count: usize,
+    /// Kernel lanes per owned CU — stages are heterogeneous, so a
+    /// heavy stage can carry more lanes than `AcceleratorConfig::n_knl`
+    /// as long as the whole pipeline stays within the lane budget.
+    pub n_knl: usize,
+    /// First workload (layer) index executed by this stage.
+    pub layer_start: usize,
+    /// One past the last workload index executed by this stage.
+    pub layer_end: usize,
+    /// Provisioned depth, in feature rows, of the FIFO feeding this
+    /// stage from its predecessor (0 for stage 0).
+    pub fifo_rows: usize,
+}
+
+impl PipelineStage {
+    /// Total kernel lanes this stage owns.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.cu_count * self.n_knl
+    }
+
+    /// Number of layers this stage executes.
+    #[must_use]
+    pub fn layer_count(&self) -> usize {
+        self.layer_end.saturating_sub(self.layer_start)
+    }
+}
+
+/// A layer-pipelined schedule: an ordered partition of the network's
+/// layers into [`PipelineStage`]s that stream images through sized
+/// inter-stage row FIFOs, so image `n`'s layer `L` runs concurrently
+/// with image `n+1`'s layer `L-1`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelinedSchedule {
+    /// The stages, in layer order. Stage `s+1` consumes stage `s`'s
+    /// output rows through the FIFO sized by `stages[s+1].fifo_rows`.
+    pub stages: Vec<PipelineStage>,
+    /// Clock the pipelined design closes timing at. The planner
+    /// defaults to the sequential design's clock (a resource-neutral
+    /// comparison); the DSE may raise it, following HPIPE's
+    /// observation that per-layer hardware with static routing closes
+    /// at a higher Fmax than a shared time-multiplexed datapath.
+    pub freq_mhz: f64,
+}
+
+impl PipelinedSchedule {
+    /// Total kernel lanes across all stages.
+    #[must_use]
+    pub fn total_lanes(&self) -> usize {
+        self.stages.iter().map(PipelineStage::lanes).sum()
+    }
+
+    /// The stage executing workload index `layer`, if any.
+    #[must_use]
+    pub fn stage_of(&self, layer: usize) -> Option<usize> {
+        self.stages
+            .iter()
+            .position(|s| (s.layer_start..s.layer_end).contains(&layer))
+    }
+}
+
 /// Outcome of scheduling one window's tasks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct WindowSchedule {

@@ -11,11 +11,12 @@
 
 use crate::config::AcceleratorConfig;
 use crate::lane;
-use crate::sched::{schedule_window_with, SchedulingPolicy};
+use crate::pipeline::simulate_pipeline;
+use crate::sched::{schedule_window_with, PipelinedSchedule, SchedulingPolicy};
 use crate::task::Workload;
 use abm_verify::{
-    verify_lowering, verify_schedule, AccumulatorModel, ConvGeometry, KernelFacts, ScheduleParams,
-    TaskSpan, VerifyReport,
+    verify_lowering, verify_pipeline, verify_schedule, AccumulatorModel, BoundaryFacts,
+    ConvGeometry, KernelFacts, PipelineParams, ScheduleParams, StageFacts, TaskSpan, VerifyReport,
 };
 
 /// The lowering geometry a workload's flat code was built against,
@@ -141,6 +142,53 @@ pub fn verify_workload(w: &Workload, cfg: &AcceleratorConfig) -> VerifyReport {
         SchedulingPolicy::default(),
     ));
     report
+}
+
+/// Runs the `abm-verify` pipelined-schedule pass: structural checks
+/// from the schedule alone, then — only when the structure is sound
+/// enough to stream — the unbounded dataflow run whose measured row
+/// high-water marks feed the FIFO feasibility check.
+#[must_use]
+pub fn verify_pipelined_schedule(
+    workloads: &[Workload],
+    cfg: &AcceleratorConfig,
+    schedule: &PipelinedSchedule,
+    batch: usize,
+) -> VerifyReport {
+    let params = PipelineParams {
+        n_cu: cfg.n_cu,
+        n_layers: workloads.len(),
+    };
+    let stages: Vec<StageFacts> = schedule
+        .stages
+        .iter()
+        .enumerate()
+        .map(|(i, s)| StageFacts {
+            stage: i,
+            cu_start: s.cu_start,
+            cu_count: s.cu_count,
+            layer_start: s.layer_start,
+            layer_end: s.layer_end,
+        })
+        .collect();
+    let structural = verify_pipeline("pipelined-schedule", &params, &stages, &[]);
+    if !structural.is_clean() {
+        // A broken partition cannot stream; keep the structural
+        // defects and skip the dataflow half.
+        return structural;
+    }
+    let sim = simulate_pipeline(workloads, cfg, schedule, batch);
+    let boundaries: Vec<BoundaryFacts> = schedule.stages[1..]
+        .iter()
+        .zip(&sim.boundaries)
+        .enumerate()
+        .map(|(b, (stage, obs))| BoundaryFacts {
+            boundary: b,
+            declared_rows: stage.fifo_rows,
+            observed_rows: obs.high_water_rows,
+        })
+        .collect();
+    verify_pipeline("pipelined-schedule", &params, &stages, &boundaries)
 }
 
 #[cfg(test)]

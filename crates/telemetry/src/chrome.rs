@@ -49,6 +49,9 @@ pub struct ChromeTrace {
 pub const PID_ACCELERATOR: u32 = 0;
 /// The host process id.
 pub const PID_HOST: u32 = 1;
+/// The pipelined-accelerator process id (one track per pipeline
+/// stage, timestamps in clock cycles like [`PID_ACCELERATOR`]).
+pub const PID_PIPELINE: u32 = 2;
 /// The host-process track id fault events render on — far above any
 /// plausible worker index so it never collides with a worker track.
 pub const TID_FAULTS: u32 = 999;
@@ -97,6 +100,7 @@ impl ChromeTrace {
         let mut trace = Self::new();
         let mut cus_seen: Vec<u32> = Vec::new();
         let mut workers_seen: Vec<u32> = Vec::new();
+        let mut stages_seen: Vec<u32> = Vec::new();
         let mut faults_seen = false;
         for e in events {
             match e {
@@ -139,6 +143,28 @@ impl ChromeTrace {
                         args: vec![("ops".to_string(), ops.to_string())],
                     });
                 }
+                Event::StageSpan {
+                    stage,
+                    img,
+                    layer,
+                    start,
+                    end,
+                } => {
+                    if !stages_seen.contains(stage) {
+                        stages_seen.push(*stage);
+                    }
+                    trace.span(Span {
+                        pid: PID_PIPELINE,
+                        tid: *stage,
+                        name: format!("img{img}·{}", name_of(*layer)),
+                        ts: *start,
+                        dur: end - start,
+                        args: vec![
+                            ("img".to_string(), img.to_string()),
+                            ("layer".to_string(), layer.to_string()),
+                        ],
+                    });
+                }
                 Event::Fault {
                     layer,
                     action,
@@ -167,6 +193,9 @@ impl ChromeTrace {
         }
         for w in workers_seen {
             trace.name_track(PID_HOST, w, format!("worker{w}"));
+        }
+        for s in stages_seen {
+            trace.name_track(PID_PIPELINE, s, format!("stage{s}"));
         }
         if faults_seen {
             trace.name_track(PID_HOST, TID_FAULTS, "faults");

@@ -111,6 +111,32 @@ pub enum Event {
         /// Wall-clock nanoseconds the worker spent executing tasks.
         busy_ns: u64,
     },
+    /// One pipeline stage executed a contiguous run of row units of
+    /// one image's layer (cycle-domain; rendered on a per-stage track
+    /// in the Chrome trace).
+    StageSpan {
+        /// Pipeline stage index.
+        stage: u32,
+        /// Image index within the streamed batch.
+        img: u32,
+        /// Workload (layer) index the rows belong to.
+        layer: u32,
+        /// Timeline cycle the first merged row unit issued.
+        start: u64,
+        /// Timeline cycle the last merged row unit retired.
+        end: u64,
+    },
+    /// Inter-stage FIFO occupancy summary for one pipeline boundary:
+    /// the deepest simultaneous row occupancy observed against the
+    /// provisioned depth.
+    StageFifo {
+        /// Boundary index (between stage `b` and `b+1`).
+        boundary: u32,
+        /// Deepest observed occupancy, in rows.
+        high_water: u32,
+        /// Provisioned depth, in rows.
+        depth: u32,
+    },
     /// A resilience event: a fault was injected, detected, masked or
     /// recovered from. Rendered on a dedicated "faults" track in the
     /// Chrome trace so campaigns line up against the layer timeline.

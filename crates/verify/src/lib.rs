@@ -37,10 +37,12 @@
 
 pub mod lowering;
 pub mod mc;
+pub mod pipeline;
 pub mod report;
 pub mod schedule;
 
 pub use lowering::{verify_lowering, AccumulatorModel, ConvGeometry};
 pub use mc::{explore, standard_suite, DequeFault, DequeModel, FifoFault, FifoModel, Model};
+pub use pipeline::{verify_pipeline, BoundaryFacts, PipelineParams, StageFacts};
 pub use report::{Axis, Defect, Metric, VerifyReport};
 pub use schedule::{verify_schedule, KernelFacts, ScheduleParams, TaskSpan};

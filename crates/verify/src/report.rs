@@ -239,6 +239,38 @@ pub enum Defect {
         /// Vector width.
         s_ec: usize,
     },
+    // ---- pipelined schedules ----
+    /// A layer is not covered by exactly one pipeline stage: the
+    /// streamed image would skip it (gap) or execute it twice
+    /// (overlap).
+    StageCoverageGap {
+        /// Workload (layer) index.
+        layer: usize,
+        /// How many stages claim the layer.
+        covers: usize,
+    },
+    /// A CU is owned by two pipeline stages at once — unlike the
+    /// time-multiplexed schedule, pipelined stages hold their CUs for
+    /// the whole run, so ownership must be disjoint.
+    StageCuOverlap {
+        /// The double-booked CU.
+        cu: usize,
+        /// First stage claiming it.
+        first_stage: usize,
+        /// Second stage claiming it.
+        second_stage: usize,
+    },
+    /// An inter-stage FIFO is declared shallower than the row
+    /// occupancy the dataflow actually reaches — the pipeline would
+    /// backpressure (or drop rows) at that boundary.
+    StageFifoUndersized {
+        /// Boundary index (between stage `b` and `b+1`).
+        boundary: usize,
+        /// Declared depth, in rows.
+        declared_rows: usize,
+        /// Observed occupancy high water, in rows.
+        observed_rows: usize,
+    },
     // ---- model checking ----
     /// The exhaustive-interleaving explorer found a reachable state
     /// violating an invariant (or a deadlocked / bad terminal state).
@@ -292,6 +324,9 @@ impl Defect {
             Defect::WeightBufferOverflow { .. } => "weight_buffer_overflow",
             Defect::QTableOverflow { .. } => "q_table_overflow",
             Defect::UnfairRoundRobin { .. } => "unfair_round_robin",
+            Defect::StageCoverageGap { .. } => "stage_coverage_gap",
+            Defect::StageCuOverlap { .. } => "stage_cu_overlap",
+            Defect::StageFifoUndersized { .. } => "stage_fifo_undersized",
             Defect::InterleavingViolation { .. } => "interleaving_violation",
             Defect::ModelDivergence { .. } => "model_divergence",
         }
@@ -415,6 +450,26 @@ impl fmt::Display for Defect {
             Defect::UnfairRoundRobin { n, s_ec } => write!(
                 f,
                 "N={n} does not divide S_ec={s_ec}: round-robin groups non-uniform"
+            ),
+            Defect::StageCoverageGap { layer, covers } => write!(
+                f,
+                "layer {layer} covered by {covers} stages (must be exactly 1)"
+            ),
+            Defect::StageCuOverlap {
+                cu,
+                first_stage,
+                second_stage,
+            } => write!(
+                f,
+                "CU {cu} owned by stages {first_stage} and {second_stage} at once"
+            ),
+            Defect::StageFifoUndersized {
+                boundary,
+                declared_rows,
+                observed_rows,
+            } => write!(
+                f,
+                "boundary {boundary}: declared FIFO {declared_rows} rows below observed high water {observed_rows}"
             ),
             Defect::InterleavingViolation {
                 model,

@@ -15,7 +15,14 @@
 //!   ([`simulate_workload_guarded`](abm_sim::simulate_workload_guarded)),
 //!   where a fault is either provably absorbed by slack (the guarded
 //!   [`LayerSim`](abm_sim::LayerSim) is bit-identical to the clean one)
-//!   or detected by a watchdog and recovered by fault-free replay.
+//!   or detected by a watchdog and recovered by fault-free replay;
+//! * **pipelined timing trials** re-inject the two dataflow-sensitive
+//!   classes — a FIFO stall at an inter-stage boundary and a CU hang on
+//!   a pipeline stage — into the layer-pipelined simulation
+//!   ([`simulate_pipeline_guarded`](abm_sim::simulate_pipeline_guarded)),
+//!   where the provisioned FIFO margin / watchdog slack absorbs them or
+//!   the fail-stop guard trips and a fault-free replay of the whole
+//!   pipeline recovers bit-identically.
 //!
 //! Every injection, detection and recovery is also recorded on the
 //! attached [`TelemetrySink`] as
@@ -35,8 +42,9 @@ use abm_model::{synthesize_model, LayerKind, SparseModel};
 use abm_sim::run::simulate_workload_with;
 use abm_sim::task::Workload;
 use abm_sim::{
-    lane, simulate_workload_guarded, AcceleratorConfig, LayerSim, MemorySystem, SchedulingPolicy,
-    Watchdog,
+    lane, plan_pipeline, simulate_pipeline, simulate_pipeline_guarded, simulate_workload_guarded,
+    AcceleratorConfig, LayerSim, MemorySystem, PipelineOptions, PipelineSim, PipelinedSchedule,
+    SchedulingPolicy, Watchdog,
 };
 use abm_sparse::{FlatCode, FlatKernel};
 use abm_telemetry::{Event, FaultAction, NullCollector, TelemetrySink};
@@ -166,6 +174,25 @@ fn run_net(
     let sim_cfg = accel_config(net);
     let mem = MemorySystem::de5_net();
 
+    // The pipelined dataflow the two extra timing trials per round run
+    // under: planned once per net (the planner and DES are
+    // deterministic, so the clean reference is too).
+    let workloads = model
+        .layers
+        .iter()
+        .enumerate()
+        .map(|(i, l)| Workload::from_layer(l).map_err(|e| AbmError::from(e).at_layer(i)))
+        .collect::<Result<Vec<_>, _>>()?;
+    let pipe_batch = 2;
+    let schedule = plan_pipeline(
+        &workloads,
+        &sim_cfg,
+        &PipelineOptions::for_config(&sim_cfg),
+        pipe_batch,
+    )
+    .expect("the default pipeline options plan every zoo network");
+    let clean_pipe = simulate_pipeline(&workloads, &sim_cfg, &schedule, pipe_batch);
+
     for _ in 0..config.trials_per_class {
         for class in FaultClass::ALL {
             let trial = if class.is_timing() {
@@ -183,6 +210,20 @@ fn run_net(
                     sink,
                 })?
             };
+            report.trials.push(trial);
+        }
+        for class in [FaultClass::FifoStall, FaultClass::CuHang] {
+            let trial = pipelined_trial(PipelinedTrial {
+                net,
+                workloads: &workloads,
+                cfg: &sim_cfg,
+                schedule: &schedule,
+                clean: &clean_pipe,
+                batch: pipe_batch,
+                class,
+                rng: &mut rng,
+                sink,
+            })?;
             report.trials.push(trial);
         }
     }
@@ -634,6 +675,144 @@ fn timing_trial(
     }
 }
 
+/// Everything one pipelined timing trial needs (bundled to keep the
+/// call sites readable, like [`FunctionalTrial`]).
+struct PipelinedTrial<'a> {
+    net: &'a str,
+    workloads: &'a [Workload],
+    cfg: &'a AcceleratorConfig,
+    schedule: &'a PipelinedSchedule,
+    clean: &'a PipelineSim,
+    batch: usize,
+    class: FaultClass,
+    rng: &'a mut SplitMix64,
+    sink: &'a TelemetrySink,
+}
+
+/// Rows a layer streams per image in the pipelined dataflow (the unit
+/// the inter-stage FIFOs are sized in): one "row" for FC layers,
+/// output rows for convolutions.
+fn stream_rows(w: &Workload) -> u64 {
+    if w.is_fc {
+        1
+    } else {
+        w.out_rows as u64
+    }
+}
+
+/// One timing-domain trial through the *pipelined* dataflow guards: a
+/// FIFO stall at an inter-stage boundary or a CU hang on a stage. The
+/// provisioned FIFO margin / watchdog slack absorbs the fault (the
+/// guarded [`PipelineSim`] is bit-identical to the clean one) or the
+/// fail-stop guard trips and a fault-free replay of the whole pipeline
+/// recovers it.
+fn pipelined_trial(t: PipelinedTrial<'_>) -> Result<TrialRecord, AbmError> {
+    let watchdog = Watchdog::default();
+    let fault = match t.class {
+        FaultClass::FifoStall => {
+            // Target a random inter-stage boundary. The absorption
+            // threshold is `headroom_rows × producer row cycles`; the
+            // drawn magnitude straddles an estimate of it (average row
+            // service time of the producer stage), so some trials mask
+            // and some detect.
+            let b = t.rng.below((t.schedule.stages.len() - 1) as u64) as usize;
+            let consumer = &t.schedule.stages[b + 1];
+            let producer = &t.schedule.stages[b];
+            let boundary = &t.clean.boundaries[b];
+            let headroom = consumer.fifo_rows.saturating_sub(boundary.high_water_rows) as u64;
+            let stage_rows: u64 = t.workloads[producer.layer_start..producer.layer_end]
+                .iter()
+                .map(stream_rows)
+                .sum();
+            let row_est = t.clean.stages[b].busy_cycles / (stage_rows * t.batch as u64).max(1);
+            let slack_est = headroom * row_est;
+            Fault {
+                layer: consumer.layer_start,
+                unit: b,
+                cycles: t.rng.in_range(1, (4 * slack_est).max(2)),
+                ..Fault::default()
+            }
+        }
+        FaultClass::CuHang => {
+            // A hang on a random stage, polled per streamed image:
+            // around the watchdog slack, so jitter masks and hangs
+            // detect.
+            let stage = t.rng.below(t.schedule.stages.len() as u64) as usize;
+            Fault {
+                layer: t.schedule.stages[stage].layer_start,
+                unit: t.rng.below(t.batch as u64) as usize,
+                cycles: t.rng.in_range(1, watchdog.slack_cycles * 8),
+                ..Fault::default()
+            }
+        }
+        other => unreachable!("{other} has no pipelined injection site"),
+    };
+    t.sink.record_fault(
+        fault.layer as u32,
+        FaultAction::Injected,
+        t.class.name(),
+        &format!("pipelined unit {} cycles {}", fault.unit, fault.cycles),
+    );
+    let mut injector = PlanInjector::new(FaultPlan::single(0, t.class, fault));
+    let guarded = simulate_pipeline_guarded(
+        t.workloads,
+        t.cfg,
+        t.schedule,
+        t.batch,
+        &mut NullCollector,
+        &mut injector,
+        watchdog,
+    );
+    match guarded {
+        Ok(sim) => {
+            let identical = &sim == t.clean;
+            if identical {
+                t.sink.record_fault(
+                    fault.layer as u32,
+                    FaultAction::Masked,
+                    t.class.name(),
+                    "absorbed by pipeline slack",
+                );
+            }
+            Ok(trial(
+                t.net,
+                fault.layer,
+                t.class,
+                outcome(false, identical),
+                "-",
+                RecoveryAction::None,
+            ))
+        }
+        Err(e) if e.is_watchdog() => {
+            let detector = watchdog_name(&e);
+            t.sink.record_fault(
+                fault.layer as u32,
+                FaultAction::Detected,
+                detector,
+                &e.to_string(),
+            );
+            // Recovery: replay the pipeline fault-free.
+            let replay = simulate_pipeline(t.workloads, t.cfg, t.schedule, t.batch);
+            let identical = &replay == t.clean;
+            t.sink.record_fault(
+                fault.layer as u32,
+                FaultAction::Recovered,
+                "replay",
+                "fault-free pipeline replay",
+            );
+            Ok(trial(
+                t.net,
+                fault.layer,
+                t.class,
+                outcome(true, identical),
+                detector,
+                RecoveryAction::Replayed,
+            ))
+        }
+        Err(e) => Err(e),
+    }
+}
+
 /// Bit-identical timing comparison for the simulator domain.
 fn same_timing(a: &LayerSim, b: &LayerSim) -> bool {
     a.compute_cycles == b.compute_cycles
@@ -727,13 +906,19 @@ mod tests {
         let sink = TelemetrySink::new();
         let config = CampaignConfig::net("tiny");
         let report = run_campaign(&config, &sink).unwrap();
-        assert_eq!(report.trials.len(), FaultClass::ALL.len());
+        // Every class once, plus the two pipelined dataflow trials
+        // (a boundary FIFO stall and a stage CU hang).
+        assert_eq!(report.trials.len(), FaultClass::ALL.len() + 2);
         assert!(report.is_clean(), "\n{}", report.summary_table());
-        // Every class shows up exactly once.
         let counts = report.class_counts();
         assert_eq!(counts.len(), FaultClass::ALL.len());
         for (name, c) in counts {
-            assert_eq!(c.injected, 1, "{name}");
+            let expected = if name == "fifo-stall" || name == "cu-hang" {
+                2
+            } else {
+                1
+            };
+            assert_eq!(c.injected, expected, "{name}");
             assert_eq!(c.silent, 0, "{name}");
         }
         // Telemetry carries the injections.
@@ -750,7 +935,7 @@ mod tests {
                 )
             })
             .count();
-        assert_eq!(injected, FaultClass::ALL.len());
+        assert_eq!(injected, FaultClass::ALL.len() + 2);
     }
 
     #[test]

@@ -11,16 +11,18 @@
 //!                           [--batch N] [--parallel serial|auto|N]
 //! abm-spconv verify   <net> [--seed S]
 //! abm-spconv faults   <net> [--seed S] [--trials N] [--json PATH] [--trace-out PATH]
+//! abm-spconv pipeline <net> [--seed S] [--batch N] [--device gxa7|arria10]
 //! ```
 
 use abm_conv::ops::NetworkOps;
 use abm_conv::{Engine, Inferencer, Parallelism};
 use abm_dse::flow::run_flow;
-use abm_dse::FpgaDevice;
+use abm_dse::{explore_pipeline, FpgaDevice, ResourceModel};
 use abm_model::{synthesize_model, zoo, Network, PruneProfile, SparseModel};
+use abm_sim::task::Workload;
 use abm_sim::{
-    network_report, simulate_network_collected, simulate_network_par, AcceleratorConfig,
-    MemorySystem, SchedulingPolicy,
+    network_report, plan_pipeline, simulate_network_collected, simulate_network_par,
+    verify_pipelined_schedule, AcceleratorConfig, MemorySystem, PipelineOptions, SchedulingPolicy,
 };
 use abm_sparse::SizeModel;
 use abm_telemetry::{ChromeTrace, RecordingCollector};
@@ -83,6 +85,19 @@ pub enum Command {
         /// Write a Chrome trace of the fault telemetry here.
         trace_out: Option<String>,
     },
+    /// The pipelined-vs-time-multiplexed design axis: plan a layer
+    /// pipeline, simulate it against the sequential baseline, verify
+    /// the selected schedule, and print the recommendation.
+    Pipeline {
+        /// Network name.
+        net: String,
+        /// Synthesis seed.
+        seed: u64,
+        /// Images streamed through the pipeline.
+        batch: usize,
+        /// Target device for the resource/frequency model.
+        device: FpgaDevice,
+    },
     /// Functional inference on a batch of synthetic images.
     Infer {
         /// Network name.
@@ -125,7 +140,8 @@ commands:
   infer    <net> [--engine dense|gemm|sparse|abm|freq] [--seed S]
                  [--batch N] [--parallel serial|auto|N]
   verify   <net> [--seed S]
-  faults   <net> [--seed S] [--trials N] [--json PATH] [--trace-out PATH]";
+  faults   <net> [--seed S] [--trials N] [--json PATH] [--trace-out PATH]
+  pipeline <net> [--seed S] [--batch N] [--device gxa7|arria10]";
 
 /// Parses an argument vector (without the program name).
 ///
@@ -219,6 +235,44 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                 }
             }
             Ok(Command::Explore { net, device })
+        }
+        "pipeline" => {
+            let mut seed = 2019u64;
+            let mut batch = 8usize;
+            let mut device = FpgaDevice::stratix_v_gxa7();
+            while let Some(flag) = it.next() {
+                let value = it
+                    .next()
+                    .ok_or_else(|| err(format!("flag {flag} needs a value")))?;
+                match flag.as_str() {
+                    "--seed" => {
+                        seed = value
+                            .parse::<u64>()
+                            .map_err(|_| err(format!("bad seed '{value}'")))?
+                    }
+                    "--batch" => {
+                        batch = value
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| err(format!("bad batch size '{value}'")))?
+                    }
+                    "--device" => {
+                        device = match value.as_str() {
+                            "gxa7" => FpgaDevice::stratix_v_gxa7(),
+                            "arria10" => FpgaDevice::arria10_gx1150(),
+                            other => return Err(err(format!("unknown device '{other}'"))),
+                        }
+                    }
+                    other => return Err(err(format!("unknown flag {other}"))),
+                }
+            }
+            Ok(Command::Pipeline {
+                net,
+                seed,
+                batch,
+                device,
+            })
         }
         "infer" => {
             let mut engine = Engine::Abm;
@@ -534,6 +588,90 @@ pub fn execute(command: &Command) -> Result<(), Box<dyn Error>> {
                 return Err("campaign is DIRTY: silent or unrecovered faults".into());
             }
         }
+        Command::Pipeline {
+            net,
+            seed,
+            batch,
+            device,
+        } => {
+            let (network, _, model) = build(net, *seed);
+            let cfg = if net == "alexnet" {
+                AcceleratorConfig::paper_alexnet()
+            } else {
+                AcceleratorConfig::paper()
+            };
+            let workloads = model
+                .layers
+                .iter()
+                .map(Workload::from_layer)
+                .collect::<Result<Vec<_>, _>>()?;
+            let exploration =
+                explore_pipeline(&workloads, &cfg, device, &ResourceModel::paper(), *batch)?;
+            println!(
+                "{} pipelined vs time-multiplexed (seed {seed}, batch {batch}, {}):",
+                network.name(),
+                device.name
+            );
+            println!(
+                "  time-multiplexed baseline: {:>8.2} img/s",
+                exploration.sequential_images_per_second
+            );
+            for d in &exploration.designs {
+                println!(
+                    "  {:<18} {} stages, {:>3} lanes @ {:>5.1} MHz, ALM {:>4.1}%: {:>8.2} img/s ({:.3}x) [{}{}]",
+                    d.label,
+                    d.n_stages,
+                    d.lane_budget,
+                    d.freq_mhz,
+                    d.alm_utilization * 100.0,
+                    d.images_per_second,
+                    d.speedup,
+                    if d.feasible { "fits" } else { "DOES NOT FIT" },
+                    if d.consistency.is_clean() {
+                        ", gate clean"
+                    } else {
+                        ", GATE FAILED"
+                    },
+                );
+            }
+            if let Some(best) = exploration.best() {
+                let opts = PipelineOptions {
+                    n_stages: best.n_stages,
+                    lane_budget: best.lane_budget,
+                    freq_mhz: best.freq_mhz,
+                };
+                let schedule = plan_pipeline(&workloads, &cfg, &opts, *batch)?;
+                println!("  selected '{}':", best.label);
+                for (i, s) in schedule.stages.iter().enumerate() {
+                    println!(
+                        "    stage {i}: layers {:>2}..{:<2} on CU {}..{} ({:>2} lanes), FIFO {} rows",
+                        s.layer_start,
+                        s.layer_end,
+                        s.cu_start,
+                        s.cu_start + s.cu_count,
+                        s.lanes(),
+                        s.fifo_rows
+                    );
+                }
+                let report = verify_pipelined_schedule(&workloads, &cfg, &schedule, *batch);
+                if report.is_clean() {
+                    println!("  schedule verifies clean ({} facts)", report.facts);
+                } else {
+                    print!("{report}");
+                    return Err("pipelined schedule failed verification".into());
+                }
+                if exploration.recommends_pipelining() {
+                    println!(
+                        "  recommendation: pipeline ({:.3}x over time-multiplexed)",
+                        best.speedup
+                    );
+                } else {
+                    println!("  recommendation: keep the time-multiplexed design");
+                }
+            } else {
+                println!("  no pipelined candidate is feasible and consistency-clean");
+            }
+        }
         Command::Infer {
             net,
             engine,
@@ -787,6 +925,41 @@ mod tests {
         execute(&Command::Verify {
             net: "tiny".into(),
             seed: 1,
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn parse_pipeline() {
+        assert_eq!(
+            parse(&argv("pipeline tiny")).unwrap(),
+            Command::Pipeline {
+                net: "tiny".into(),
+                seed: 2019,
+                batch: 8,
+                device: FpgaDevice::stratix_v_gxa7(),
+            }
+        );
+        assert_eq!(
+            parse(&argv("pipeline vgg16 --seed 5 --batch 4 --device arria10")).unwrap(),
+            Command::Pipeline {
+                net: "vgg16".into(),
+                seed: 5,
+                batch: 4,
+                device: FpgaDevice::arria10_gx1150(),
+            }
+        );
+        assert!(parse(&argv("pipeline tiny --batch 0")).is_err());
+        assert!(parse(&argv("pipeline tiny --device virtex")).is_err());
+    }
+
+    #[test]
+    fn execute_pipeline_tiny_selects_a_clean_design() {
+        execute(&Command::Pipeline {
+            net: "tiny".into(),
+            seed: 1,
+            batch: 4,
+            device: FpgaDevice::stratix_v_gxa7(),
         })
         .unwrap();
     }

@@ -41,13 +41,21 @@ proptest! {
         let mut config = CampaignConfig::net("tiny");
         config.seed = seed;
         let report = run_campaign(&config, &TelemetrySink::new()).unwrap();
-        prop_assert_eq!(report.trials.len(), FaultClass::ALL.len());
+        // Every class once, plus the two pipelined dataflow trials
+        // (boundary FIFO stall + stage CU hang), which must obey the
+        // same lattice: detected-and-recovered or provably masked.
+        prop_assert_eq!(report.trials.len(), FaultClass::ALL.len() + 2);
         prop_assert_eq!(report.count(FaultOutcome::Silent), 0);
         prop_assert_eq!(report.count(FaultOutcome::DetectedUnrecovered), 0);
-        // Every class was actually injected.
+        // Every class was actually injected; the two dataflow-sensitive
+        // classes land on both the time-multiplexed and pipelined rails.
         let counts = report.class_counts();
         for class in FaultClass::ALL {
-            prop_assert_eq!(counts[class.name()].injected, 1);
+            let expected = match class {
+                FaultClass::FifoStall | FaultClass::CuHang => 2,
+                _ => 1,
+            };
+            prop_assert_eq!(counts[class.name()].injected, expected);
         }
     }
 
@@ -156,7 +164,8 @@ fn campaign_telemetry_records_fault_lifecycle() {
             .filter(|e| matches!(e, Event::Fault { action: a, .. } if *a == action))
             .count()
     };
-    assert_eq!(count(FaultAction::Injected), FaultClass::ALL.len());
+    // Ten classes plus the two pipelined dataflow trials.
+    assert_eq!(count(FaultAction::Injected), FaultClass::ALL.len() + 2);
     // Every detected trial also recorded a recovery.
     assert_eq!(count(FaultAction::Detected), count(FaultAction::Recovered));
     assert_eq!(

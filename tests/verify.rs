@@ -13,7 +13,7 @@
 use abm_spconv_repro::conv::{abm, Geometry};
 use abm_spconv_repro::model::{synthesize_model, zoo, LayerProfile, PruneProfile};
 use abm_spconv_repro::sim::task::Workload;
-use abm_spconv_repro::sim::verify::workload_geometry;
+use abm_spconv_repro::sim::verify::{verify_pipelined_schedule, workload_geometry};
 use abm_spconv_repro::sparse::{FlatCode, FlatKernel, LayerCode, Tap};
 use abm_spconv_repro::tensor::{Shape3, Shape4, Tensor3, Tensor4};
 use abm_spconv_repro::verify::{verify_lowering, AccumulatorModel, ConvGeometry, VerifyReport};
@@ -103,6 +103,72 @@ fn inflated_interior_span_is_caught_as_interior_contains_halo() {
         |g| g.interior_cols = (g.interior_cols.0.saturating_sub(1), g.interior_cols.1),
     );
     assert!(r.has_class("interior_contains_halo"), "{r}");
+}
+
+/// A planned pipelined schedule over the tiny zoo plus its workloads —
+/// the corruption targets below break it in the three structural ways
+/// the pipeline pass must name exactly.
+fn sample_pipeline() -> (
+    Vec<Workload>,
+    abm_spconv_repro::sim::AcceleratorConfig,
+    abm_spconv_repro::sim::PipelinedSchedule,
+) {
+    use abm_spconv_repro::sim::{plan_pipeline, AcceleratorConfig, PipelineOptions};
+    let net = zoo::tiny();
+    let profile = PruneProfile::uniform(LayerProfile::new(0.5, 8));
+    let model = synthesize_model(&net, &profile, 9);
+    let workloads: Vec<Workload> = model
+        .layers
+        .iter()
+        .map(|l| Workload::from_layer(l).unwrap())
+        .collect();
+    let cfg = AcceleratorConfig::paper();
+    let schedule = plan_pipeline(&workloads, &cfg, &PipelineOptions::for_config(&cfg), 4)
+        .expect("tiny pipeline plans");
+    (workloads, cfg, schedule)
+}
+
+#[test]
+fn planned_pipeline_verifies_clean() {
+    let (w, cfg, schedule) = sample_pipeline();
+    let r = verify_pipelined_schedule(&w, &cfg, &schedule, 4);
+    assert!(r.is_clean(), "{r}");
+    assert!(r.facts > 0);
+}
+
+#[test]
+fn undersized_inter_stage_fifo_is_caught() {
+    // A synthesis-time FIFO depth below the dataflow's measured row
+    // high water: the stream would backpressure (or drop rows) there.
+    let (w, cfg, mut schedule) = sample_pipeline();
+    schedule.stages[1].fifo_rows = 0;
+    let r = verify_pipelined_schedule(&w, &cfg, &schedule, 4);
+    assert!(r.has_class("stage_fifo_undersized"), "{r}");
+    assert!(!r.has_class("stage_coverage_gap"), "{r}");
+    assert!(!r.has_class("stage_cu_overlap"), "{r}");
+}
+
+#[test]
+fn double_booked_cu_across_stages_is_caught() {
+    // Two stages claiming the same CU: pipelined stages own their CUs
+    // for the whole run, so this schedule cannot be realized.
+    let (w, cfg, mut schedule) = sample_pipeline();
+    schedule.stages[1].cu_start = schedule.stages[0].cu_start;
+    let r = verify_pipelined_schedule(&w, &cfg, &schedule, 4);
+    assert!(r.has_class("stage_cu_overlap"), "{r}");
+    assert!(!r.has_class("stage_coverage_gap"), "{r}");
+}
+
+#[test]
+fn stage_coverage_gap_is_caught() {
+    // The last stage forgets the final layer: the streamed image would
+    // leave the pipeline without ever executing it.
+    let (w, cfg, mut schedule) = sample_pipeline();
+    let last = schedule.stages.len() - 1;
+    schedule.stages[last].layer_end -= 1;
+    let r = verify_pipelined_schedule(&w, &cfg, &schedule, 4);
+    assert!(r.has_class("stage_coverage_gap"), "{r}");
+    assert!(!r.has_class("stage_cu_overlap"), "{r}");
 }
 
 /// Sparse i8 weights with a bias toward zeros (so value groups exist)

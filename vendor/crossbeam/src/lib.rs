@@ -27,10 +27,12 @@ pub mod channel {
     struct Shared<T> {
         queue: Mutex<State<T>>,
         ready: Condvar,
+        space: Condvar,
     }
 
     struct State<T> {
         items: VecDeque<T>,
+        capacity: Option<usize>,
         senders: usize,
         receivers: usize,
     }
@@ -68,34 +70,60 @@ pub mod channel {
 
     impl std::error::Error for RecvError {}
 
-    /// Creates an unbounded MPMC channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
             queue: Mutex::new(State {
                 items: VecDeque::new(),
+                capacity,
                 senders: 1,
                 receivers: 1,
             }),
             ready: Condvar::new(),
+            space: Condvar::new(),
         });
         (Sender(Arc::clone(&shared)), Receiver(shared))
     }
 
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+
+    /// Creates a bounded MPMC channel: [`Sender::send`] blocks while
+    /// `cap` messages are queued, giving pipelines real backpressure.
+    ///
+    /// The real crossbeam's `bounded(0)` is a rendezvous channel; this
+    /// stand-in rounds the capacity up to 1 instead (ample for the
+    /// stage FIFOs the workspace builds on it).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_capacity(Some(cap.max(1)))
+    }
+
     impl<T> Sender<T> {
-        /// Enqueues `value`, waking one blocked receiver.
+        /// Enqueues `value`, waking one blocked receiver. On a bounded
+        /// channel, blocks while the queue is full.
         ///
         /// # Errors
         ///
         /// Returns the value back if every receiver has been dropped.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             let mut state = self.0.queue.lock().unwrap_or_else(PoisonError::into_inner);
-            if state.receivers == 0 {
-                return Err(SendError(value));
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                if state.capacity.is_none_or(|cap| state.items.len() < cap) {
+                    state.items.push_back(value);
+                    drop(state);
+                    self.0.ready.notify_one();
+                    return Ok(());
+                }
+                state = self
+                    .0
+                    .space
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
-            state.items.push_back(value);
-            drop(state);
-            self.0.ready.notify_one();
-            Ok(())
         }
     }
 
@@ -133,6 +161,8 @@ pub mod channel {
             let mut state = self.0.queue.lock().unwrap_or_else(PoisonError::into_inner);
             loop {
                 if let Some(v) = state.items.pop_front() {
+                    drop(state);
+                    self.0.space.notify_one();
                     return Ok(v);
                 }
                 if state.senders == 0 {
@@ -156,7 +186,11 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut state = self.0.queue.lock().unwrap_or_else(PoisonError::into_inner);
             match state.items.pop_front() {
-                Some(v) => Ok(v),
+                Some(v) => {
+                    drop(state);
+                    self.0.space.notify_one();
+                    Ok(v)
+                }
                 None if state.senders == 0 => Err(TryRecvError::Disconnected),
                 None => Err(TryRecvError::Empty),
             }
@@ -181,11 +215,15 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.0
-                .queue
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .receivers -= 1;
+            let mut state = self.0.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            state.receivers -= 1;
+            let last = state.receivers == 0;
+            drop(state);
+            if last {
+                // Wake senders blocked on a full bounded channel so
+                // they observe the disconnect instead of sleeping.
+                self.0.space.notify_all();
+            }
         }
     }
 
@@ -332,6 +370,43 @@ mod tests {
         });
         got.sort_unstable();
         assert_eq!(got, (0..400).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_space_and_delivers_in_order() {
+        let (tx, rx) = channel::bounded::<usize>(2);
+        let got = std::thread::scope(|s| {
+            let producer = s.spawn(move || {
+                // 10 sends through a depth-2 channel: most of them must
+                // block until the consumer drains.
+                for i in 0..10 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let consumer = s.spawn(move || {
+                let mut got = Vec::new();
+                for v in rx.iter() {
+                    got.push(v);
+                    std::thread::yield_now();
+                }
+                got
+            });
+            producer.join().unwrap();
+            consumer.join().unwrap()
+        });
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bounded_send_fails_when_receiver_drops_mid_block() {
+        let (tx, rx) = channel::bounded::<u8>(1);
+        tx.send(0).unwrap();
+        std::thread::scope(|s| {
+            let blocked = s.spawn(move || tx.send(1));
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            drop(rx);
+            assert_eq!(blocked.join().unwrap(), Err(channel::SendError(1)));
+        });
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! cargo xtask verify --net N  # ... of one zoo network
 //! cargo xtask mc              # exhaustive concurrency model-checker suite
 //! cargo xtask faults --smoke  # seeded fault-injection campaign gate
+//! cargo xtask pipeline --smoke # pipelined-vs-sequential conformance gate
 //! ```
 //!
 //! All three commands exit non-zero on the first clean/dirty verdict
@@ -20,6 +21,7 @@
 
 mod faults;
 mod lint;
+mod pipeline;
 mod zoo;
 
 use std::path::Path;
@@ -31,7 +33,8 @@ commands:
   verify --zoo         statically verify every AlexNet + VGG16 layer
   verify --net <name>  statically verify one network (tiny|alexnet|vgg16|vgg19)
   mc                   run the exhaustive interleaving model-checker suite
-  faults [--smoke]     run the fault-injection campaign (smoke = AlexNet only)";
+  faults [--smoke]     run the fault-injection campaign (smoke = AlexNet only)
+  pipeline [--smoke]   run the pipelined-vs-sequential conformance gate";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -57,6 +60,11 @@ fn main() -> ExitCode {
             Some("--smoke") => faults::run(&root, true),
             None => faults::run(&root, false),
             Some(other) => Err(format!("unknown faults flag '{other}'\n{USAGE}")),
+        },
+        Some("pipeline") => match args.get(1).map(String::as_str) {
+            Some("--smoke") => pipeline::run(&root, true),
+            None => pipeline::run(&root, false),
+            Some(other) => Err(format!("unknown pipeline flag '{other}'\n{USAGE}")),
         },
         Some(other) => Err(format!("unknown command '{other}'\n{USAGE}")),
         None => Err(USAGE.into()),

@@ -1,0 +1,35 @@
+//! `cargo xtask pipeline [--smoke]` — the pipelined-vs-sequential
+//! conformance gate.
+//!
+//! Delegates to the `pipeline_smoke` example in a release build,
+//! forwarding `--smoke` through. The example runs the layer-pipelined
+//! host executor against the sequential one (bit-identity over several
+//! stage counts) and verifies + simulates the planned pipelined
+//! schedule on the simulator rail; it exits non-zero on any
+//! divergence, so a status check is the whole gate.
+
+use std::path::Path;
+use std::process::Command;
+
+/// Runs the conformance example, smoke or full.
+///
+/// # Errors
+///
+/// Returns a message when the example cannot be spawned or reports a
+/// divergence (non-zero exit).
+pub fn run(root: &Path, smoke: bool) -> Result<(), String> {
+    let mut cmd = Command::new("cargo");
+    cmd.current_dir(root)
+        .args(["run", "--release", "--example", "pipeline_smoke"]);
+    if smoke {
+        cmd.args(["--", "--smoke"]);
+    }
+    let status = cmd
+        .status()
+        .map_err(|e| format!("failed to spawn cargo: {e}"))?;
+    if status.success() {
+        Ok(())
+    } else {
+        Err("pipeline conformance failed: pipelined and sequential execution diverged".into())
+    }
+}

@@ -1,15 +1,19 @@
 //! Times the prepared ABM hot path against the interpretive reference
-//! executor on the AlexNet and VGG16 convolution layers, asserting
-//! bit-identical outputs and writing `BENCH_abm_hotpath.json`.
+//! executor on the AlexNet and VGG16 convolution layers — once per
+//! compiled kernel variant the CPU can run — asserting bit-identical
+//! outputs and writing `BENCH_abm_hotpath.json`.
 //!
 //! ```text
-//! cargo run --release -p abm-bench --bin hotpath            # full run
-//! cargo run --release -p abm-bench --bin hotpath -- --smoke # CI smoke
+//! cargo run --release -p abm-bench --bin hotpath                 # all variants
+//! cargo run --release -p abm-bench --bin hotpath -- --isa avx2   # one variant
+//! cargo run --release -p abm-bench --bin hotpath -- --smoke      # CI smoke
 //! ```
 //!
 //! `--smoke` restricts the run to AlexNet with one repetition per
-//! engine — enough to exercise both paths end to end without tying up
-//! the CI machine.
+//! engine — enough to exercise every variant end to end without tying
+//! up the CI machine. The headline `geomean_speedup` is the best
+//! variant's; per-variant geomeans are reported alongside so a scalar
+//! regression is visible even when a vector unit hides it.
 
 #![forbid(unsafe_code)]
 
@@ -18,18 +22,27 @@ use std::time::Instant;
 use abm_bench::{alexnet_model, rule, vgg16_model};
 use abm_conv::abm::{reference, PreparedConv};
 use abm_conv::Geometry;
+use abm_kernel::Isa;
 use abm_model::{LayerKind, SparseLayer, SparseModel};
 use abm_sparse::LayerCode;
 use abm_tensor::Tensor3;
 
-/// One timed layer's results.
+/// One kernel variant's timing for one layer.
+struct VariantCell {
+    /// What actually ran (`avx2/i32`, `scalar/i64`, …) — the selection
+    /// the accumulator-width proof permitted, not just the pin.
+    selection: String,
+    ns_per_pixel: f64,
+    speedup: f64,
+}
+
+/// One timed layer's results across all benched variants.
 struct Row {
     network: &'static str,
     layer: String,
     out_pixels: u64,
     reference_ns_per_pixel: f64,
-    prepared_ns_per_pixel: f64,
-    speedup: f64,
+    cells: Vec<VariantCell>,
 }
 
 /// Deterministic i16 activations for a layer input (same LCG family the
@@ -56,7 +69,31 @@ fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, f64) {
     (out.expect("reps > 0"), best)
 }
 
-fn bench_network(network: &'static str, model: &SparseModel, reps: usize, rows: &mut Vec<Row>) {
+/// The host CPU model string (best effort; `unknown` off-Linux).
+fn cpu_model() -> String {
+    std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|m| m.trim().to_string())
+        })
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// One benched column: a display label and the ISA pin handed to
+/// `PreparedConv::try_new_with_isa` (`None` = the engine's default
+/// geometry-aware auto-selection).
+type Variant = (&'static str, Option<Isa>);
+
+fn bench_network(
+    network: &'static str,
+    model: &SparseModel,
+    variants: &[Variant],
+    reps: usize,
+    rows: &mut Vec<Row>,
+) {
     for layer in &model.layers {
         let LayerKind::Conv(spec) = &layer.layer.layer.kind else {
             continue;
@@ -68,89 +105,150 @@ fn bench_network(network: &'static str, model: &SparseModel, reps: usize, rows: 
         let (oracle, ref_ns) = best_of(reps, || {
             reference::conv2d(&input, &code, geom).expect("reference conv")
         });
-        let prep = PreparedConv::try_new(&code, input.shape(), geom).expect("preparable layer");
-        let (fast, prep_ns) = best_of(reps, || prep.execute(&input));
-        assert_eq!(
-            oracle,
-            fast,
-            "{network}/{}: prepared path diverged",
-            layer.name()
-        );
+        let out_pixels = (oracle.shape().rows * oracle.shape().cols) as u64;
 
-        let out_pixels = (fast.shape().rows * fast.shape().cols) as u64;
+        let mut cells = Vec::with_capacity(variants.len());
+        for (label, pin) in variants {
+            let prep = PreparedConv::try_new_with_isa(&code, input.shape(), geom, *pin)
+                .expect("preparable layer");
+            let (fast, prep_ns) = best_of(reps, || prep.execute(&input));
+            assert_eq!(
+                oracle,
+                fast,
+                "{network}/{}: {label} variant diverged",
+                layer.name(),
+            );
+            cells.push(VariantCell {
+                selection: prep.selection().name(),
+                ns_per_pixel: prep_ns / out_pixels as f64,
+                speedup: ref_ns / prep_ns,
+            });
+        }
         rows.push(Row {
             network,
             layer: layer.name().to_string(),
             out_pixels,
             reference_ns_per_pixel: ref_ns / out_pixels as f64,
-            prepared_ns_per_pixel: prep_ns / out_pixels as f64,
-            speedup: ref_ns / prep_ns,
+            cells,
         });
     }
 }
 
-fn write_json(rows: &[Row], geomean: f64) -> std::io::Result<()> {
+/// Geometric-mean speedup of variant column `v` across all rows.
+fn geomean(rows: &[Row], v: usize) -> f64 {
+    (rows.iter().map(|r| r.cells[v].speedup.ln()).sum::<f64>() / rows.len() as f64).exp()
+}
+
+fn write_json(rows: &[Row], variants: &[Variant], cpu: &str, best: usize) -> std::io::Result<()> {
     use std::io::Write;
     let mut f = std::fs::File::create("BENCH_abm_hotpath.json")?;
     writeln!(f, "{{")?;
     writeln!(f, "  \"bench\": \"abm_hotpath\",")?;
     writeln!(f, "  \"seed\": {},", abm_bench::SEED)?;
-    writeln!(f, "  \"layers\": [")?;
-    for (i, r) in rows.iter().enumerate() {
-        let comma = if i + 1 == rows.len() { "" } else { "," };
+    writeln!(f, "  \"cpu\": \"{cpu}\",")?;
+    writeln!(f, "  \"variants\": [")?;
+    for (v, (label, _)) in variants.iter().enumerate() {
+        let comma = if v + 1 == variants.len() { "" } else { "," };
         writeln!(
             f,
-            "    {{\"network\": \"{}\", \"layer\": \"{}\", \"out_pixels\": {}, \
-             \"reference_ns_per_pixel\": {:.2}, \"prepared_ns_per_pixel\": {:.2}, \
-             \"speedup\": {:.3}}}{comma}",
-            r.network,
-            r.layer,
-            r.out_pixels,
-            r.reference_ns_per_pixel,
-            r.prepared_ns_per_pixel,
-            r.speedup,
+            "    {{\"isa\": \"{label}\", \"geomean_speedup\": {:.3}}}{comma}",
+            geomean(rows, v)
         )?;
     }
     writeln!(f, "  ],")?;
-    writeln!(f, "  \"geomean_speedup\": {geomean:.3}")?;
+    writeln!(f, "  \"best_isa\": \"{}\",", variants[best].0)?;
+    writeln!(f, "  \"layers\": [")?;
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        write!(
+            f,
+            "    {{\"network\": \"{}\", \"layer\": \"{}\", \"out_pixels\": {}, \
+             \"reference_ns_per_pixel\": {:.2}",
+            r.network, r.layer, r.out_pixels, r.reference_ns_per_pixel,
+        )?;
+        for (v, (label, _)) in variants.iter().enumerate() {
+            let c = &r.cells[v];
+            write!(
+                f,
+                ", \"{label}\": {{\"selection\": \"{}\", \"ns_per_pixel\": {:.2}, \
+                 \"speedup\": {:.3}}}",
+                c.selection, c.ns_per_pixel, c.speedup
+            )?;
+        }
+        writeln!(f, "}}{comma}")?;
+    }
+    writeln!(f, "  ],")?;
+    writeln!(f, "  \"geomean_speedup\": {:.3}", geomean(rows, best))?;
     writeln!(f, "}}")
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
     let reps = if smoke { 1 } else { 3 };
+    let pinned = args
+        .iter()
+        .position(|a| a == "--isa")
+        .map(|i| {
+            let v = args.get(i + 1).expect("--isa needs a value");
+            Isa::parse(v).expect("valid --isa")
+        })
+        .unwrap_or(None);
+    let variants: Vec<Variant> = match pinned {
+        Some(isa) => {
+            assert!(isa.available(), "ISA '{isa}' not available on this CPU");
+            vec![(isa.name(), Some(isa))]
+        }
+        // Every pinned variant the CPU can run, plus the engine's
+        // geometry-aware auto-selection (what `infer` does by default).
+        None => std::iter::once(("auto", None))
+            .chain(Isa::detect_all().into_iter().map(|i| (i.name(), Some(i))))
+            .collect(),
+    };
 
     let mut rows = Vec::new();
-    bench_network("alexnet", &alexnet_model(), reps, &mut rows);
+    bench_network("alexnet", &alexnet_model(), &variants, reps, &mut rows);
     if !smoke {
-        bench_network("vgg16", &vgg16_model(), reps, &mut rows);
+        bench_network("vgg16", &vgg16_model(), &variants, reps, &mut rows);
     }
 
+    let width = 46 + 10 * variants.len();
     println!("ABM hot path: prepared (flat-offset) vs reference executor, single thread");
-    rule(78);
-    println!(
-        "{:<9} {:<9} {:>10} {:>14} {:>14} {:>9}",
-        "Network", "Layer", "OutPixels", "Ref ns/px", "Prep ns/px", "Speedup"
+    rule(width);
+    print!(
+        "{:<9} {:<9} {:>10} {:>14}",
+        "Network", "Layer", "OutPixels", "Ref ns/px"
     );
-    rule(78);
-    for r in &rows {
-        println!(
-            "{:<9} {:<9} {:>10} {:>14.1} {:>14.1} {:>8.2}x",
-            r.network,
-            r.layer,
-            r.out_pixels,
-            r.reference_ns_per_pixel,
-            r.prepared_ns_per_pixel,
-            r.speedup
-        );
+    for (label, _) in &variants {
+        print!(" {label:>9}");
     }
-    rule(78);
-    let geomean = (rows.iter().map(|r| r.speedup.ln()).sum::<f64>() / rows.len() as f64).exp();
+    println!();
+    rule(width);
+    for r in &rows {
+        print!(
+            "{:<9} {:<9} {:>10} {:>14.1}",
+            r.network, r.layer, r.out_pixels, r.reference_ns_per_pixel
+        );
+        for c in &r.cells {
+            print!(" {:>8.2}x", c.speedup);
+        }
+        println!();
+    }
+    rule(width);
+    let best = (0..variants.len())
+        .max_by(|&a, &b| geomean(&rows, a).total_cmp(&geomean(&rows, b)))
+        .expect("at least one variant");
+    print!("geomean speedup:");
+    for (v, (label, _)) in variants.iter().enumerate() {
+        print!("  {label}={:.2}x", geomean(&rows, v));
+    }
     println!(
-        "geomean speedup: {geomean:.2}x  ({} layers, best of {reps} reps)",
+        "  (best: {}, {} layers, best of {reps} reps)",
+        variants[best].0,
         rows.len()
     );
 
-    write_json(&rows, geomean).expect("write BENCH_abm_hotpath.json");
+    let cpu = cpu_model();
+    write_json(&rows, &variants, &cpu, best).expect("write BENCH_abm_hotpath.json");
     println!("wrote BENCH_abm_hotpath.json");
 }

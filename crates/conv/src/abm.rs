@@ -32,6 +32,7 @@
 
 use crate::dense::Geometry;
 use abm_fault::AbmError;
+use abm_kernel::{gather_one, AbmKernel, Isa, Selection, MAX_LANES};
 use abm_sparse::{FlatCode, FlatKernel, FlatLayout, LayerCode, Tap};
 use abm_tensor::{Shape3, Shape4, Tensor3};
 use std::ops::Range;
@@ -43,13 +44,6 @@ pub mod reference;
 /// kernel pass, so the input rows a tile touches stay cache-resident
 /// while every kernel of the layer sweeps them.
 const TILE_ROWS: usize = 8;
-
-/// Adjacent interior pixels computed in lock-step per offset-stream walk
-/// — the software analogue of the accelerator's `S_ec`-wide pixel
-/// vector. Each offset is loaded once and accumulated into this many
-/// independent partial sums, which both amortizes the stream walk and
-/// breaks the serial addition dependency chain.
-const PIXEL_VEC: usize = 8;
 
 /// Work performed by one invocation, split by stage — the measured
 /// counterpart of Table 1's `Acc.`/`Mult.` columns.
@@ -162,6 +156,11 @@ pub struct PreparedConv {
     /// golden signature [`verify_checksum`](Self::verify_checksum)
     /// compares against to catch post-load bit flips.
     checksum: u64,
+    /// The kernel variant dispatch resolved at preparation time: the
+    /// ISA that will execute this layer and the stage-1 accumulator
+    /// width the lowering verifier proved safe for it
+    /// (`abm_verify::AccumulatorModel::stage1_required_bits`).
+    sel: Selection,
 }
 
 impl PreparedConv {
@@ -174,6 +173,27 @@ impl PreparedConv {
     /// count that does not divide the output channels, or a flat offset
     /// that overflows the 32-bit encoding.
     pub fn try_new(code: &LayerCode, in_shape: Shape3, geom: Geometry) -> Result<Self, AbmError> {
+        Self::try_new_with_isa(code, in_shape, geom, None)
+    }
+
+    /// [`try_new`](Self::try_new) with an explicit kernel-ISA request:
+    /// `Some(isa)` pins the variant (debugging, benchmarking, the CLI
+    /// `--isa` flag), `None` defers to `ABM_FORCE_ISA` and then
+    /// auto-detection. Whatever is requested, a layer whose stage-1
+    /// worst case does not fit `i32` runs the checked scalar `i64`
+    /// port — the pin chooses an ISA, never an unproven accumulator.
+    ///
+    /// # Errors
+    ///
+    /// All of [`try_new`](Self::try_new)'s errors, plus
+    /// [`AbmError::IsaUnavailable`] when the pinned ISA cannot execute
+    /// on this CPU (or the environment pin does not parse).
+    pub fn try_new_with_isa(
+        code: &LayerCode,
+        in_shape: Shape3,
+        geom: Geometry,
+        isa: Option<Isa>,
+    ) -> Result<Self, AbmError> {
         let w = code.shape();
         validate_grouping(in_shape, w, geom)?;
         let layout = FlatLayout {
@@ -183,7 +203,7 @@ impl PreparedConv {
             pad: geom.pad,
         };
         let flat = FlatCode::lower(code, layout)?;
-        let prepared = Self::assemble(flat, in_shape, geom);
+        let prepared = Self::assemble(flat, in_shape, geom, isa)?;
         // Debug builds statically verify the lowering against its source
         // streams on construction; release builds skip the pass (`cargo
         // xtask verify` runs it explicitly over the model zoo).
@@ -231,12 +251,19 @@ impl PreparedConv {
             });
         }
         abm_fault::validate_flat(&flat)?;
-        Ok(Self::assemble(flat, in_shape, geom))
+        Self::assemble(flat, in_shape, geom, None)
     }
 
     /// Shared tail of the constructors: derive the output geometry,
-    /// interior split, analytic work and the golden checksum.
-    fn assemble(flat: FlatCode, in_shape: Shape3, geom: Geometry) -> Self {
+    /// interior split, analytic work, the golden checksum, and the
+    /// kernel-variant dispatch (resolved here, once, never on the
+    /// execution path).
+    fn assemble(
+        flat: FlatCode,
+        in_shape: Shape3,
+        geom: Geometry,
+        isa: Option<Isa>,
+    ) -> Result<Self, AbmError> {
         let w = flat.shape();
         let layout = flat.layout();
         let out_shape = Shape3::new(
@@ -255,17 +282,32 @@ impl PreparedConv {
             final_accumulations: flat.total_distinct() * out_pixels,
         };
         let checksum = abm_fault::flat_checksum(&flat);
-        Self {
+        // The narrow-accumulator proof: the verifier's worst-case
+        // stage-1 magnitude for this exact lowering decides whether the
+        // vector kernels may pack `i32` lanes. `select_auto` then
+        // resolves the ISA (explicit pin → `ABM_FORCE_ISA` → widest
+        // variant whose lanes this layer's interior sweep can fill).
+        let stage1_bits = abm_verify::AccumulatorModel::host().stage1_required_bits(&flat);
+        let interior_cols = layout.interior_cols(w.kernel_cols, out_shape.cols);
+        let sel = abm_kernel::select_auto(
+            isa,
+            stage1_bits,
+            geom.stride == 1,
+            interior_cols.end.saturating_sub(interior_cols.start),
+        )
+        .map_err(|detail| AbmError::IsaUnavailable { detail })?;
+        Ok(Self {
             in_shape,
             out_shape,
             geom,
             m_per_group: w.out_channels / geom.groups,
             interior_rows: layout.interior_rows(w.kernel_rows, out_shape.rows),
-            interior_cols: layout.interior_cols(w.kernel_cols, out_shape.cols),
+            interior_cols,
             work,
             checksum,
+            sel,
             flat,
-        }
+        })
     }
 
     /// Runs the `abm-verify` lowering pass against this prepared layer's
@@ -333,6 +375,13 @@ impl PreparedConv {
         self.checksum
     }
 
+    /// The kernel variant this layer dispatches to (ISA + proven
+    /// stage-1 accumulator width), resolved once at preparation.
+    #[must_use]
+    pub fn selection(&self) -> Selection {
+        self.sel
+    }
+
     /// Re-hashes the flat streams and compares against the golden
     /// checksum recorded at preparation — the cheap pre-execution guard
     /// that catches post-load bit flips (an M20K SEU in hardware
@@ -382,6 +431,13 @@ impl PreparedConv {
             self.in_shape
         );
         let mut out = Tensor3::zeros(self.out_shape);
+        // The dispatch resolved at preparation: one virtual call maps
+        // the stored selection to its kernel object, then the hot loops
+        // below go through it for every pixel vector. `lanebuf` is the
+        // lane-output scratch sized for the widest variant.
+        let kern: &'static dyn AbmKernel = abm_kernel::resolve(self.sel);
+        let lanes = kern.lanes();
+        let mut lanebuf = [0i64; MAX_LANES];
         // One scratch partial-sum buffer, reused across every pixel of
         // every kernel (the software stand-in for the lane's partial-sum
         // FIFO), plus the filtered-stream scratch the halo paths rebuild
@@ -423,30 +479,33 @@ impl PreparedConv {
                         pc0,
                     );
                 }
-                sweep(self.interior_cols.clone(), |ocol, vec_step| {
+                sweep(self.interior_cols.clone(), lanes, |ocol, vec_step| {
                     let base = chan_base + ocol * stride - pad;
                     if vec_step {
-                        let acc = if stride == 1 {
-                            gather_pixel_vec_unit(
+                        if stride == 1 {
+                            kern.gather_unit(
                                 kernel.values(),
                                 &halo.starts,
                                 &halo.offsets,
                                 data,
                                 base,
-                            )
+                                &mut lanebuf,
+                            );
                         } else {
-                            gather_pixel_vec(
+                            kern.gather_strided(
                                 kernel.values(),
                                 &halo.starts,
                                 &halo.offsets,
                                 data,
                                 base,
                                 stride,
-                            )
-                        };
-                        out_data[out_row + ocol..out_row + ocol + PIXEL_VEC].copy_from_slice(&acc);
+                                &mut lanebuf,
+                            );
+                        }
+                        out_data[out_row + ocol..out_row + ocol + lanes]
+                            .copy_from_slice(&lanebuf[..lanes]);
                     } else {
-                        out_data[out_row + ocol] = gather_pixel(
+                        out_data[out_row + ocol] = gather_one(
                             kernel.values(),
                             &halo.starts,
                             &halo.offsets,
@@ -466,22 +525,23 @@ impl PreparedConv {
                 let pc0 = (ocol * stride) as isize - pad as isize;
                 halo.filter_cols(kernel, pc0, in_cols, plane);
                 let row_step = stride * in_cols;
-                sweep(self.interior_rows.clone(), |orow, vec_step| {
+                sweep(self.interior_rows.clone(), lanes, |orow, vec_step| {
                     let base = chan_base + (orow * stride - pad) * in_cols;
                     if vec_step {
-                        let acc = gather_pixel_vec(
+                        kern.gather_strided(
                             kernel.values(),
                             &halo.starts,
                             &halo.offsets,
                             data,
                             base,
                             row_step,
+                            &mut lanebuf,
                         );
-                        for (i, &a) in acc.iter().enumerate() {
+                        for (i, &a) in lanebuf[..lanes].iter().enumerate() {
                             out_data[out_base + (orow + i) * out_cols + ocol] = a;
                         }
                     } else {
-                        out_data[out_base + orow * out_cols + ocol] = gather_pixel(
+                        out_data[out_base + orow * out_cols + ocol] = gather_one(
                             kernel.values(),
                             &halo.starts,
                             &halo.offsets,
@@ -505,31 +565,33 @@ impl PreparedConv {
                 for &orow in tile {
                     let row_base = chan_base + (orow * stride - pad) * in_cols;
                     let out_row = out_base + orow * out_cols;
-                    sweep(self.interior_cols.clone(), |ocol, vec_step| {
+                    sweep(self.interior_cols.clone(), lanes, |ocol, vec_step| {
                         let base = row_base + ocol * stride - pad;
                         if vec_step {
-                            let acc = if stride == 1 {
-                                gather_pixel_vec_unit(
+                            if stride == 1 {
+                                kern.gather_unit(
                                     kernel.values(),
                                     kernel.group_bounds(),
                                     kernel.offsets(),
                                     data,
                                     base,
-                                )
+                                    &mut lanebuf,
+                                );
                             } else {
-                                gather_pixel_vec(
+                                kern.gather_strided(
                                     kernel.values(),
                                     kernel.group_bounds(),
                                     kernel.offsets(),
                                     data,
                                     base,
                                     stride,
-                                )
-                            };
-                            out_data[out_row + ocol..out_row + ocol + PIXEL_VEC]
-                                .copy_from_slice(&acc);
+                                    &mut lanebuf,
+                                );
+                            }
+                            out_data[out_row + ocol..out_row + ocol + lanes]
+                                .copy_from_slice(&lanebuf[..lanes]);
                         } else {
-                            out_data[out_row + ocol] = gather_pixel(
+                            out_data[out_row + ocol] = gather_one(
                                 kernel.values(),
                                 kernel.group_bounds(),
                                 kernel.offsets(),
@@ -689,131 +751,29 @@ impl HaloScratch {
     }
 }
 
-/// Sweeps `span` in [`PIXEL_VEC`]-wide steps (`f(index, true)`). A final
+/// Sweeps `span` in `lanes`-wide steps (`f(index, true)`). A final
 /// partial vector is re-issued as a full vector overlapping the previous
 /// one when the span allows — every pixel is a pure function of the
 /// input, so recomputing the overlap is bit-identical — and spans
 /// narrower than one vector fall back to scalar steps (`f(index,
-/// false)`).
+/// false)`). `lanes` is the dispatched kernel's pixel width
+/// ([`AbmKernel::lanes`]).
 #[inline]
-fn sweep(span: Range<usize>, mut f: impl FnMut(usize, bool)) {
+fn sweep(span: Range<usize>, lanes: usize, mut f: impl FnMut(usize, bool)) {
     let mut i = span.start;
-    while i + PIXEL_VEC <= span.end {
+    while i + lanes <= span.end {
         f(i, true);
-        i += PIXEL_VEC;
+        i += lanes;
     }
     if i < span.end {
-        if span.end - span.start >= PIXEL_VEC {
-            f(span.end - PIXEL_VEC, true);
+        if span.end - span.start >= lanes {
+            f(span.end - lanes, true);
         } else {
             for j in i..span.end {
                 f(j, false);
             }
         }
     }
-}
-
-/// [`PIXEL_VEC`] adjacent pixels in lock-step: one walk of the offset
-/// stream accumulates four partial sums (their bases differ by
-/// `pixel_stride`), and each group's multiply feeds four independent
-/// output accumulators. Integer arithmetic keeps the result bit-identical
-/// to the scalar path regardless of the reassociation.
-#[inline]
-fn gather_pixel_vec(
-    values: &[i8],
-    starts: &[u32],
-    offsets: &[u32],
-    data: &[i16],
-    base: usize,
-    pixel_stride: usize,
-) -> [i64; PIXEL_VEC] {
-    let mut acc = [0i64; PIXEL_VEC];
-    // One bounds check per offset: the window covering all eight strided
-    // reads is sliced once, and `win[i · stride]` is provably inside it.
-    let span = (PIXEL_VEC - 1) * pixel_stride + 1;
-    for (&v, w) in values.iter().zip(starts.windows(2)) {
-        let mut p = [0i64; PIXEL_VEC];
-        for &off in &offsets[w[0] as usize..w[1] as usize] {
-            let o = base + off as usize;
-            let win = &data[o..o + span];
-            for i in 0..PIXEL_VEC {
-                p[i] += win[i * pixel_stride] as i64;
-            }
-        }
-        let v = v as i64;
-        for i in 0..PIXEL_VEC {
-            acc[i] += v * p[i];
-        }
-    }
-    acc
-}
-
-/// [`gather_pixel_vec`] specialized to pixel stride 1, where the four
-/// pixels' reads for one offset are **contiguous**: a single
-/// bounds-checked window load replaces four scattered checked reads.
-#[inline]
-fn gather_pixel_vec_unit(
-    values: &[i8],
-    starts: &[u32],
-    offsets: &[u32],
-    data: &[i16],
-    base: usize,
-) -> [i64; PIXEL_VEC] {
-    let mut acc = [0i64; PIXEL_VEC];
-    for (&v, w) in values.iter().zip(starts.windows(2)) {
-        let mut p = [0i64; PIXEL_VEC];
-        for &off in &offsets[w[0] as usize..w[1] as usize] {
-            let o = base + off as usize;
-            // One range check covers all eight reads: the slice is
-            // exactly PIXEL_VEC long, so the constant-index loads below
-            // need no further checks. The lowering verifier proves
-            // base + off + PIXEL_VEC stays inside the input plane for
-            // every interior pixel.
-            let win = &data[o..o + PIXEL_VEC];
-            for i in 0..PIXEL_VEC {
-                p[i] += win[i] as i64;
-            }
-        }
-        let v = v as i64;
-        for i in 0..PIXEL_VEC {
-            acc[i] += v * p[i];
-        }
-    }
-    acc
-}
-
-/// One output pixel: stage-1 accumulation is a pointer-bump walk over a
-/// precomputed offset stream — every read is in-bounds by construction
-/// (interior split or halo filtering) — staging into the shared scratch
-/// `partials` buffer.
-#[inline]
-fn gather_pixel(
-    values: &[i8],
-    starts: &[u32],
-    offsets: &[u32],
-    data: &[i16],
-    base: usize,
-    partials: &mut [i64],
-) -> i64 {
-    for (w, partial) in starts.windows(2).zip(partials.iter_mut()) {
-        let mut p = 0i64;
-        for &off in &offsets[w[0] as usize..w[1] as usize] {
-            p += data[base + off as usize] as i64;
-        }
-        *partial = p;
-    }
-    multiply_stage(values, partials)
-}
-
-/// Stage 2: one multiply per distinct value, reduced into the output
-/// accumulator.
-#[inline]
-fn multiply_stage(values: &[i8], partials: &[i64]) -> i64 {
-    values
-        .iter()
-        .zip(partials)
-        .map(|(&v, &p)| v as i64 * p)
-        .sum()
 }
 
 #[cfg(test)]

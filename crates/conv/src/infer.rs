@@ -20,6 +20,7 @@ use crate::host;
 use crate::parallel::{parallel_map_caught, Parallelism};
 use crate::sparse as csr_engine;
 use abm_fault::AbmError;
+use abm_kernel::Isa;
 use abm_model::{Layer, LayerKind, SparseLayer, SparseModel};
 use abm_sparse::{CsrKernel, LayerCode};
 use abm_telemetry::{FaultAction, TelemetrySink};
@@ -152,6 +153,7 @@ pub struct Inferencer<'m> {
     parallelism: Parallelism,
     telemetry: Option<TelemetrySink>,
     resilience: ResiliencePolicy,
+    isa: Option<Isa>,
 }
 
 impl<'m> Inferencer<'m> {
@@ -166,6 +168,7 @@ impl<'m> Inferencer<'m> {
             parallelism: Parallelism::Auto,
             telemetry: None,
             resilience: ResiliencePolicy::default(),
+            isa: None,
         }
     }
 
@@ -193,6 +196,17 @@ impl<'m> Inferencer<'m> {
     /// [`ResiliencePolicy`]). The default leaves every detector off.
     pub fn resilience(mut self, policy: ResiliencePolicy) -> Self {
         self.resilience = policy;
+        self
+    }
+
+    /// Pins the host kernel ISA for every ABM layer (`None`, the
+    /// default, defers to `ABM_FORCE_ISA` and then auto-detection; see
+    /// [`abm_kernel::select`]). Results are bit-identical for every
+    /// setting — the pin only chooses which vector unit executes the
+    /// gather loops. Preparation fails with
+    /// [`AbmError::IsaUnavailable`] if the pinned ISA cannot run here.
+    pub fn isa(mut self, isa: Option<Isa>) -> Self {
+        self.isa = isa;
         self
     }
 
@@ -238,8 +252,17 @@ impl<'m> Inferencer<'m> {
                     let code = LayerCode::encode(&sl.weights)
                         .map_err(|e| AbmError::from(e).at_layer(idx))?;
                     let (in_shape, geom) = accel_geometry(sl);
-                    let prep = PreparedConv::try_new(&code, in_shape, geom)
+                    let prep = PreparedConv::try_new_with_isa(&code, in_shape, geom, self.isa)
                         .map_err(|e| e.at_layer(idx))?;
+                    if let Some(sink) = &self.telemetry {
+                        let sel = prep.selection();
+                        sink.record_dispatch(
+                            idx as u32,
+                            sel.isa.name(),
+                            sel.acc.name(),
+                            sel.lanes() as u32,
+                        );
+                    }
                     abm.push(Some(prep));
                     csr.push(None);
                     // Retain the source code so a corrupted layer can be
@@ -687,7 +710,7 @@ impl<'m> Inferencer<'m> {
         );
         if let Some(code) = code {
             for attempts in 1..=self.resilience.max_retries {
-                match PreparedConv::try_new(code, prep.input_shape(), geom)
+                match PreparedConv::try_new_with_isa(code, prep.input_shape(), geom, self.isa)
                     .and_then(|fresh| attempt(&fresh))
                 {
                     Ok(r) => {

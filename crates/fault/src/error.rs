@@ -176,6 +176,13 @@ pub enum AbmError {
         /// The error the final attempt died with.
         last: Box<AbmError>,
     },
+    /// A pinned kernel ISA (via `--isa` or `ABM_FORCE_ISA`) cannot run
+    /// here: the CPU lacks the feature set, or the spelling did not
+    /// parse.
+    IsaUnavailable {
+        /// What was requested and why it was rejected.
+        detail: String,
+    },
     /// An error annotated with the layer it occurred in (execution
     /// order) — the context wrapper the network-level paths add.
     Layer {
@@ -341,6 +348,9 @@ impl fmt::Display for AbmError {
                 f,
                 "layer {layer} unrecoverable after {attempts} attempts: {last}"
             ),
+            AbmError::IsaUnavailable { detail } => {
+                write!(f, "kernel ISA unavailable: {detail}")
+            }
             AbmError::Layer { layer, source } => write!(f, "layer {layer}: {source}"),
         }
     }

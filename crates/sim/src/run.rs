@@ -304,6 +304,12 @@ pub fn simulate_workload_collected<C: Collector>(
             name: w.name.clone(),
             cycle: start_cycle,
         });
+        collector.record(Event::KernelDispatch {
+            layer,
+            isa: w.host_sel.isa.name().to_string(),
+            acc: w.host_sel.acc.name().to_string(),
+            lanes: w.host_sel.lanes() as u32,
+        });
         for (k, kernel) in w.flat.kernels().iter().enumerate() {
             if kernel.total() == 0 {
                 continue;

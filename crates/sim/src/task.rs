@@ -41,6 +41,12 @@ pub struct Workload {
     pub is_fc: bool,
     /// Dense op count (the Table 2 throughput numerator).
     pub dense_ops: u64,
+    /// Host kernel variant the functional engine would dispatch this
+    /// layer to (same `select` the prepared hot path runs, fed by the
+    /// verifier's stage-1 accumulator-width proof). Purely descriptive
+    /// on the timing side — recorded into telemetry so simulated and
+    /// host traces agree on which variant executes the stream.
+    pub host_sel: abm_kernel::Selection,
 }
 
 impl Workload {
@@ -77,6 +83,22 @@ impl Workload {
             }
         };
         let flat = FlatCode::lower(&code, layout)?;
+        // Same dispatch decision the functional engine makes at
+        // `PreparedConv` construction: prove the stage-1 partial-sum
+        // width, then pick the widest ISA the layer's sweep can fill.
+        // A bad `ABM_FORCE_ISA` pin falls back to scalar here rather
+        // than erroring — the functional path is the authoritative gate
+        // for rejecting unavailable pins.
+        let stage1_bits = abm_verify::AccumulatorModel::host().stage1_required_bits(&flat);
+        let host_sel = abm_kernel::select_auto(None, stage1_bits, layout.stride == 1, out.cols)
+            .unwrap_or_else(|_| {
+                // INVARIANT: an explicit scalar pin never fails
+                // selection — the scalar port is compiled on every
+                // target and `select` only errors on unavailable
+                // vector ISAs or unparseable env pins.
+                abm_kernel::select(Some(abm_kernel::Isa::Scalar), stage1_bits)
+                    .expect("scalar selection is always available")
+            });
         let workload = Self {
             name: layer.name().to_string(),
             code,
@@ -90,6 +112,7 @@ impl Workload {
             stride: layer.stride(),
             is_fc,
             dense_ops: layer.layer.dense_ops(),
+            host_sel,
         };
         // Debug builds prove the lowering before the simulator times it
         // (same gate as PreparedConv's constructor on the functional

@@ -55,6 +55,9 @@ pub const PID_PIPELINE: u32 = 2;
 /// The host-process track id fault events render on — far above any
 /// plausible worker index so it never collides with a worker track.
 pub const TID_FAULTS: u32 = 999;
+/// The host-process track id kernel-dispatch events render on (one
+/// instant per prepared ABM layer, at the trace epoch).
+pub const TID_DISPATCH: u32 = 998;
 
 impl ChromeTrace {
     /// An empty trace.
@@ -102,6 +105,7 @@ impl ChromeTrace {
         let mut workers_seen: Vec<u32> = Vec::new();
         let mut stages_seen: Vec<u32> = Vec::new();
         let mut faults_seen = false;
+        let mut dispatch_seen = false;
         for e in events {
             match e {
                 Event::CuTask {
@@ -165,6 +169,25 @@ impl ChromeTrace {
                         ],
                     });
                 }
+                Event::KernelDispatch {
+                    layer,
+                    isa,
+                    acc,
+                    lanes,
+                } => {
+                    dispatch_seen = true;
+                    trace.span(Span {
+                        pid: PID_HOST,
+                        tid: TID_DISPATCH,
+                        name: format!("{}:{isa}/{acc}", name_of(*layer)),
+                        ts: u64::from(*layer),
+                        dur: 1,
+                        args: vec![
+                            ("layer".to_string(), layer.to_string()),
+                            ("lanes".to_string(), lanes.to_string()),
+                        ],
+                    });
+                }
                 Event::Fault {
                     layer,
                     action,
@@ -199,6 +222,9 @@ impl ChromeTrace {
         }
         if faults_seen {
             trace.name_track(PID_HOST, TID_FAULTS, "faults");
+        }
+        if dispatch_seen {
+            trace.name_track(PID_HOST, TID_DISPATCH, "kernel-dispatch");
         }
         trace
     }

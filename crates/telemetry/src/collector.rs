@@ -137,6 +137,20 @@ pub enum Event {
         /// Provisioned depth, in rows.
         depth: u32,
     },
+    /// The host kernel variant a prepared ABM layer dispatched to:
+    /// which ISA will execute its gather loops and the stage-1
+    /// accumulator width the lowering verifier proved safe. Recorded
+    /// once per layer at preparation time, never on the execution path.
+    KernelDispatch {
+        /// Layer index in execution order.
+        layer: u32,
+        /// ISA name (`scalar` / `avx2` / `avx512`).
+        isa: String,
+        /// Stage-1 accumulator width name (`i32` / `i64`).
+        acc: String,
+        /// Pixel lanes the variant processes per call.
+        lanes: u32,
+    },
     /// A resilience event: a fault was injected, detected, masked or
     /// recovered from. Rendered on a dedicated "faults" track in the
     /// Chrome trace so campaigns line up against the layer timeline.

@@ -69,6 +69,17 @@ impl TelemetrySink {
         });
     }
 
+    /// Records which host kernel variant a prepared layer dispatched
+    /// to (ISA + proven stage-1 accumulator width + lane count).
+    pub fn record_dispatch(&self, layer: u32, isa: &str, acc: &str, lanes: u32) {
+        self.record(Event::KernelDispatch {
+            layer,
+            isa: isa.to_string(),
+            acc: acc.to_string(),
+            lanes,
+        });
+    }
+
     /// Takes a snapshot of the events recorded so far.
     #[must_use]
     pub fn events(&self) -> Vec<Event> {

@@ -30,7 +30,7 @@
 //! walk is safe.
 
 use crate::report::{Axis, Defect, VerifyReport};
-use abm_sparse::{interior_span, FlatCode, LayerCode};
+use abm_sparse::{interior_span, FlatCode, FlatKernel, LayerCode};
 
 /// The concrete convolution geometry a lowering is verified against.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -74,6 +74,31 @@ impl AccumulatorModel {
             acc_bits: 64,
             max_abs_input: 1 << 15,
         }
+    }
+
+    /// Worst-case signed bits (magnitude + sign, same convention as the
+    /// stage-2 check in [`verify_lowering`]) that any **stage-1 partial
+    /// sum** of `flat` can need under this model: the largest
+    /// value-group population times the largest input magnitude. Every
+    /// intermediate prefix of a group's accumulation is bounded by the
+    /// same `count · max|input|` product, so the bound covers the whole
+    /// running sum, not just its final value.
+    ///
+    /// This is the proof obligation the narrow-accumulator SIMD kernels
+    /// discharge at lowering time: a result ≤ 32 licenses packing
+    /// stage-1 lanes into `i32` vector elements
+    /// (`abm_kernel::AccWidth::narrowest`), the CPU analogue of packing
+    /// two narrow operands through one DSP48 multiplier.
+    #[must_use]
+    pub fn stage1_required_bits(&self, flat: &FlatCode) -> u32 {
+        let worst_count = flat
+            .kernels()
+            .iter()
+            .flat_map(FlatKernel::group_counts)
+            .max()
+            .unwrap_or(0);
+        let worst = worst_count as u128 * self.max_abs_input as u128;
+        128 - worst.leading_zeros() + 1
     }
 }
 
@@ -453,6 +478,31 @@ mod tests {
         let bad = FlatCode::from_kernels(flat.shape(), flat.layout(), kernels);
         let r = verify_lowering("t", &code, &bad, &geom, &AccumulatorModel::host());
         assert!(r.has_class("tap_mismatch"), "{r}");
+    }
+
+    #[test]
+    fn stage1_bits_track_worst_group() {
+        let (_, flat, _) = sample();
+        let worst_count = flat
+            .kernels()
+            .iter()
+            .flat_map(FlatKernel::group_counts)
+            .max()
+            .unwrap();
+        let model = AccumulatorModel::host();
+        let bits = model.stage1_required_bits(&flat);
+        // Exact magnitude+sign recomputation for the worst group.
+        let worst = worst_count as u128 * (1u128 << 15);
+        assert_eq!(bits, 128 - worst.leading_zeros() + 1);
+        // Small kernels over i16 inputs comfortably fit i32 lanes…
+        assert!(bits <= 32);
+        // …and the bound scales with the input model, crossing the i32
+        // threshold once count · max|input| reaches 2^31.
+        let hot = AccumulatorModel {
+            acc_bits: 64,
+            max_abs_input: 1 << 40,
+        };
+        assert!(hot.stage1_required_bits(&flat) > 32);
     }
 
     #[test]

@@ -4,11 +4,12 @@
 //! ```text
 //! abm-spconv analyze  <vgg16|alexnet|vgg19|tiny>
 //! abm-spconv simulate <net> [--n-cu N] [--n-knl N] [--n N] [--s-ec N] [--freq MHZ]
-//!                           [--parallel serial|auto|N]
+//!                           [--parallel serial|auto|N] [--isa auto|scalar|avx2|avx512]
 //!                           [--telemetry] [--report] [--trace-out PATH]
 //! abm-spconv explore  <net> [--device gxa7|arria10]
 //! abm-spconv infer    <net> [--engine dense|gemm|sparse|abm|freq] [--seed S]
 //!                           [--batch N] [--parallel serial|auto|N]
+//!                           [--isa auto|scalar|avx2|avx512]
 //! abm-spconv verify   <net> [--seed S]
 //! abm-spconv faults   <net> [--seed S] [--trials N] [--json PATH] [--trace-out PATH]
 //! abm-spconv pipeline <net> [--seed S] [--batch N] [--device gxa7|arria10]
@@ -18,6 +19,7 @@ use abm_conv::ops::NetworkOps;
 use abm_conv::{Engine, Inferencer, Parallelism};
 use abm_dse::flow::run_flow;
 use abm_dse::{explore_pipeline, FpgaDevice, ResourceModel};
+use abm_kernel::Isa;
 use abm_model::{synthesize_model, zoo, Network, PruneProfile, SparseModel};
 use abm_sim::task::Workload;
 use abm_sim::{
@@ -53,6 +55,9 @@ pub enum Command {
         report: bool,
         /// Write a Chrome `trace_event` JSON file of the CU timeline.
         trace_out: Option<String>,
+        /// Pin the host kernel ISA recorded per workload (`None` =
+        /// auto-detect).
+        isa: Option<Isa>,
     },
     /// The full design-space exploration flow.
     Explore {
@@ -110,6 +115,9 @@ pub enum Command {
         batch: usize,
         /// Host-thread parallelism across the batch.
         parallelism: Parallelism,
+        /// Pin the ABM hot path to one kernel ISA (`None` =
+        /// auto-detect the widest available).
+        isa: Option<Isa>,
     },
 }
 
@@ -134,11 +142,12 @@ pub const USAGE: &str = "usage: abm-spconv <command> [options]
 commands:
   analyze  <vgg16|alexnet|vgg19|tiny>
   simulate <net> [--n-cu N] [--n-knl N] [--n N] [--s-ec N] [--freq MHZ]
-                 [--parallel serial|auto|N]
+                 [--parallel serial|auto|N] [--isa auto|scalar|avx2|avx512]
                  [--telemetry] [--report] [--trace-out PATH]
   explore  <net> [--device gxa7|arria10]
   infer    <net> [--engine dense|gemm|sparse|abm|freq] [--seed S]
                  [--batch N] [--parallel serial|auto|N]
+                 [--isa auto|scalar|avx2|avx512]
   verify   <net> [--seed S]
   faults   <net> [--seed S] [--trials N] [--json PATH] [--trace-out PATH]
   pipeline <net> [--seed S] [--batch N] [--device gxa7|arria10]";
@@ -170,6 +179,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
             let mut telemetry = false;
             let mut report = false;
             let mut trace_out = None;
+            let mut isa = None;
             while let Some(flag) = it.next() {
                 // Boolean flags take no value; everything else does.
                 match flag.as_str() {
@@ -202,6 +212,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                     }
                     "--parallel" => parallelism = Parallelism::parse(value).map_err(err)?,
                     "--trace-out" => trace_out = Some(value.clone()),
+                    "--isa" => isa = Isa::parse(value).map_err(err)?,
                     other => return Err(err(format!("unknown flag {other}"))),
                 }
             }
@@ -215,6 +226,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                 telemetry,
                 report,
                 trace_out,
+                isa,
             })
         }
         "explore" => {
@@ -279,6 +291,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
             let mut seed = 2019u64;
             let mut batch = 1usize;
             let mut parallelism = Parallelism::Auto;
+            let mut isa = None;
             while let Some(flag) = it.next() {
                 let value = it
                     .next()
@@ -307,6 +320,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                             .ok_or_else(|| err(format!("bad batch size '{value}'")))?
                     }
                     "--parallel" => parallelism = Parallelism::parse(value).map_err(err)?,
+                    "--isa" => isa = Isa::parse(value).map_err(err)?,
                     other => return Err(err(format!("unknown flag {other}"))),
                 }
             }
@@ -316,6 +330,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                 seed,
                 batch,
                 parallelism,
+                isa,
             })
         }
         "verify" => {
@@ -437,7 +452,19 @@ pub fn execute(command: &Command) -> Result<(), Box<dyn Error>> {
             telemetry,
             report,
             trace_out,
+            isa,
         } => {
+            // The simulator's workload preparation reads the same
+            // `ABM_FORCE_ISA` pin the functional engine honors, so the
+            // flag routes through the environment override after an
+            // availability check (a pin the CPU cannot run must fail
+            // loudly, not silently fall back).
+            if let Some(isa) = isa {
+                if !isa.available() {
+                    return Err(format!("ISA '{isa}' is not available on this CPU").into());
+                }
+                std::env::set_var(abm_kernel::FORCE_ISA_ENV, isa.name());
+            }
             let (network, profile, model) = build(net, 2019);
             let collect = *telemetry || *report || trace_out.is_some();
             let mut recording = RecordingCollector::new();
@@ -678,6 +705,7 @@ pub fn execute(command: &Command) -> Result<(), Box<dyn Error>> {
             seed,
             batch,
             parallelism,
+            isa,
         } => {
             let (network, _, model) = build(net, *seed);
             let inputs: Vec<_> = (0..*batch)
@@ -690,6 +718,7 @@ pub fn execute(command: &Command) -> Result<(), Box<dyn Error>> {
             let results = Inferencer::new(&model)
                 .engine(*engine)
                 .parallelism(*parallelism)
+                .isa(*isa)
                 .run_batch(&inputs)?;
             let result = &results[0];
             println!(
@@ -705,6 +734,10 @@ pub fn execute(command: &Command) -> Result<(), Box<dyn Error>> {
                 println!("  batch classes: {classes:?}");
             }
             if *engine == Engine::Abm {
+                let resolved = isa
+                    .or_else(|| abm_kernel::forced_isa().ok().flatten())
+                    .unwrap_or_else(Isa::detect);
+                println!("  host kernel ISA: {resolved}");
                 println!(
                     "  {} accumulations, {} multiplications ({:.1}x fewer mults than MACs)",
                     result.work.accumulations,
@@ -767,6 +800,7 @@ mod tests {
                 telemetry,
                 report,
                 trace_out,
+                isa,
             } => {
                 assert_eq!(net, "tiny");
                 assert_eq!(config.n_cu, 2);
@@ -776,6 +810,7 @@ mod tests {
                 assert_eq!(parallelism, Parallelism::Threads(4));
                 assert!(!telemetry && !report);
                 assert_eq!(trace_out, None);
+                assert_eq!(isa, None);
             }
             other => panic!("wrong command {other:?}"),
         }
@@ -839,6 +874,7 @@ mod tests {
                 seed: 7,
                 batch: 3,
                 parallelism: Parallelism::Serial,
+                isa: None,
             }
         );
         // Defaults: single image, auto parallelism.
@@ -851,8 +887,36 @@ mod tests {
                 seed: 2019,
                 batch: 1,
                 parallelism: Parallelism::Auto,
+                isa: None,
             }
         );
+    }
+
+    #[test]
+    fn parse_isa_pins() {
+        let cmd = parse(&argv("infer tiny --isa scalar")).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Infer {
+                isa: Some(Isa::Scalar),
+                ..
+            }
+        ));
+        let cmd = parse(&argv("simulate tiny --isa avx2")).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Simulate {
+                isa: Some(Isa::Avx2),
+                ..
+            }
+        ));
+        // `auto` is the explicit spelling of the default.
+        let cmd = parse(&argv("infer tiny --isa auto")).unwrap();
+        assert!(matches!(cmd, Command::Infer { isa: None, .. }));
+        assert!(parse(&argv("infer tiny --isa sse9"))
+            .unwrap_err()
+            .to_string()
+            .contains("unknown ISA"));
     }
 
     #[test]
@@ -1004,6 +1068,7 @@ mod tests {
             telemetry: false,
             report: false,
             trace_out: None,
+            isa: None,
         })
         .unwrap();
         execute(&Command::Infer {
@@ -1012,6 +1077,7 @@ mod tests {
             seed: 1,
             batch: 4,
             parallelism: Parallelism::Threads(2),
+            isa: None,
         })
         .unwrap();
         execute(&Command::Explore {
@@ -1031,6 +1097,7 @@ mod tests {
             telemetry: true,
             report: true,
             trace_out: Some(trace_path.to_string_lossy().into_owned()),
+            isa: None,
         })
         .unwrap();
         let trace = std::fs::read_to_string(&trace_path).unwrap();

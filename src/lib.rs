@@ -7,6 +7,7 @@
 //! * [`model`] — CNN zoo, pruning, synthesis
 //! * [`sparse`] — Q-Table / WT-Buffer encoding
 //! * [`conv`] — SDConv / SpConv / FDConv / ABM-SpConv engines
+//! * [`kernel`] — runtime-dispatched scalar/AVX2/AVX-512 gather kernels
 //! * [`sim`] — the cycle-approximate accelerator simulator
 //! * [`dse`] — design space exploration
 //! * [`verify`] — static invariant checking + the concurrency model checker
@@ -24,6 +25,7 @@ pub mod cli;
 pub use abm_conv as conv;
 pub use abm_dse as dse;
 pub use abm_fault as fault;
+pub use abm_kernel as kernel;
 pub use abm_model as model;
 pub use abm_sim as sim;
 pub use abm_sparse as sparse;

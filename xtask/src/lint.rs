@@ -1,22 +1,30 @@
 //! The source lint pass (`cargo xtask lint`).
 //!
-//! Two checks, both plain text scans so they cost nothing to run and
+//! Three checks, all plain text scans so they cost nothing to run and
 //! cannot be silenced by `cfg` tricks:
 //!
 //! 1. **Unsafe-forbid**: every compilation root in the workspace —
 //!    crate `lib.rs`/`main.rs`, every `src/bin/*.rs`, every bench and
 //!    example — must carry a literal `#![forbid(unsafe_code)]`. The
 //!    accelerator model is pure arithmetic; nothing here justifies
-//!    `unsafe`, including the glue binaries.
+//!    `unsafe`, including the glue binaries. Sole exception: the
+//!    `abm-kernel` root carries `#![deny(unsafe_code)]` instead, so
+//!    its one intrinsics module can opt back in (see check 3).
 //! 2. **Panic-free core**: the non-test portions of the `tensor`,
-//!    `sparse`, `conv`, `sim` and `fault` crates may not call `.unwrap()`,
-//!    `.expect(...)` or `panic!` — errors in the numeric core must be
-//!    `Result`s or proven-unreachable states. Files listed in
-//!    `xtask/lint-allow.txt` are exempt, but every surviving site in
+//!    `sparse`, `conv`, `sim`, `fault` and `kernel` crates may not call
+//!    `.unwrap()`, `.expect(...)` or `panic!` — errors in the numeric
+//!    core must be `Result`s or proven-unreachable states. Files listed
+//!    in `xtask/lint-allow.txt` are exempt, but every surviving site in
 //!    them must carry an `// INVARIANT:` comment (same line or the two
 //!    lines above) naming the invariant that makes it unreachable.
 //!    Allowlist entries that no longer match any site are themselves
 //!    errors, so the list can only shrink.
+//! 3. **Unsafe island**: the token `unsafe` may appear in exactly one
+//!    first-party file — `crates/kernel/src/x86.rs`, the SIMD
+//!    intrinsics module — and every `unsafe` site there must carry an
+//!    `// INVARIANT:` comment naming the contract that makes it sound.
+//!    The island going empty is itself an error (shrink the allowance
+//!    when the code no longer needs it).
 //!
 //! Vendored crates (`vendor/`) are third-party stand-ins and are not
 //! scanned.
@@ -28,23 +36,40 @@ use std::path::{Path, PathBuf};
 /// path from a model file to an inference result or a cycle count,
 /// plus the fault/error layer itself (an error path that panics
 /// defeats the whole subsystem).
-const PANIC_FREE_CRATES: [&str; 5] = ["tensor", "sparse", "conv", "sim", "fault"];
+const PANIC_FREE_CRATES: [&str; 6] = ["tensor", "sparse", "conv", "sim", "fault", "kernel"];
 
 /// Relative path of the panic-site allowlist.
 const ALLOWLIST: &str = "xtask/lint-allow.txt";
 
-/// Runs both lint checks, printing a summary line per pass. Returns an
-/// error listing every violation if any check fails.
+/// The one first-party file allowed to contain `unsafe`: the
+/// runtime-dispatched SIMD intrinsics behind `abm-kernel`'s safe trait.
+const UNSAFE_ISLAND: &str = "crates/kernel/src/x86.rs";
+
+/// Compilation roots that trade `forbid` for `deny` so a module-scoped
+/// `#![allow(unsafe_code)]` in [`UNSAFE_ISLAND`] can opt back in.
+const DENY_UNSAFE_ROOTS: [&str; 1] = ["crates/kernel/src/lib.rs"];
+
+/// Runs all three lint checks, printing a summary line per pass.
+/// Returns an error listing every violation if any check fails.
 pub fn run(root: &Path) -> Result<(), String> {
     let mut errors = Vec::new();
 
     let roots = compilation_roots(root)?;
     for file in &roots {
         let text = read(file)?;
-        if !text.lines().any(|l| l.trim() == "#![forbid(unsafe_code)]") {
+        let rel_path = rel(root, file);
+        if DENY_UNSAFE_ROOTS.contains(&rel_path.as_str()) {
+            // The kernel root downgrades to `deny` — still a hard error
+            // crate-wide, but overridable by the island's module-scoped
+            // allow (forbid would reject that override outright).
+            if !text.lines().any(|l| l.trim() == "#![deny(unsafe_code)]") {
+                errors.push(format!(
+                    "{rel_path}: kernel root missing #![deny(unsafe_code)]"
+                ));
+            }
+        } else if !text.lines().any(|l| l.trim() == "#![forbid(unsafe_code)]") {
             errors.push(format!(
-                "{}: compilation root missing #![forbid(unsafe_code)]",
-                rel(root, file)
+                "{rel_path}: compilation root missing #![forbid(unsafe_code)]"
             ));
         }
     }
@@ -77,6 +102,11 @@ pub fn run(root: &Path) -> Result<(), String> {
     println!(
         "lint: {files} core files scanned, {sites} panic sites, {} allowlist entries",
         allow.len()
+    );
+
+    let (island_files, island_sites) = scan_unsafe_island(root, &mut errors)?;
+    println!(
+        "lint: {island_files} files swept for `unsafe`, {island_sites} island sites justified"
     );
 
     if errors.is_empty() {
@@ -114,6 +144,92 @@ fn compilation_roots(root: &Path) -> Result<Vec<PathBuf>, String> {
     Ok(roots)
 }
 
+/// Sweeps every first-party Rust source for the `unsafe` keyword. Sites
+/// outside [`UNSAFE_ISLAND`] are violations; sites inside it must carry
+/// an `INVARIANT:` comment, and the island going site-free is an error
+/// (the allowance should be deleted along with the last intrinsic).
+/// Returns `(files_swept, justified_island_sites)`.
+fn scan_unsafe_island(root: &Path, errors: &mut Vec<String>) -> Result<(usize, usize), String> {
+    // xtask itself is excluded: this very scanner must name the token in
+    // its diagnostics, and check 1's `#![forbid(unsafe_code)]` already
+    // makes unsafe code in xtask a compile error.
+    let mut dirs = vec![
+        root.join("src"),
+        root.join("tests"),
+        root.join("examples"),
+        root.join("benches"),
+    ];
+    for krate in list_dirs(&root.join("crates"))? {
+        for sub in ["src", "tests", "examples", "benches"] {
+            dirs.push(krate.join(sub));
+        }
+    }
+    let mut files = 0usize;
+    let mut island_sites = 0usize;
+    for dir in dirs {
+        if !dir.is_dir() {
+            continue;
+        }
+        for file in rust_files(&dir)? {
+            files += 1;
+            let text = read(&file)?;
+            let rel_path = rel(root, &file);
+            let is_island = rel_path == UNSAFE_ISLAND;
+            let lines: Vec<&str> = text.lines().collect();
+            for (i, line) in lines.iter().enumerate() {
+                let trimmed = line.trim_start();
+                if trimmed.starts_with("//") {
+                    continue;
+                }
+                // `unsafe_code` in a lint attribute is not a site; any
+                // other appearance of the keyword is.
+                if !line.replace("unsafe_code", "").contains("unsafe") {
+                    continue;
+                }
+                if !is_island {
+                    errors.push(format!(
+                        "{rel_path}:{}: `unsafe` outside the kernel island ({UNSAFE_ISLAND}): {}",
+                        i + 1,
+                        trimmed.trim_end()
+                    ));
+                } else if !has_invariant(&lines, i) {
+                    errors.push(format!(
+                        "{rel_path}:{}: island `unsafe` site lacks an // INVARIANT: comment",
+                        i + 1
+                    ));
+                } else {
+                    island_sites += 1;
+                }
+            }
+        }
+    }
+    if island_sites == 0 {
+        errors.push(format!(
+            "{UNSAFE_ISLAND}: island has no `unsafe` sites left — remove it from the lint allowance"
+        ));
+    }
+    Ok((files, island_sites))
+}
+
+/// True if the site at `lines[i]` is justified by an `INVARIANT:`
+/// comment — on the site line itself, within the two lines above
+/// (multi-line call chains), or anywhere in the contiguous comment
+/// block directly above the site.
+fn has_invariant(lines: &[&str], i: usize) -> bool {
+    let mut justified = (i.saturating_sub(2)..=i).any(|j| lines[j].contains("INVARIANT:"));
+    let mut j = i;
+    while !justified && j > 0 {
+        j -= 1;
+        let above = lines[j].trim_start();
+        if above.starts_with("//") {
+            justified = above.contains("INVARIANT:");
+        } else if j < i.saturating_sub(2) {
+            break;
+        }
+    }
+    justified
+}
+
 /// Scans one core file for panic sites before its `#[cfg(test)]`
 /// module. Returns the number of sites found; pushes an error for each
 /// site that is not allowlisted or lacks its `// INVARIANT:` comment.
@@ -134,20 +250,7 @@ fn scan_panics(rel_path: &str, text: &str, allowed: bool, errors: &mut Vec<Strin
             continue;
         }
         found += 1;
-        // The justification may sit on the site line itself, within the
-        // two lines above (multi-line call chains), or anywhere in the
-        // contiguous comment block directly above the site.
-        let mut justified = (i.saturating_sub(2)..=i).any(|j| lines[j].contains("INVARIANT:"));
-        let mut j = i;
-        while !justified && j > 0 {
-            j -= 1;
-            let above = lines[j].trim_start();
-            if above.starts_with("//") {
-                justified = above.contains("INVARIANT:");
-            } else if j < i.saturating_sub(2) {
-                break;
-            }
-        }
+        let justified = has_invariant(&lines, i);
         if !allowed {
             errors.push(format!(
                 "{rel_path}:{}: panic site in non-allowlisted core file: {}",

@@ -32,7 +32,7 @@
 
 use crate::dense::Geometry;
 use abm_fault::AbmError;
-use abm_kernel::{gather_one, AbmKernel, Isa, Selection, MAX_LANES};
+use abm_kernel::{gather_one, AbmKernel, AccWidth, Isa, Selection, MAX_LANES};
 use abm_sparse::{FlatCode, FlatKernel, FlatLayout, LayerCode, Tap};
 use abm_tensor::{Shape3, Shape4, Tensor3};
 use std::ops::Range;
@@ -62,6 +62,32 @@ impl AbmWork {
     #[must_use]
     pub fn total(&self) -> u64 {
         self.accumulations + self.multiplications + self.final_accumulations
+    }
+}
+
+/// Static metric name for the per-variant execute counter — static
+/// strings so the hot path never allocates to name a metric.
+fn execute_counter(sel: Selection) -> &'static str {
+    match (sel.isa, sel.acc) {
+        (Isa::Scalar, AccWidth::I32) => "abm_execute_scalar_i32_total",
+        (Isa::Scalar, AccWidth::I64) => "abm_execute_scalar_i64_total",
+        (Isa::Avx2, AccWidth::I32) => "abm_execute_avx2_i32_total",
+        (Isa::Avx2, AccWidth::I64) => "abm_execute_avx2_i64_total",
+        (Isa::Avx512, AccWidth::I32) => "abm_execute_avx512_i32_total",
+        (Isa::Avx512, AccWidth::I64) => "abm_execute_avx512_i64_total",
+    }
+}
+
+/// Static metric name for the per-variant preparation-time dispatch
+/// counter.
+fn dispatch_counter(sel: Selection) -> &'static str {
+    match (sel.isa, sel.acc) {
+        (Isa::Scalar, AccWidth::I32) => "abm_dispatch_scalar_i32_total",
+        (Isa::Scalar, AccWidth::I64) => "abm_dispatch_scalar_i64_total",
+        (Isa::Avx2, AccWidth::I32) => "abm_dispatch_avx2_i32_total",
+        (Isa::Avx2, AccWidth::I64) => "abm_dispatch_avx2_i64_total",
+        (Isa::Avx512, AccWidth::I32) => "abm_dispatch_avx512_i32_total",
+        (Isa::Avx512, AccWidth::I64) => "abm_dispatch_avx512_i64_total",
     }
 }
 
@@ -296,6 +322,11 @@ impl PreparedConv {
             interior_cols.end.saturating_sub(interior_cols.start),
         )
         .map_err(|detail| AbmError::IsaUnavailable { detail })?;
+        // Dispatch accounting: one count per prepared layer, keyed by
+        // the resolved variant (preparation-time, never the hot path).
+        if abm_metrics::enabled() {
+            abm_metrics::global().add(dispatch_counter(sel), 1);
+        }
         Ok(Self {
             in_shape,
             out_shape,
@@ -418,11 +449,39 @@ impl PreparedConv {
     /// Runs the prepared layer, returning the exact full-precision
     /// output.
     ///
+    /// When the global metrics registry is enabled this also records
+    /// the per-execute wall-clock histogram (`abm_execute_ns`), the
+    /// resolved-variant execute counter and the interior/halo pixel
+    /// split — observation only, never on the result path.
+    ///
     /// # Panics
     ///
     /// Panics if `input`'s shape differs from the prepared shape.
     #[must_use]
     pub fn execute(&self, input: &Tensor3<i16>) -> Tensor3<i64> {
+        if !abm_metrics::enabled() {
+            return self.execute_inner(input);
+        }
+        let timer = Instant::now();
+        let out = self.execute_inner(input);
+        let elapsed = u64::try_from(timer.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let m = abm_metrics::global();
+        m.observe("abm_execute_ns", elapsed);
+        m.add(execute_counter(self.sel), 1);
+        let out_plane = (self.out_shape.rows * self.out_shape.cols) as u64;
+        let interior = (self.interior_rows.len() * self.interior_cols.len()) as u64;
+        let channels = self.out_shape.channels as u64;
+        m.add("abm_interior_pixels_total", interior * channels);
+        m.add(
+            "abm_halo_pixels_total",
+            out_plane.saturating_sub(interior) * channels,
+        );
+        out
+    }
+
+    /// The uninstrumented execution body shared by the metered entry
+    /// point above and the disabled-registry fast path.
+    fn execute_inner(&self, input: &Tensor3<i16>) -> Tensor3<i64> {
         assert_eq!(
             input.shape(),
             self.in_shape,

@@ -510,12 +510,29 @@ impl<'m> Inferencer<'m> {
         input: &Tensor3<i16>,
         track: u32,
     ) -> Result<InferenceResult, AbmError> {
-        self.check_input_shape(input)?;
-        let mut state = self.begin_image(input);
-        for layer in self.model.network.layers() {
-            self.step_layer(prepared, &mut state, layer, track)?;
+        let timer = abm_metrics::enabled().then(std::time::Instant::now);
+        let result: Result<InferenceResult, AbmError> = (|| {
+            self.check_input_shape(input)?;
+            let mut state = self.begin_image(input);
+            for layer in self.model.network.layers() {
+                self.step_layer(prepared, &mut state, layer, track)?;
+            }
+            Ok(state.finish())
+        })();
+        if let Some(timer) = timer {
+            let m = abm_metrics::global();
+            m.observe(
+                "infer_image_ns",
+                u64::try_from(timer.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            );
+            m.add("infer_images_total", 1);
         }
-        Ok(state.finish())
+        if let Err(e) = &result {
+            // Post-mortem hook: count the error and freeze the flight
+            // recorder's tail as the forensic dump for this failure.
+            abm_metrics::global().note_error("infer", &e.to_string());
+        }
+        result
     }
 
     /// Starts an image's flow through the network: the per-image state
@@ -616,6 +633,7 @@ impl<'m> Inferencer<'m> {
         track: u32,
     ) -> Result<(Tensor3<i16>, QFormat, AbmWork, LayerNumerics), AbmError> {
         let span_start = self.telemetry.as_ref().map(TelemetrySink::now_ns);
+        let metric_start = abm_metrics::enabled().then(std::time::Instant::now);
         let mut work = AbmWork::default();
         let acc: Tensor3<i64> = match self.engine {
             Engine::Dense => dense::conv2d(input, &sl.weights, geom),
@@ -666,6 +684,12 @@ impl<'m> Inferencer<'m> {
         };
         let target = self.calibration.as_ref().map(|c| c.format(layer_idx));
         let (out, out_fmt, numerics) = requantize(&acc, fmt, sl.format, target);
+        if let Some(start) = metric_start {
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let m = abm_metrics::global();
+            m.observe("infer_layer_ns", ns);
+            m.observe(&format!("layer_ns_{}", sl.name()), ns);
+        }
         if let (Some(sink), Some(start)) = (&self.telemetry, span_start) {
             // ops = the layer's two-stage arithmetic total, so span
             // duration vs. ops gives measured host ops/sec (0 for
@@ -750,6 +774,9 @@ impl<'m> Inferencer<'m> {
             );
             return Ok((out, AbmWork::default()));
         }
+        if abm_metrics::enabled() {
+            abm_metrics::global().add("recovery_exhausted_total", 1);
+        }
         Err(AbmError::RecoveryExhausted {
             layer: layer_idx,
             attempts: self.resilience.max_retries,
@@ -774,6 +801,23 @@ impl<'m> Inferencer<'m> {
     }
 
     fn record_fault(&self, layer: usize, action: FaultAction, class: &str, detail: &str) {
+        // Per-rung recovery-ladder counters: every telemetry fault
+        // event has an aggregate twin, so campaign totals reconcile
+        // against summed events.
+        if abm_metrics::enabled() {
+            let m = abm_metrics::global();
+            match action {
+                FaultAction::Injected => m.add("fault_injected_total", 1),
+                FaultAction::Detected => m.add("fault_detected_total", 1),
+                FaultAction::Masked => m.add("fault_masked_total", 1),
+                FaultAction::Recovered => match class {
+                    "re-lower" => m.add("recovery_relower_total", 1),
+                    "reference-fallback" => m.add("recovery_reference_total", 1),
+                    "dense-fallback" => m.add("recovery_dense_total", 1),
+                    _ => m.add("recovery_other_total", 1),
+                },
+            }
+        }
         if let Some(sink) = &self.telemetry {
             sink.record_fault(layer as u32, action, class, detail);
         }

@@ -118,6 +118,16 @@ where
     R: Send,
     F: Fn(usize, usize, &T) -> R + Sync,
 {
+    // Pool accounting: fan-out shape and queue depth are recorded up
+    // front, steal/retry totals per worker as each retires. Metrics
+    // observe the pool, they never steer it.
+    let metrics_on = abm_metrics::enabled();
+    if metrics_on {
+        let m = abm_metrics::global();
+        m.add("pool_fanouts_total", 1);
+        m.add("pool_items_total", items.len() as u64);
+        m.gauge_max("pool_queue_depth_high_water", items.len() as u64);
+    }
     let workers = parallelism.worker_count().min(items.len());
     if workers <= 1 {
         let start = Instant::now();
@@ -135,7 +145,13 @@ where
                 });
             }
         }
+        if metrics_on {
+            abm_metrics::global().add("pool_serial_items_total", items.len() as u64);
+        }
         return out;
+    }
+    if metrics_on {
+        abm_metrics::global().add("pool_workers_total", workers as u64);
     }
 
     let injector: Injector<usize> = Injector::new();
@@ -151,13 +167,14 @@ where
             scope.spawn(move || {
                 let mut tasks = 0u64;
                 let mut busy_ns = 0u64;
+                let mut retries = 0u64;
                 loop {
                     match injector.steal() {
                         Steal::Success(i) => {
                             let start = sink.map(|_| Instant::now());
                             let result = f(worker, i, &items[i]);
+                            tasks += 1;
                             if let Some(start) = start {
-                                tasks += 1;
                                 busy_ns +=
                                     u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
                             }
@@ -168,7 +185,7 @@ where
                             }
                         }
                         Steal::Empty => break,
-                        Steal::Retry => {}
+                        Steal::Retry => retries += 1,
                     }
                 }
                 if let Some(sink) = sink {
@@ -179,6 +196,11 @@ where
                             busy_ns,
                         });
                     }
+                }
+                if metrics_on {
+                    let m = abm_metrics::global();
+                    m.add("pool_steals_total", tasks);
+                    m.add("pool_steal_retries_total", retries);
                 }
             });
         }

@@ -1,10 +1,13 @@
-//! A minimal JSON syntax validator and string escaper.
+//! A minimal JSON syntax validator, string escaper and value parser.
 //!
 //! The workspace's exporters hand-roll their JSON (the build
-//! environment has no serde); this module provides the two pieces they
-//! share: [`escape`] for string values and [`validate`], a strict
+//! environment has no serde); this module provides the pieces they
+//! share: [`escape`] for string values, [`validate`], a strict
 //! recursive-descent syntax checker the writer tests (and CI) run over
-//! every exported document.
+//! every exported document, and [`parse`], which builds a [`Value`]
+//! tree for the consumers that must *read* those documents back
+//! (`cargo xtask bench-diff` comparing committed `BENCH_*.json` files
+//! and metrics snapshots).
 
 /// Escapes a string for embedding in a JSON string literal.
 #[must_use]
@@ -211,6 +214,184 @@ fn number(b: &[u8], pos: &mut usize) -> Result<(), String> {
     Ok(())
 }
 
+/// A parsed JSON value.
+///
+/// Objects preserve document order as a `Vec` of pairs (duplicate keys
+/// keep both entries; [`Value::get`] returns the first) — the files we
+/// read back are our own exports, which never duplicate keys.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (stored as `f64`, exact for the integers we export).
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in document order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object member lookup (None for non-objects or missing keys).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one complete JSON document into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns a message naming the byte offset and the problem (the same
+/// grammar [`validate`] enforces).
+pub fn parse(s: &str) -> Result<Value, String> {
+    // Validate first: the builder below can then assume syntactic
+    // well-formedness and stay simple.
+    validate(s)?;
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    build_value(bytes, &mut pos)
+}
+
+fn build_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Obj(members));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = build_string(b, pos)?;
+                skip_ws(b, pos);
+                *pos += 1; // ':' — guaranteed by validate
+                let val = build_value(b, pos)?;
+                members.push((key, val));
+                skip_ws(b, pos);
+                let sep = b.get(*pos).copied();
+                *pos += 1; // ',' or '}'
+                if sep == Some(b'}') {
+                    return Ok(Value::Obj(members));
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(build_value(b, pos)?);
+                skip_ws(b, pos);
+                let sep = b.get(*pos).copied();
+                *pos += 1; // ',' or ']'
+                if sep == Some(b']') {
+                    return Ok(Value::Arr(items));
+                }
+            }
+        }
+        Some(b'"') => Ok(Value::Str(build_string(b, pos)?)),
+        Some(b't') => {
+            *pos += 4;
+            Ok(Value::Bool(true))
+        }
+        Some(b'f') => {
+            *pos += 5;
+            Ok(Value::Bool(false))
+        }
+        Some(b'n') => {
+            *pos += 4;
+            Ok(Value::Null)
+        }
+        _ => {
+            let start = *pos;
+            number(b, pos)?;
+            let text = std::str::from_utf8(&b[start..*pos])
+                .map_err(|_| format!("non-utf8 number at byte {start}"))?;
+            text.parse::<f64>()
+                .map(Value::Num)
+                .map_err(|e| format!("unparseable number at byte {start}: {e}"))
+        }
+    }
+}
+
+fn build_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    let start = *pos;
+    string(b, pos)?; // re-checks and finds the closing quote
+    let raw = std::str::from_utf8(&b[start + 1..*pos - 1])
+        .map_err(|_| format!("non-utf8 string at byte {start}"))?;
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('/') => out.push('/'),
+            Some('b') => out.push('\u{8}'),
+            Some('f') => out.push('\u{c}'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                let code = u32::from_str_radix(&hex, 16)
+                    .map_err(|e| format!("bad \\u escape in string at byte {start}: {e}"))?;
+                // Surrogate halves (our escaper never emits them) fall
+                // back to U+FFFD rather than failing the whole parse.
+                out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+            }
+            other => return Err(format!("bad escape {other:?} in string at byte {start}")),
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -251,5 +432,35 @@ mod tests {
         let nasty = "a\"b\\c\nd\te\u{1}";
         let doc = format!("{{\"k\": \"{}\"}}", escape(nasty));
         validate(&doc).unwrap();
+    }
+
+    #[test]
+    fn parse_builds_the_expected_tree() {
+        let v = parse(r#"{"a": [1, 2.5, "x", true, null], "b": {"c": -3e2}}"#).unwrap();
+        let a = v.get("a").and_then(Value::as_arr).unwrap();
+        assert_eq!(a[0], Value::Num(1.0));
+        assert_eq!(a[1], Value::Num(2.5));
+        assert_eq!(a[2].as_str(), Some("x"));
+        assert_eq!(a[3], Value::Bool(true));
+        assert_eq!(a[4], Value::Null);
+        assert_eq!(
+            v.get("b").and_then(|b| b.get("c")).and_then(Value::as_f64),
+            Some(-300.0)
+        );
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn parse_unescapes_strings() {
+        let nasty = "a\"b\\c\nd\te\u{1}";
+        let doc = format!("{{\"k\": \"{}\"}}", escape(nasty));
+        let v = parse(&doc).unwrap();
+        assert_eq!(v.get("k").and_then(Value::as_str), Some(nasty));
+    }
+
+    #[test]
+    fn parse_rejects_what_validate_rejects() {
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\" 1}").is_err());
     }
 }

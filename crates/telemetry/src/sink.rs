@@ -12,11 +12,26 @@ use crate::collector::{Event, FaultAction};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+/// The observer type a sink can tee every event into (e.g. a flight
+/// recorder): called after the event is stored, outside the lock.
+pub type EventTee = Arc<dyn Fn(&Event) + Send + Sync>;
+
 /// A cloneable, thread-safe telemetry sink with a per-run epoch.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct TelemetrySink {
     events: Arc<Mutex<Vec<Event>>>,
     epoch: Instant,
+    tee: Option<EventTee>,
+}
+
+impl std::fmt::Debug for TelemetrySink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TelemetrySink")
+            .field("events", &self.events)
+            .field("epoch", &self.epoch)
+            .field("tee", &self.tee.as_ref().map(|_| "<fn>"))
+            .finish()
+    }
 }
 
 impl TelemetrySink {
@@ -27,7 +42,18 @@ impl TelemetrySink {
         Self {
             events: Arc::new(Mutex::new(Vec::new())),
             epoch: Instant::now(),
+            tee: None,
         }
+    }
+
+    /// Attaches an observer that sees every subsequently recorded
+    /// event (clones made *before* this call keep the old tee). The
+    /// tee runs after the event is stored and outside the event lock,
+    /// so it may itself take locks freely.
+    #[must_use]
+    pub fn with_tee(mut self, tee: EventTee) -> Self {
+        self.tee = Some(tee);
+        self
     }
 
     /// Nanoseconds elapsed since the sink was created — the timestamp
@@ -39,10 +65,20 @@ impl TelemetrySink {
 
     /// Records one event (any thread).
     pub fn record(&self, event: Event) {
-        self.events
-            .lock()
-            .expect("telemetry sink poisoned")
-            .push(event);
+        match &self.tee {
+            Some(tee) => {
+                self.events
+                    .lock()
+                    .expect("telemetry sink poisoned")
+                    .push(event.clone());
+                tee(&event);
+            }
+            None => self
+                .events
+                .lock()
+                .expect("telemetry sink poisoned")
+                .push(event),
+        }
     }
 
     /// Records a host span measured against this sink's epoch.

@@ -107,10 +107,19 @@ pub fn run_campaign(
     config: &CampaignConfig,
     sink: &TelemetrySink,
 ) -> Result<CampaignReport, AbmError> {
+    // Tee every campaign event into the global flight recorder: the
+    // clone shares the caller's event buffer (they still see the full
+    // stream), while the recorder keeps the forensic tail that gets
+    // frozen the moment a trial surfaces an `AbmError`.
+    let sink = abm_metrics::flight_tee(sink.clone());
     let mut report = CampaignReport::new(config.seed);
     for net in &config.nets {
-        run_net(net, config, sink, &mut report)?;
+        if let Err(e) = run_net(net, config, &sink, &mut report) {
+            abm_metrics::global().note_error("campaign", &e.to_string());
+            return Err(e);
+        }
     }
+    abm_metrics::global().add("campaign_trials_total", report.trials.len() as u64);
     Ok(report)
 }
 
@@ -263,12 +272,7 @@ fn fi_word_trial(t: FunctionalTrial<'_>) -> Result<TrialRecord, AbmError> {
     let bit = t.rng.below(16) as u32;
     let admitted = abft::input_checksum(t.input);
     tampered.as_mut_slice()[word] ^= 1i16 << bit;
-    t.sink.record_fault(
-        0,
-        FaultAction::Injected,
-        t.class.name(),
-        &format!("word {word} bit {bit}"),
-    );
+    record_injected(t.sink, 0, t.class.name(), &format!("word {word} bit {bit}"));
     match abft::verify_input(&tampered, admitted) {
         Err(_) => {
             t.sink.record_fault(
@@ -359,8 +363,7 @@ fn post_load_flip_trial(t: FunctionalTrial<'_>) -> Result<TrialRecord, AbmError>
     kernels[kernel] = corrupted;
     let bad = FlatCode::from_kernels(flat.shape(), flat.layout(), kernels);
     *slot = slot.clone().with_flat(bad);
-    t.sink
-        .record_fault(layer as u32, FaultAction::Injected, t.class.name(), &detail);
+    record_injected(t.sink, layer as u32, t.class.name(), &detail);
 
     let before = t.sink.events().len();
     let run = t.inferencer.run_prepared(&prepared, t.input);
@@ -443,8 +446,7 @@ fn load_time_trial(t: FunctionalTrial<'_>) -> Result<TrialRecord, AbmError> {
         }
     };
     let bad = FlatCode::from_kernels(flat.shape(), flat.layout(), kernels);
-    t.sink
-        .record_fault(layer as u32, FaultAction::Injected, t.class.name(), &detail);
+    record_injected(t.sink, layer as u32, t.class.name(), &detail);
 
     match PreparedConv::try_from_flat(bad, pristine.input_shape(), pristine.geometry()) {
         Err(e) if e.is_corruption() => {
@@ -503,9 +505,9 @@ fn accumulator_trial(t: FunctionalTrial<'_>) -> Result<TrialRecord, AbmError> {
     let idx = t.rng.below(bad.as_slice().len() as u64) as usize;
     let bit = t.rng.below(63) as u32;
     bad.as_mut_slice()[idx] ^= 1i64 << bit;
-    t.sink.record_fault(
+    record_injected(
+        t.sink,
         layer as u32,
-        FaultAction::Injected,
         t.class.name(),
         &format!("accumulator {idx} bit {bit}"),
     );
@@ -603,9 +605,9 @@ fn timing_trial(
             ..Fault::default()
         },
     };
-    sink.record_fault(
+    record_injected(
+        sink,
         layer as u32,
-        FaultAction::Injected,
         class.name(),
         &format!(
             "unit {} cycles {} derate {}",
@@ -747,9 +749,9 @@ fn pipelined_trial(t: PipelinedTrial<'_>) -> Result<TrialRecord, AbmError> {
         }
         other => unreachable!("{other} has no pipelined injection site"),
     };
-    t.sink.record_fault(
+    record_injected(
+        t.sink,
         fault.layer as u32,
-        FaultAction::Injected,
         t.class.name(),
         &format!("pipelined unit {} cycles {}", fault.unit, fault.cycles),
     );
@@ -849,6 +851,17 @@ fn watchdog_name(e: &AbmError) -> &'static str {
         AbmError::BandwidthCollapse { .. } => "layer-latency",
         _ => "guard",
     }
+}
+
+/// Records an injection on the sink and mirrors it into the global
+/// metrics registry. Injections originate here (not in the inference
+/// path, which only detects and recovers), so the
+/// `fault_injected_total` counter lives here too.
+fn record_injected(sink: &TelemetrySink, layer: u32, class: &str, detail: &str) {
+    if abm_metrics::enabled() {
+        abm_metrics::global().add("fault_injected_total", 1);
+    }
+    sink.record_fault(layer, FaultAction::Injected, class, detail);
 }
 
 /// Extracts the detector and recovery action from the `Event::Fault`s

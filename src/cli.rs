@@ -13,6 +13,8 @@
 //! abm-spconv verify   <net> [--seed S]
 //! abm-spconv faults   <net> [--seed S] [--trials N] [--json PATH] [--trace-out PATH]
 //! abm-spconv pipeline <net> [--seed S] [--batch N] [--device gxa7|arria10]
+//! abm-spconv metrics  <net> [--seed S] [--batch N] [--parallel serial|auto|N]
+//!                           [--json PATH] [--prom PATH]
 //! ```
 
 use abm_conv::ops::NetworkOps;
@@ -119,6 +121,23 @@ pub enum Command {
         /// auto-detect the widest available).
         isa: Option<Isa>,
     },
+    /// Run a metered workload (batch inference plus a collected
+    /// simulation) against the process-wide metrics registry and print
+    /// the sorted metrics table with exact p50/p90/p99 percentiles.
+    Metrics {
+        /// Network name.
+        net: String,
+        /// Synthesis seed.
+        seed: u64,
+        /// Number of synthetic images to run.
+        batch: usize,
+        /// Host-thread parallelism across the batch.
+        parallelism: Parallelism,
+        /// Write the JSON metrics snapshot here.
+        json: Option<String>,
+        /// Write the Prometheus-style text exposition here.
+        prom: Option<String>,
+    },
 }
 
 /// CLI usage / parse errors.
@@ -150,7 +169,9 @@ commands:
                  [--isa auto|scalar|avx2|avx512]
   verify   <net> [--seed S]
   faults   <net> [--seed S] [--trials N] [--json PATH] [--trace-out PATH]
-  pipeline <net> [--seed S] [--batch N] [--device gxa7|arria10]";
+  pipeline <net> [--seed S] [--batch N] [--device gxa7|arria10]
+  metrics  <net> [--seed S] [--batch N] [--parallel serial|auto|N]
+                 [--json PATH] [--prom PATH]";
 
 /// Parses an argument vector (without the program name).
 ///
@@ -333,6 +354,44 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                 isa,
             })
         }
+        "metrics" => {
+            let mut seed = 2019u64;
+            let mut batch = 4usize;
+            let mut parallelism = Parallelism::Auto;
+            let mut json = None;
+            let mut prom = None;
+            while let Some(flag) = it.next() {
+                let value = it
+                    .next()
+                    .ok_or_else(|| err(format!("flag {flag} needs a value")))?;
+                match flag.as_str() {
+                    "--seed" => {
+                        seed = value
+                            .parse::<u64>()
+                            .map_err(|_| err(format!("bad seed '{value}'")))?
+                    }
+                    "--batch" => {
+                        batch = value
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| err(format!("bad batch size '{value}'")))?
+                    }
+                    "--parallel" => parallelism = Parallelism::parse(value).map_err(err)?,
+                    "--json" => json = Some(value.clone()),
+                    "--prom" => prom = Some(value.clone()),
+                    other => return Err(err(format!("unknown flag {other}"))),
+                }
+            }
+            Ok(Command::Metrics {
+                net,
+                seed,
+                batch,
+                parallelism,
+                json,
+                prom,
+            })
+        }
         "verify" => {
             let mut seed = 2019u64;
             while let Some(flag) = it.next() {
@@ -513,6 +572,10 @@ pub fn execute(command: &Command) -> Result<(), Box<dyn Error>> {
                 let est = abm_dse::estimate_network(&network, &profile, config);
                 abm_dse::annotate_report(&mut rep, &est);
                 print!("{}", rep.render_table());
+                let groups = dispatch_groups(recording.events());
+                if !groups.is_empty() {
+                    println!("  host kernel dispatch: {}", render_dispatch(&groups));
+                }
             }
             if let Some(path) = trace_out {
                 let trace = ChromeTrace::from_events(recording.events());
@@ -715,11 +778,15 @@ pub fn execute(command: &Command) -> Result<(), Box<dyn Error>> {
                     })
                 })
                 .collect();
-            let results = Inferencer::new(&model)
+            // Prepare once, then run the batch against the shared
+            // prepared weights — the prepared forms also carry the
+            // per-layer kernel [`Selection`]s reported below.
+            let inferencer = Inferencer::new(&model)
                 .engine(*engine)
                 .parallelism(*parallelism)
-                .isa(*isa)
-                .run_batch(&inputs)?;
+                .isa(*isa);
+            let prepared = inferencer.prepare()?;
+            let results = inferencer.run_batch_prepared(&prepared, &inputs)?;
             let result = &results[0];
             println!(
                 "{} via {:?} (batch {}, host threads: {}): predicted class {:?}",
@@ -737,7 +804,31 @@ pub fn execute(command: &Command) -> Result<(), Box<dyn Error>> {
                 let resolved = isa
                     .or_else(|| abm_kernel::forced_isa().ok().flatten())
                     .unwrap_or_else(Isa::detect);
-                println!("  host kernel ISA: {resolved}");
+                println!(
+                    "  host kernel ISA: {resolved} ({} pixel lanes)",
+                    resolved.lanes()
+                );
+                // Per-layer resolved kernel variants (the accumulator
+                // width is proven per layer, so it can differ even
+                // under one pinned ISA).
+                let mut groups: Vec<(String, usize, u32)> = Vec::new();
+                for layer in 0..model.layers.len() {
+                    if let Some(p) = prepared.abm_layer(layer) {
+                        let sel = p.selection();
+                        let name = sel.name();
+                        match groups.iter_mut().find(|g| g.0 == name) {
+                            Some(g) => g.2 += 1,
+                            None => groups.push((name, sel.lanes(), 1)),
+                        }
+                    }
+                }
+                if !groups.is_empty() {
+                    let desc: Vec<String> = groups
+                        .iter()
+                        .map(|(name, lanes, count)| format!("{name} x{count} ({lanes} lanes)"))
+                        .collect();
+                    println!("  layer kernels: {}", desc.join(", "));
+                }
                 println!(
                     "  {} accumulations, {} multiplications ({:.1}x fewer mults than MACs)",
                     result.work.accumulations,
@@ -764,8 +855,103 @@ pub fn execute(command: &Command) -> Result<(), Box<dyn Error>> {
                 );
             }
         }
+        Command::Metrics {
+            net,
+            seed,
+            batch,
+            parallelism,
+            json,
+            prom,
+        } => {
+            let (network, _, model) = build(net, *seed);
+            let registry = abm_metrics::global();
+            registry.set_enabled(true);
+            registry.reset();
+            // Batch inference through a flight-teed sink: every
+            // telemetry event is mirrored into the flight recorder
+            // while the hot paths feed the registry's histograms and
+            // counters.
+            let sink = abm_metrics::flight_tee(abm_telemetry::TelemetrySink::new());
+            let inputs: Vec<_> = (0..*batch)
+                .map(|i| {
+                    Tensor3::from_fn(network.input_shape(), |c, r, col| {
+                        ((((c + 1) * (r + 3) * (col + 7 + i)) % 255) as i16) - 127
+                    })
+                })
+                .collect();
+            let results = Inferencer::new(&model)
+                .parallelism(*parallelism)
+                .telemetry(sink)
+                .run_batch(&inputs)?;
+            // A collected simulation populates the sim_* aggregates
+            // (mirrored 1:1 from the telemetry event stream).
+            let cfg = if net == "alexnet" {
+                AcceleratorConfig::paper_alexnet()
+            } else {
+                AcceleratorConfig::paper()
+            };
+            let mut recording = RecordingCollector::new();
+            let sim = simulate_network_collected(
+                &model,
+                &cfg,
+                &MemorySystem::de5_net(),
+                SchedulingPolicy::SemiSynchronous,
+                *parallelism,
+                &mut recording,
+            );
+            println!(
+                "{} metrics (seed {seed}, batch {batch}, host threads: {parallelism}):",
+                network.name()
+            );
+            println!(
+                "  workload: {} image(s) inferred | {:.1} simulated images/s | flight recorder holds {} event(s)",
+                results.len(),
+                sim.images_per_second(),
+                registry.flight().tail().len()
+            );
+            let snapshot = registry.snapshot();
+            print!("{}", snapshot.render_table());
+            if let Some(path) = json {
+                let text = snapshot.to_json();
+                abm_telemetry::json::validate(&text)?;
+                std::fs::write(path, text)?;
+                println!("  wrote metrics JSON to {path}");
+            }
+            if let Some(path) = prom {
+                std::fs::write(path, snapshot.to_prometheus())?;
+                println!("  wrote Prometheus exposition to {path}");
+            }
+        }
     }
     Ok(())
+}
+
+/// Groups `KernelDispatch` telemetry events by resolved variant:
+/// `(isa/acc, lanes, layer count)` in first-seen order.
+fn dispatch_groups(events: &[abm_telemetry::Event]) -> Vec<(String, u32, u32)> {
+    let mut groups: Vec<(String, u32, u32)> = Vec::new();
+    for e in events {
+        if let abm_telemetry::Event::KernelDispatch {
+            isa, acc, lanes, ..
+        } = e
+        {
+            let name = format!("{isa}/{acc}");
+            match groups.iter_mut().find(|g| g.0 == name && g.1 == *lanes) {
+                Some(g) => g.2 += 1,
+                None => groups.push((name, *lanes, 1)),
+            }
+        }
+    }
+    groups
+}
+
+/// Renders dispatch groups as `isa/acc xN (L lanes)`, comma-joined.
+fn render_dispatch(groups: &[(String, u32, u32)]) -> String {
+    groups
+        .iter()
+        .map(|(name, lanes, count)| format!("{name} x{count} ({lanes} lanes)"))
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 #[cfg(test)]
@@ -982,6 +1168,93 @@ mod tests {
         assert!(trace.contains("fault"), "fault track missing from trace");
         std::fs::remove_file(&json_path).ok();
         std::fs::remove_file(&trace_path).ok();
+    }
+
+    #[test]
+    fn parse_metrics() {
+        assert_eq!(
+            parse(&argv("metrics tiny")).unwrap(),
+            Command::Metrics {
+                net: "tiny".into(),
+                seed: 2019,
+                batch: 4,
+                parallelism: Parallelism::Auto,
+                json: None,
+                prom: None,
+            }
+        );
+        assert_eq!(
+            parse(&argv(
+                "metrics alexnet --seed 7 --batch 2 --parallel serial --json m.json --prom m.prom"
+            ))
+            .unwrap(),
+            Command::Metrics {
+                net: "alexnet".into(),
+                seed: 7,
+                batch: 2,
+                parallelism: Parallelism::Serial,
+                json: Some("m.json".into()),
+                prom: Some("m.prom".into()),
+            }
+        );
+        assert!(parse(&argv("metrics tiny --batch 0")).is_err());
+        assert!(parse(&argv("metrics tiny --trials 2")).is_err());
+    }
+
+    #[test]
+    fn execute_metrics_tiny_writes_valid_snapshots() {
+        let json_path = std::env::temp_dir().join("abm_cli_metrics_test.json");
+        let prom_path = std::env::temp_dir().join("abm_cli_metrics_test.prom");
+        execute(&Command::Metrics {
+            net: "tiny".into(),
+            seed: 3,
+            batch: 2,
+            parallelism: Parallelism::Serial,
+            json: Some(json_path.to_string_lossy().into_owned()),
+            prom: Some(prom_path.to_string_lossy().into_owned()),
+        })
+        .unwrap();
+        let snap = std::fs::read_to_string(&json_path).unwrap();
+        abm_telemetry::json::validate(&snap).unwrap();
+        assert!(snap.contains("infer_image_ns"), "snapshot: {snap}");
+        let prom = std::fs::read_to_string(&prom_path).unwrap();
+        assert!(prom.contains("# TYPE"));
+        assert!(prom.contains("sim_compute_cycles_total"));
+        std::fs::remove_file(&json_path).ok();
+        std::fs::remove_file(&prom_path).ok();
+    }
+
+    #[test]
+    fn dispatch_groups_fold_repeated_variants() {
+        let events = vec![
+            abm_telemetry::Event::KernelDispatch {
+                layer: 0,
+                isa: "avx2".into(),
+                acc: "i32".into(),
+                lanes: 8,
+            },
+            abm_telemetry::Event::KernelDispatch {
+                layer: 1,
+                isa: "avx2".into(),
+                acc: "i32".into(),
+                lanes: 8,
+            },
+            abm_telemetry::Event::KernelDispatch {
+                layer: 2,
+                isa: "avx2".into(),
+                acc: "i64".into(),
+                lanes: 8,
+            },
+        ];
+        let groups = dispatch_groups(&events);
+        assert_eq!(
+            groups,
+            vec![("avx2/i32".into(), 8, 2), ("avx2/i64".into(), 8, 1)]
+        );
+        assert_eq!(
+            render_dispatch(&groups),
+            "avx2/i32 x2 (8 lanes), avx2/i64 x1 (8 lanes)"
+        );
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! * [`dse`] — design space exploration
 //! * [`verify`] — static invariant checking + the concurrency model checker
 //! * [`telemetry`] — zero-cost-when-disabled instrumentation + exporters
+//! * [`metrics`] — always-on metrics registry + flight recorder + exposition
 //! * [`fault`] — typed errors, deterministic fault injection, campaign reports
 //! * [`campaign`] — the seeded fault-injection campaign over the model zoo
 //!
@@ -26,6 +27,7 @@ pub use abm_conv as conv;
 pub use abm_dse as dse;
 pub use abm_fault as fault;
 pub use abm_kernel as kernel;
+pub use abm_metrics as metrics;
 pub use abm_model as model;
 pub use abm_sim as sim;
 pub use abm_sparse as sparse;

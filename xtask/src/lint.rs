@@ -35,8 +35,11 @@ use std::path::{Path, PathBuf};
 /// Crates whose non-test code must be panic-free: everything on the
 /// path from a model file to an inference result or a cycle count,
 /// plus the fault/error layer itself (an error path that panics
-/// defeats the whole subsystem).
-const PANIC_FREE_CRATES: [&str; 6] = ["tensor", "sparse", "conv", "sim", "fault", "kernel"];
+/// defeats the whole subsystem) and the metrics registry (observation
+/// that can abort the observed process is worse than no observation).
+const PANIC_FREE_CRATES: [&str; 7] = [
+    "tensor", "sparse", "conv", "sim", "fault", "kernel", "metrics",
+];
 
 /// Relative path of the panic-site allowlist.
 const ALLOWLIST: &str = "xtask/lint-allow.txt";

@@ -7,6 +7,8 @@
 //! cargo xtask mc              # exhaustive concurrency model-checker suite
 //! cargo xtask faults --smoke  # seeded fault-injection campaign gate
 //! cargo xtask pipeline --smoke # pipelined-vs-sequential conformance gate
+//! cargo xtask metrics --smoke # metrics-registry bit-identity + exposition gate
+//! cargo xtask bench-diff A B  # noise-aware perf-regression gate
 //! ```
 //!
 //! All three commands exit non-zero on the first clean/dirty verdict
@@ -19,8 +21,10 @@
 
 #![forbid(unsafe_code)]
 
+mod benchdiff;
 mod faults;
 mod lint;
+mod metrics;
 mod pipeline;
 mod zoo;
 
@@ -34,7 +38,14 @@ commands:
   verify --net <name>  statically verify one network (tiny|alexnet|vgg16|vgg19)
   mc                   run the exhaustive interleaving model-checker suite
   faults [--smoke]     run the fault-injection campaign (smoke = AlexNet only)
-  pipeline [--smoke]   run the pipelined-vs-sequential conformance gate";
+  pipeline [--smoke]   run the pipelined-vs-sequential conformance gate
+  metrics [--smoke]    metrics registry gate: on/off bit-identity + expositions
+  bench-diff <old> <new> [--threshold PCT]
+                       fail when a headline benchmark metric regresses
+  bench-diff --check-docs
+                       assert doc perf citations match the committed JSONs
+  bench-diff --self-test
+                       prove the gate rejects a degraded benchmark";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -66,6 +77,11 @@ fn main() -> ExitCode {
             None => pipeline::run(&root, false),
             Some(other) => Err(format!("unknown pipeline flag '{other}'\n{USAGE}")),
         },
+        Some("metrics") => match args.get(1).map(String::as_str) {
+            Some("--smoke") | None => metrics::run(&root),
+            Some(other) => Err(format!("unknown metrics flag '{other}'\n{USAGE}")),
+        },
+        Some("bench-diff") => benchdiff::run(&root, &args[1..]),
         Some(other) => Err(format!("unknown command '{other}'\n{USAGE}")),
         None => Err(USAGE.into()),
     };

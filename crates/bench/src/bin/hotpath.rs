@@ -13,7 +13,11 @@
 //! engine — enough to exercise every variant end to end without tying
 //! up the CI machine. The headline `geomean_speedup` is the best
 //! variant's; per-variant geomeans are reported alongside so a scalar
-//! regression is visible even when a vector unit hides it.
+//! regression is visible even when a vector unit hides it. The
+//! `certified` column prepares with the `abm-verify` range certificate
+//! for the 8-bit feature regime, so layers proving a ≤16-bit stage 1
+//! run the packed dual-lane kernel — the paper's DSP48 packing,
+//! measured against the same worst-case `auto` dispatch it narrows.
 
 #![forbid(unsafe_code)]
 
@@ -82,10 +86,19 @@ fn cpu_model() -> String {
         .unwrap_or_else(|| "unknown".to_string())
 }
 
-/// One benched column: a display label and the ISA pin handed to
-/// `PreparedConv::try_new_with_isa` (`None` = the engine's default
-/// geometry-aware auto-selection).
-type Variant = (&'static str, Option<Isa>);
+/// One benched column.
+struct Variant {
+    /// Display label (also the JSON `isa` key).
+    label: &'static str,
+    /// ISA pin handed to the constructor (`None` = the engine's
+    /// default geometry-aware auto-selection).
+    pin: Option<Isa>,
+    /// Prepare with the `abm-verify` range certificate for the 8-bit
+    /// feature regime, so layers proving a ≤16-bit stage 1 take the
+    /// packed dual-lane kernel (the inputs synthesized here stay in
+    /// `[-128, 127]`, so the runtime range guard always passes).
+    certified: bool,
+}
 
 fn bench_network(
     network: &'static str,
@@ -108,15 +121,17 @@ fn bench_network(
         let out_pixels = (oracle.shape().rows * oracle.shape().cols) as u64;
 
         let mut cells = Vec::with_capacity(variants.len());
-        for (label, pin) in variants {
-            let prep = PreparedConv::try_new_with_isa(&code, input.shape(), geom, *pin)
+        for v in variants {
+            let range = v.certified.then(abm_verify::AbsVal::i8_features);
+            let prep = PreparedConv::try_new_certified(&code, input.shape(), geom, v.pin, range)
                 .expect("preparable layer");
             let (fast, prep_ns) = best_of(reps, || prep.execute(&input));
             assert_eq!(
                 oracle,
                 fast,
-                "{network}/{}: {label} variant diverged",
+                "{network}/{}: {} variant diverged",
                 layer.name(),
+                v.label,
             );
             cells.push(VariantCell {
                 selection: prep.selection().name(),
@@ -147,16 +162,17 @@ fn write_json(rows: &[Row], variants: &[Variant], cpu: &str, best: usize) -> std
     writeln!(f, "  \"seed\": {},", abm_bench::SEED)?;
     writeln!(f, "  \"cpu\": \"{cpu}\",")?;
     writeln!(f, "  \"variants\": [")?;
-    for (v, (label, _)) in variants.iter().enumerate() {
+    for (v, var) in variants.iter().enumerate() {
         let comma = if v + 1 == variants.len() { "" } else { "," };
         writeln!(
             f,
-            "    {{\"isa\": \"{label}\", \"geomean_speedup\": {:.3}}}{comma}",
+            "    {{\"isa\": \"{}\", \"geomean_speedup\": {:.3}}}{comma}",
+            var.label,
             geomean(rows, v)
         )?;
     }
     writeln!(f, "  ],")?;
-    writeln!(f, "  \"best_isa\": \"{}\",", variants[best].0)?;
+    writeln!(f, "  \"best_isa\": \"{}\",", variants[best].label)?;
     writeln!(f, "  \"layers\": [")?;
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };
@@ -166,13 +182,13 @@ fn write_json(rows: &[Row], variants: &[Variant], cpu: &str, best: usize) -> std
              \"reference_ns_per_pixel\": {:.2}",
             r.network, r.layer, r.out_pixels, r.reference_ns_per_pixel,
         )?;
-        for (v, (label, _)) in variants.iter().enumerate() {
+        for (v, var) in variants.iter().enumerate() {
             let c = &r.cells[v];
             write!(
                 f,
-                ", \"{label}\": {{\"selection\": \"{}\", \"ns_per_pixel\": {:.2}, \
+                ", \"{}\": {{\"selection\": \"{}\", \"ns_per_pixel\": {:.2}, \
                  \"speedup\": {:.3}}}",
-                c.selection, c.ns_per_pixel, c.speedup
+                var.label, c.selection, c.ns_per_pixel, c.speedup
             )?;
         }
         writeln!(f, "}}{comma}")?;
@@ -197,13 +213,35 @@ fn main() {
     let variants: Vec<Variant> = match pinned {
         Some(isa) => {
             assert!(isa.available(), "ISA '{isa}' not available on this CPU");
-            vec![(isa.name(), Some(isa))]
+            vec![Variant {
+                label: isa.name(),
+                pin: Some(isa),
+                certified: false,
+            }]
         }
         // Every pinned variant the CPU can run, plus the engine's
-        // geometry-aware auto-selection (what `infer` does by default).
-        None => std::iter::once(("auto", None))
-            .chain(Isa::detect_all().into_iter().map(|i| (i.name(), Some(i))))
-            .collect(),
+        // worst-case auto-selection and the certificate-narrowed
+        // dispatch (what `infer` does by default: certified packed
+        // lanes where the range proof allows them).
+        None => [
+            Variant {
+                label: "auto",
+                pin: None,
+                certified: false,
+            },
+            Variant {
+                label: "certified",
+                pin: None,
+                certified: true,
+            },
+        ]
+        .into_iter()
+        .chain(Isa::detect_all().into_iter().map(|i| Variant {
+            label: i.name(),
+            pin: Some(i),
+            certified: false,
+        }))
+        .collect(),
     };
 
     let mut rows = Vec::new();
@@ -219,8 +257,8 @@ fn main() {
         "{:<9} {:<9} {:>10} {:>14}",
         "Network", "Layer", "OutPixels", "Ref ns/px"
     );
-    for (label, _) in &variants {
-        print!(" {label:>9}");
+    for v in &variants {
+        print!(" {:>9}", v.label);
     }
     println!();
     rule(width);
@@ -239,12 +277,12 @@ fn main() {
         .max_by(|&a, &b| geomean(&rows, a).total_cmp(&geomean(&rows, b)))
         .expect("at least one variant");
     print!("geomean speedup:");
-    for (v, (label, _)) in variants.iter().enumerate() {
-        print!("  {label}={:.2}x", geomean(&rows, v));
+    for (v, var) in variants.iter().enumerate() {
+        print!("  {}={:.2}x", var.label, geomean(&rows, v));
     }
     println!(
         "  (best: {}, {} layers, best of {reps} reps)",
-        variants[best].0,
+        variants[best].label,
         rows.len()
     );
 

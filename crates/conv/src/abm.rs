@@ -69,10 +69,13 @@ impl AbmWork {
 /// strings so the hot path never allocates to name a metric.
 fn execute_counter(sel: Selection) -> &'static str {
     match (sel.isa, sel.acc) {
+        (Isa::Scalar, AccWidth::I16) => "abm_execute_scalar_i16_total",
         (Isa::Scalar, AccWidth::I32) => "abm_execute_scalar_i32_total",
         (Isa::Scalar, AccWidth::I64) => "abm_execute_scalar_i64_total",
+        (Isa::Avx2, AccWidth::I16) => "abm_execute_avx2_i16_total",
         (Isa::Avx2, AccWidth::I32) => "abm_execute_avx2_i32_total",
         (Isa::Avx2, AccWidth::I64) => "abm_execute_avx2_i64_total",
+        (Isa::Avx512, AccWidth::I16) => "abm_execute_avx512_i16_total",
         (Isa::Avx512, AccWidth::I32) => "abm_execute_avx512_i32_total",
         (Isa::Avx512, AccWidth::I64) => "abm_execute_avx512_i64_total",
     }
@@ -82,10 +85,13 @@ fn execute_counter(sel: Selection) -> &'static str {
 /// counter.
 fn dispatch_counter(sel: Selection) -> &'static str {
     match (sel.isa, sel.acc) {
+        (Isa::Scalar, AccWidth::I16) => "abm_dispatch_scalar_i16_total",
         (Isa::Scalar, AccWidth::I32) => "abm_dispatch_scalar_i32_total",
         (Isa::Scalar, AccWidth::I64) => "abm_dispatch_scalar_i64_total",
+        (Isa::Avx2, AccWidth::I16) => "abm_dispatch_avx2_i16_total",
         (Isa::Avx2, AccWidth::I32) => "abm_dispatch_avx2_i32_total",
         (Isa::Avx2, AccWidth::I64) => "abm_dispatch_avx2_i64_total",
+        (Isa::Avx512, AccWidth::I16) => "abm_dispatch_avx512_i16_total",
         (Isa::Avx512, AccWidth::I32) => "abm_dispatch_avx512_i32_total",
         (Isa::Avx512, AccWidth::I64) => "abm_dispatch_avx512_i64_total",
     }
@@ -185,8 +191,16 @@ pub struct PreparedConv {
     /// The kernel variant dispatch resolved at preparation time: the
     /// ISA that will execute this layer and the stage-1 accumulator
     /// width the lowering verifier proved safe for it
-    /// (`abm_verify::AccumulatorModel::stage1_required_bits`).
+    /// (`abm_verify::AccumulatorModel::stage1_required_bits`, or the
+    /// tighter certified bound when a range certificate is attached).
     sel: Selection,
+    /// The worst-case dispatch (what `sel` would be with no
+    /// certificate) — the guarded runtime fallback for inputs that
+    /// escape a certificate's assumed range.
+    fallback_sel: Selection,
+    /// The range certificate the narrowed dispatch rests on, when the
+    /// caller supplied a calibrated input range at preparation.
+    cert: Option<abm_verify::WidthCertificate>,
 }
 
 impl PreparedConv {
@@ -220,6 +234,30 @@ impl PreparedConv {
         geom: Geometry,
         isa: Option<Isa>,
     ) -> Result<Self, AbmError> {
+        Self::try_new_certified(code, in_shape, geom, isa, None)
+    }
+
+    /// [`try_new_with_isa`](Self::try_new_with_isa) with a calibrated
+    /// input-range abstraction. `Some(range)` runs the `abm-verify`
+    /// range certifier over the lowering and dispatches on the
+    /// **certified** stage-1 width instead of the worst case — strictly
+    /// more layers prove `i32`, and layers certifying ≤16-bit stage-1
+    /// take the packed dual-lane kernel. The certificate's assumption
+    /// is then enforced at run time: [`execute`](Self::execute) scans
+    /// the input against the assumed interval and falls back to the
+    /// worst-case dispatch for any call whose input escapes it, so the
+    /// public API stays bit-identical for arbitrary tensors.
+    ///
+    /// # Errors
+    ///
+    /// All of [`try_new_with_isa`](Self::try_new_with_isa)'s errors.
+    pub fn try_new_certified(
+        code: &LayerCode,
+        in_shape: Shape3,
+        geom: Geometry,
+        isa: Option<Isa>,
+        input_range: Option<abm_verify::AbsVal>,
+    ) -> Result<Self, AbmError> {
         let w = code.shape();
         validate_grouping(in_shape, w, geom)?;
         let layout = FlatLayout {
@@ -229,7 +267,7 @@ impl PreparedConv {
             pad: geom.pad,
         };
         let flat = FlatCode::lower(code, layout)?;
-        let prepared = Self::assemble(flat, in_shape, geom, isa)?;
+        let prepared = Self::assemble(flat, in_shape, geom, isa, input_range)?;
         // Debug builds statically verify the lowering against its source
         // streams on construction; release builds skip the pass (`cargo
         // xtask verify` runs it explicitly over the model zoo).
@@ -277,7 +315,7 @@ impl PreparedConv {
             });
         }
         abm_fault::validate_flat(&flat)?;
-        Self::assemble(flat, in_shape, geom, None)
+        Self::assemble(flat, in_shape, geom, None, None)
     }
 
     /// Shared tail of the constructors: derive the output geometry,
@@ -289,6 +327,7 @@ impl PreparedConv {
         in_shape: Shape3,
         geom: Geometry,
         isa: Option<Isa>,
+        input_range: Option<abm_verify::AbsVal>,
     ) -> Result<Self, AbmError> {
         let w = flat.shape();
         let layout = flat.layout();
@@ -315,13 +354,36 @@ impl PreparedConv {
         // variant whose lanes this layer's interior sweep can fill).
         let stage1_bits = abm_verify::AccumulatorModel::host().stage1_required_bits(&flat);
         let interior_cols = layout.interior_cols(w.kernel_cols, out_shape.cols);
-        let sel = abm_kernel::select_auto(
-            isa,
-            stage1_bits,
-            geom.stride == 1,
-            interior_cols.end.saturating_sub(interior_cols.start),
-        )
-        .map_err(|detail| AbmError::IsaUnavailable { detail })?;
+        let interior_rows = layout.interior_rows(w.kernel_rows, out_shape.rows);
+        let unit_stride = geom.stride == 1;
+        let sweep_cols = interior_cols.end.saturating_sub(interior_cols.start);
+        let fallback_sel = abm_kernel::select_auto(isa, stage1_bits, unit_stride, sweep_cols)
+            .map_err(|detail| AbmError::IsaUnavailable { detail })?;
+        // When the caller supplied a calibrated input range, run the
+        // range certifier over this exact lowering: the certified
+        // stage-1 width replaces the worst-case bound for dispatch (the
+        // certificate's assumption is re-checked per execute, with
+        // `fallback_sel` covering escapes).
+        let cert = input_range.map(|iv| {
+            let geometry = abm_verify::ConvGeometry {
+                in_channels: in_shape.channels,
+                in_rows: layout.in_rows,
+                in_cols: layout.in_cols,
+                stride: layout.stride,
+                pad: layout.pad,
+                groups: geom.groups,
+                out_rows: out_shape.rows,
+                out_cols: out_shape.cols,
+                interior_rows: (interior_rows.start, interior_rows.end),
+                interior_cols: (interior_cols.start, interior_cols.end),
+            };
+            abm_verify::certify_layer("prepared-conv", &flat, &geometry, iv)
+        });
+        let sel = match &cert {
+            Some(c) => abm_kernel::select_auto(isa, c.stage1_bits, unit_stride, sweep_cols)
+                .map_err(|detail| AbmError::IsaUnavailable { detail })?,
+            None => fallback_sel,
+        };
         // Dispatch accounting: one count per prepared layer, keyed by
         // the resolved variant (preparation-time, never the hot path).
         if abm_metrics::enabled() {
@@ -332,11 +394,13 @@ impl PreparedConv {
             out_shape,
             geom,
             m_per_group: w.out_channels / geom.groups,
-            interior_rows: layout.interior_rows(w.kernel_rows, out_shape.rows),
+            interior_rows,
             interior_cols,
             work,
             checksum,
             sel,
+            fallback_sel,
+            cert,
             flat,
         })
     }
@@ -411,6 +475,21 @@ impl PreparedConv {
     #[must_use]
     pub fn selection(&self) -> Selection {
         self.sel
+    }
+
+    /// The worst-case dispatch this layer falls back to when an input
+    /// escapes the certificate's assumed range. Equal to
+    /// [`selection`](Self::selection) for uncertified layers.
+    #[must_use]
+    pub fn fallback_selection(&self) -> Selection {
+        self.fallback_sel
+    }
+
+    /// The range certificate the narrowed dispatch rests on, when this
+    /// layer was prepared with a calibrated input range.
+    #[must_use]
+    pub fn certificate(&self) -> Option<&abm_verify::WidthCertificate> {
+        self.cert.as_ref()
     }
 
     /// Re-hashes the flat streams and compares against the golden
@@ -493,8 +572,12 @@ impl PreparedConv {
         // The dispatch resolved at preparation: one virtual call maps
         // the stored selection to its kernel object, then the hot loops
         // below go through it for every pixel vector. `lanebuf` is the
-        // lane-output scratch sized for the widest variant.
-        let kern: &'static dyn AbmKernel = abm_kernel::resolve(self.sel);
+        // lane-output scratch sized for the widest variant. A certified
+        // (narrower-than-worst-case) dispatch first enforces its
+        // assumption: one linear min/max scan of the input, and any
+        // escape demotes this call to the worst-case fallback — the
+        // certificate narrows the datapath, never the API contract.
+        let kern: &'static dyn AbmKernel = abm_kernel::resolve(self.guarded_selection(input));
         let lanes = kern.lanes();
         let mut lanebuf = [0i64; MAX_LANES];
         // One scratch partial-sum buffer, reused across every pixel of
@@ -664,6 +747,34 @@ impl PreparedConv {
             }
         }
         out
+    }
+
+    /// The selection one call will actually run: the certified narrow
+    /// dispatch when the input honors the certificate's assumed
+    /// interval, the worst-case fallback otherwise. Uncertified layers
+    /// (and certified layers whose dispatch did not narrow) skip the
+    /// scan entirely.
+    fn guarded_selection(&self, input: &Tensor3<i16>) -> Selection {
+        let Some(cert) = &self.cert else {
+            return self.sel;
+        };
+        if self.sel == self.fallback_sel {
+            return self.sel;
+        }
+        let lo = cert.input.range.lo;
+        let hi = cert.input.range.hi;
+        if input
+            .as_slice()
+            .iter()
+            .all(|&x| lo <= x as i128 && (x as i128) <= hi)
+        {
+            self.sel
+        } else {
+            if abm_metrics::enabled() {
+                abm_metrics::global().add("abm_range_guard_fallback_total", 1);
+            }
+            self.fallback_sel
+        }
     }
 
     /// [`execute`](Self::execute) behind a typed shape guard instead of
@@ -973,6 +1084,70 @@ mod tests {
                 prepared.execute(&input),
                 dense::conv2d(&input, &weights, geom)
             );
+        }
+    }
+
+    /// A certified prepare narrows the dispatch under its assumed
+    /// range, stays bit-identical to the worst-case prepare on
+    /// in-range inputs, and the runtime guard demotes out-of-range
+    /// inputs to the worst-case fallback — still bit-identical.
+    #[test]
+    fn certified_dispatch_is_bit_identical_and_guarded() {
+        let shape = Shape3::new(2, 24, 24);
+        let weights = pseudo_weights(Shape4::new(3, 2, 3, 3), 6);
+        let code = LayerCode::encode(&weights).unwrap();
+        let geom = Geometry::new(1, 1);
+        let plain = PreparedConv::try_new(&code, shape, geom).unwrap();
+        let certified = PreparedConv::try_new_certified(
+            &code,
+            shape,
+            geom,
+            None,
+            Some(abm_verify::AbsVal::i8_features()),
+        )
+        .unwrap();
+        let cert = certified.certificate().expect("certificate attached");
+        assert!(cert
+            .validate(certified.flat(), &conv_geometry(&certified))
+            .is_clean());
+        // Small 3×3 groups over 8-bit features certify ≤16-bit stage-1.
+        assert!(cert.packable(), "stage1_bits = {}", cert.stage1_bits);
+        assert_eq!(certified.fallback_selection(), plain.selection());
+
+        // In-range input: certified (possibly packed) path, identical.
+        let input = pseudo_input(shape);
+        assert_eq!(certified.execute(&input), plain.execute(&input));
+        assert_eq!(
+            certified.execute(&input),
+            reference::conv2d(&input, &code, geom).unwrap()
+        );
+        // Out-of-range input: the guard demotes to the worst-case
+        // dispatch for this call — still exact.
+        let hot = Tensor3::from_fn(shape, |c, r, col| {
+            if (c + r + col) % 2 == 0 {
+                32767
+            } else {
+                -32768
+            }
+        });
+        assert_eq!(certified.execute(&hot), plain.execute(&hot));
+    }
+
+    /// Re-derives the verifier geometry for a prepared layer (test
+    /// glue mirroring `verify_against`).
+    fn conv_geometry(p: &PreparedConv) -> abm_verify::ConvGeometry {
+        let layout = p.flat().layout();
+        abm_verify::ConvGeometry {
+            in_channels: p.input_shape().channels,
+            in_rows: layout.in_rows,
+            in_cols: layout.in_cols,
+            stride: layout.stride,
+            pad: layout.pad,
+            groups: p.geometry().groups,
+            out_rows: p.output_shape().rows,
+            out_cols: p.output_shape().cols,
+            interior_rows: (p.interior_rows.start, p.interior_rows.end),
+            interior_cols: (p.interior_cols.start, p.interior_cols.end),
         }
     }
 

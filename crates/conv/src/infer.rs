@@ -252,8 +252,31 @@ impl<'m> Inferencer<'m> {
                     let code = LayerCode::encode(&sl.weights)
                         .map_err(|e| AbmError::from(e).at_layer(idx))?;
                     let (in_shape, geom) = accel_geometry(sl);
-                    let prep = PreparedConv::try_new_with_isa(&code, in_shape, geom, self.isa)
-                        .map_err(|e| e.at_layer(idx))?;
+                    // Calibrated input range for the certifier: the
+                    // first accelerated layer reads the quantized image
+                    // (the configured input format's raw range), every
+                    // later one reads features the Sum/Round write-back
+                    // saturated into 8 bits. The certificate narrows
+                    // the kernel dispatch; `PreparedConv`'s runtime
+                    // guard re-checks the assumption per call, so even
+                    // a mis-calibrated range stays bit-exact.
+                    let bits = if idx == 0 {
+                        self.input_format.bits()
+                    } else {
+                        8
+                    };
+                    let range = abm_verify::AbsVal::from_range(abm_verify::Interval::new(
+                        -(1i128 << (bits - 1)),
+                        (1i128 << (bits - 1)) - 1,
+                    ));
+                    let prep = PreparedConv::try_new_certified(
+                        &code,
+                        in_shape,
+                        geom,
+                        self.isa,
+                        Some(range),
+                    )
+                    .map_err(|e| e.at_layer(idx))?;
                     if let Some(sink) = &self.telemetry {
                         let sel = prep.selection();
                         sink.record_dispatch(

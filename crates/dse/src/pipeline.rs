@@ -36,7 +36,7 @@ use crate::resource::{achievable_freq_mhz, ResourceEstimate, ResourceModel};
 use abm_sim::task::Workload;
 use abm_sim::{
     plan_pipeline, simulate_pipeline, simulate_sequential_batch, AcceleratorConfig,
-    PipelineOptions, PipelineSim, PlanError,
+    PipelineOptions, PipelineSim, PipelinedSchedule, PlanError,
 };
 use abm_verify::{Defect, Metric, VerifyReport};
 
@@ -71,7 +71,8 @@ pub struct PipelineDesign {
     /// Throughput relative to the time-multiplexed baseline.
     pub speedup: f64,
     /// The sim-vs-analytic consistency gate for this point: clean, or
-    /// one `model_divergence` defect naming the makespan gap.
+    /// one `model_divergence` defect naming the bottleneck stage's
+    /// layer span and the makespan gap.
     pub consistency: VerifyReport,
 }
 
@@ -138,14 +139,57 @@ fn analytic_makespan_bounds(sim: &PipelineSim) -> (f64, f64) {
     (lower as f64, (bottleneck + fill) as f64)
 }
 
-/// Gates one simulated design against the analytic bracket.
-fn consistency_gate(label: &str, sim: &PipelineSim) -> VerifyReport {
+/// Names the bottleneck stage's layer span — `stage1 (CONV2..CONV3)` —
+/// the term that dominates both endpoints of the analytic bracket and
+/// therefore the layers whose cost model is implicated when the
+/// bracket breaks.
+fn bottleneck_span(
+    sim: &PipelineSim,
+    schedule: &PipelinedSchedule,
+    workloads: &[Workload],
+) -> String {
+    let Some(idx) = sim
+        .stages
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, s)| s.busy_cycles)
+        .map(|(i, _)| i)
+    else {
+        return "pipeline-makespan".into();
+    };
+    let Some(stage) = schedule.stages.get(idx) else {
+        return format!("stage{idx}");
+    };
+    let name = |l: usize| workloads.get(l).map_or("?", |w| w.name.as_str());
+    let first = name(stage.layer_start);
+    if stage.layer_count() <= 1 {
+        format!("stage{idx} ({first})")
+    } else {
+        format!(
+            "stage{idx} ({first}..{})",
+            name(stage.layer_end.saturating_sub(1))
+        )
+    }
+}
+
+/// Gates one simulated design against the analytic bracket. A
+/// divergence is attributed to the bottleneck stage's *layer span*
+/// (via [`bottleneck_span`]), so the defect names which layers' cost
+/// model broke — the same discipline
+/// [`check_consistency`](crate::consistency::check_consistency)
+/// applies per layer on the time-multiplexed flow.
+fn consistency_gate(
+    label: &str,
+    sim: &PipelineSim,
+    schedule: &PipelinedSchedule,
+    workloads: &[Workload],
+) -> VerifyReport {
     let mut report = VerifyReport::new(label);
     let (lower, upper) = analytic_makespan_bounds(sim);
     let measured = sim.makespan_cycles as f64;
     if measured < lower * (1.0 - MAKESPAN_TOLERANCE) {
         report.defect(Defect::ModelDivergence {
-            layer: "pipeline-makespan".into(),
+            layer: bottleneck_span(sim, schedule, workloads),
             metric: Metric::Cycles,
             measured,
             model: lower,
@@ -153,7 +197,7 @@ fn consistency_gate(label: &str, sim: &PipelineSim) -> VerifyReport {
         });
     } else if measured > upper * (1.0 + MAKESPAN_TOLERANCE) {
         report.defect(Defect::ModelDivergence {
-            layer: "pipeline-makespan".into(),
+            layer: bottleneck_span(sim, schedule, workloads),
             metric: Metric::Cycles,
             measured,
             model: upper,
@@ -207,7 +251,7 @@ fn evaluate(
         feasible: env.resources.fits(env.device, 1.0),
         images_per_second: sim.images_per_second(),
         speedup: sim.images_per_second() / env.sequential_ips,
-        consistency: consistency_gate(label, &sim),
+        consistency: consistency_gate(label, &sim, &schedule, workloads),
     })
 }
 
@@ -348,7 +392,21 @@ mod tests {
         let schedule = plan_pipeline(&w, &cfg, &opts, 2).unwrap();
         let mut sim = simulate_pipeline(&w, &cfg, &schedule, 2);
         sim.makespan_cycles *= 3; // a stall the model cannot explain
-        let report = consistency_gate("synthetic", &sim);
+        let report = consistency_gate("synthetic", &sim, &schedule, &w);
         assert!(report.has_class("model_divergence"), "{report}");
+        // The defect names the bottleneck stage's layer span, not a
+        // generic placeholder — so the report points at the layers
+        // whose cost model is implicated.
+        let bottleneck = sim
+            .stages
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, s)| s.busy_cycles)
+            .map(|(i, _)| i)
+            .unwrap();
+        let text = report.to_string();
+        assert!(text.contains(&format!("stage{bottleneck}")), "{text}");
+        let first = &w[schedule.stages[bottleneck].layer_start].name;
+        assert!(text.contains(first.as_str()), "{text}");
     }
 }

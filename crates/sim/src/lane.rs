@@ -140,10 +140,13 @@ fn vector_cycles_impl<const PROBE: bool>(
         // The accumulators need c_p cycles for this group...
         let mut ready = acc_time + c_p;
         // ...but can only deposit when a FIFO slot is free.
+        // The loop guard holds fifo.len() >= fifo_depth >= 1, so the
+        // pop always yields; `while let` makes that unconditionally
+        // panic-free.
         while fifo.len() >= fifo_depth {
-            // INVARIANT: the loop guard holds fifo.len() >= fifo_depth,
-            // and configs validate fifo_depth >= 1.
-            let drained = fifo.pop_front().expect("fifo non-empty");
+            let Some(drained) = fifo.pop_front() else {
+                break;
+            };
             if drained > ready {
                 acc_stall += drained - ready;
                 ready = drained;

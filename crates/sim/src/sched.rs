@@ -132,13 +132,14 @@ pub fn schedule_window_with(
             // earliest-free CU.
             let mut free = vec![0u64; n_cu];
             for &t in tasks {
-                let (idx, _) = free
+                // `free` is never empty (the assert above rejects
+                // n_cu == 0), so the fallback index is dead code and
+                // merely keeps this branch panic-free.
+                let idx = free
                     .iter()
                     .enumerate()
                     .min_by_key(|&(_, &f)| f)
-                    // INVARIANT: AcceleratorConfig::validate rejects
-                    // n_cu == 0, so `free` is never empty.
-                    .expect("n_cu > 0");
+                    .map_or(0, |(i, _)| i);
                 on_task(idx, free[idx], free[idx] + t);
                 free[idx] += t;
             }

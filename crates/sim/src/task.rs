@@ -42,11 +42,18 @@ pub struct Workload {
     /// Dense op count (the Table 2 throughput numerator).
     pub dense_ops: u64,
     /// Host kernel variant the functional engine would dispatch this
-    /// layer to (same `select` the prepared hot path runs, fed by the
-    /// verifier's stage-1 accumulator-width proof). Purely descriptive
+    /// layer to (same `select_auto` the prepared hot path runs, fed by
+    /// the layer's *certified* stage-1 width below). Purely descriptive
     /// on the timing side — recorded into telemetry so simulated and
     /// host traces agree on which variant executes the stream.
     pub host_sel: abm_kernel::Selection,
+    /// The layer's range certificate (summary form): proven stage-1 /
+    /// stage-2 accumulator intervals and bit-widths under the
+    /// accelerator's 8-bit feature regime, as computed by
+    /// `abm_verify::certify_layer` against this workload's lowering
+    /// geometry. Recorded so the simulated datapath widths are the
+    /// proven ones, not the worst-case model's.
+    pub cert: abm_verify::CertSummary,
 }
 
 impl Workload {
@@ -83,22 +90,35 @@ impl Workload {
             }
         };
         let flat = FlatCode::lower(&code, layout)?;
-        // Same dispatch decision the functional engine makes at
-        // `PreparedConv` construction: prove the stage-1 partial-sum
-        // width, then pick the widest ISA the layer's sweep can fill.
-        // A bad `ABM_FORCE_ISA` pin falls back to scalar here rather
-        // than erroring — the functional path is the authoritative gate
-        // for rejecting unavailable pins.
-        let stage1_bits = abm_verify::AccumulatorModel::host().stage1_required_bits(&flat);
-        let host_sel = abm_kernel::select_auto(None, stage1_bits, layout.stride == 1, out.cols)
-            .unwrap_or_else(|_| {
-                // INVARIANT: an explicit scalar pin never fails
-                // selection — the scalar port is compiled on every
-                // target and `select` only errors on unavailable
-                // vector ISAs or unparseable env pins.
-                abm_kernel::select(Some(abm_kernel::Isa::Scalar), stage1_bits)
-                    .expect("scalar selection is always available")
-            });
+        // Certify the layer's accumulator ranges by abstract
+        // interpretation over the accelerator's 8-bit feature regime
+        // (the hardware streams 8-bit features; the host engine's i16
+        // activations are guarded at dispatch on the functional side).
+        // The certified stage-1 width — not the worst-case model — then
+        // drives the same dispatch decision the functional engine makes
+        // at `PreparedConv` construction: pick the widest ISA the
+        // layer's sweep can fill, including the packed dual-lane i16
+        // path when the proof admits it. A bad `ABM_FORCE_ISA` pin
+        // falls back to scalar here rather than erroring — the
+        // functional path is the authoritative gate for rejecting
+        // unavailable pins.
+        let geometry =
+            crate::verify::lowered_geometry(&flat, is_fc, input.channels, out.rows, out.cols);
+        let cert = abm_verify::certify_layer(
+            layer.name(),
+            &flat,
+            &geometry,
+            abm_verify::AbsVal::i8_features(),
+        );
+        let host_sel =
+            abm_kernel::select_auto(None, cert.stage1_bits, layout.stride == 1, out.cols)
+                // The scalar port always runs the i64 accumulator and
+                // is compiled on every target, so it is the total
+                // fallback when an env pin names an unavailable ISA.
+                .unwrap_or(abm_kernel::Selection {
+                    isa: abm_kernel::Isa::Scalar,
+                    acc: abm_kernel::AccWidth::I64,
+                });
         let workload = Self {
             name: layer.name().to_string(),
             code,
@@ -113,6 +133,7 @@ impl Workload {
             is_fc,
             dense_ops: layer.layer.dense_ops(),
             host_sel,
+            cert: cert.summary(),
         };
         // Debug builds prove the lowering before the simulator times it
         // (same gate as PreparedConv's constructor on the functional
@@ -330,6 +351,33 @@ mod tests {
         assert_eq!(w.vectors_per_window(&cfg, 1), 1);
         assert_eq!(w.window_count(&cfg), 1);
         assert_eq!(w.batches(&cfg), 5); // ceil(64/14)
+    }
+
+    #[test]
+    fn workload_records_certified_widths() {
+        for name in ["CONV1", "CONV2", "FC3"] {
+            let w = workload(name);
+            assert_eq!(w.cert.layer, w.name);
+            // The certificate is proven against the 8-bit feature
+            // regime; the worst-case model assumes full-scale i16
+            // activations, so the certified stage-1 width must be
+            // strictly tighter, and the recorded dispatch must be the
+            // one the certified width selects.
+            let worst = abm_verify::AccumulatorModel::host().stage1_required_bits(&w.flat);
+            assert!(
+                w.cert.stage1_bits < worst,
+                "{name}: certified {} !< worst-case {worst}",
+                w.cert.stage1_bits
+            );
+            let sel = abm_kernel::select_auto(
+                None,
+                w.cert.stage1_bits,
+                w.flat.layout().stride == 1,
+                w.out_cols,
+            )
+            .unwrap();
+            assert_eq!(w.host_sel, sel, "{name}");
+        }
     }
 
     #[test]

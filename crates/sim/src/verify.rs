@@ -25,20 +25,34 @@ use abm_verify::{
 /// [`Workload::from_layer`] lowers them).
 #[must_use]
 pub fn workload_geometry(w: &Workload) -> ConvGeometry {
-    let layout = w.flat.layout();
-    let shape = w.flat.shape();
+    lowered_geometry(&w.flat, w.is_fc, w.in_channels, w.out_rows, w.out_cols)
+}
+
+/// [`workload_geometry`] from the raw lowering parts, for callers that
+/// need the geometry *before* the [`Workload`] exists (the constructor
+/// certifies the layer's ranges against exactly this geometry).
+#[must_use]
+pub fn lowered_geometry(
+    flat: &abm_sparse::FlatCode,
+    is_fc: bool,
+    in_channels: usize,
+    layer_out_rows: usize,
+    layer_out_cols: usize,
+) -> ConvGeometry {
+    let layout = flat.layout();
+    let shape = flat.shape();
     // Grouped convolutions carry in_channels = N·groups input channels;
     // FC flattening makes the weight's N the whole input instead.
-    let groups =
-        if !w.is_fc && shape.in_channels > 0 && w.in_channels.is_multiple_of(shape.in_channels) {
-            (w.in_channels / shape.in_channels).max(1)
-        } else {
-            1
-        };
-    let (out_rows, out_cols) = if w.is_fc {
+    let groups = if !is_fc && shape.in_channels > 0 && in_channels.is_multiple_of(shape.in_channels)
+    {
+        (in_channels / shape.in_channels).max(1)
+    } else {
+        1
+    };
+    let (out_rows, out_cols) = if is_fc {
         (1, 1)
     } else {
-        (w.out_rows, w.out_cols)
+        (layer_out_rows, layer_out_cols)
     };
     let rows = layout.interior_rows(shape.kernel_rows, out_rows);
     let cols = layout.interior_cols(shape.kernel_cols, out_cols);

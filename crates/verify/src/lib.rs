@@ -5,7 +5,7 @@
 //! fixed at synthesis time, so an FPGA build either proves them or
 //! fails to synthesize. The software reproduction executes the same
 //! structures unchecked in its hot path — so this crate proves the same
-//! properties statically, before execution, in three passes:
+//! properties statically, before execution, in four passes:
 //!
 //! 1. [`lowering`] — a [`FlatCode`](abm_sparse::FlatCode) faithfully
 //!    lowers its source Q-Table streams, every precomputed offset is
@@ -20,7 +20,12 @@
 //!    hand-written concurrent protocols (the work-stealing injector
 //!    loop and the lane's accumulator→FIFO→multiplier hand-off),
 //!    proving steal linearizability and no lost or duplicated work over
-//!    bounded instances.
+//!    bounded instances;
+//! 4. [`range`] — a whole-network abstract interpretation (interval +
+//!    known-bits domains) that turns calibrated input ranges into
+//!    per-layer [`WidthCertificate`]s: proven stage-1/stage-2/ABFT
+//!    bit-widths with concrete extremal witnesses, the software
+//!    analogue of DSP48 width budgeting.
 //!
 //! All passes emit a shared machine-readable [`VerifyReport`] whose
 //! [`Defect`] vocabulary names every invariant the reproduction claims.
@@ -38,11 +43,19 @@
 pub mod lowering;
 pub mod mc;
 pub mod pipeline;
+pub mod range;
 pub mod report;
 pub mod schedule;
 
 pub use lowering::{verify_lowering, AccumulatorModel, ConvGeometry};
-pub use mc::{explore, standard_suite, DequeFault, DequeModel, FifoFault, FifoModel, Model};
+pub use mc::{
+    explore, standard_suite, ChannelFault, ChannelModel, DequeFault, DequeModel, FifoFault,
+    FifoModel, Model,
+};
 pub use pipeline::{verify_pipeline, BoundaryFacts, PipelineParams, StageFacts};
+pub use range::{
+    certify_layer, check_certificates, AbsVal, CertSummary, ExtremalPatch, Interval, KnownBits,
+    NetworkCertifier, WidthCertificate,
+};
 pub use report::{Axis, Defect, Metric, VerifyReport};
 pub use schedule::{verify_schedule, KernelFacts, ScheduleParams, TaskSpan};

@@ -1,7 +1,14 @@
 //! The source lint pass (`cargo xtask lint`).
 //!
-//! Three checks, all plain text scans so they cost nothing to run and
-//! cannot be silenced by `cfg` tricks:
+//! Three checks, all source-text scans so they cost nothing to run and
+//! cannot be silenced by `cfg` tricks. The scans are **token-aware**:
+//! a [`strip_code`] pre-pass blanks out string literals (including
+//! multi-line, raw `r#"…"#` and byte forms), character literals, and
+//! `//` / nested `/* … */` comments, so the pattern checks below only
+//! ever see executable code — `".unwrap()"` inside a diagnostic string
+//! or a comment is not a panic site, and the word `unsafe` in a doc
+//! sentence is not an unsafe site. `cargo xtask lint --self-test`
+//! proves both directions on seeded fixtures.
 //!
 //! 1. **Unsafe-forbid**: every compilation root in the workspace —
 //!    crate `lib.rs`/`main.rs`, every `src/bin/*.rs`, every bench and
@@ -177,33 +184,7 @@ fn scan_unsafe_island(root: &Path, errors: &mut Vec<String>) -> Result<(usize, u
             files += 1;
             let text = read(&file)?;
             let rel_path = rel(root, &file);
-            let is_island = rel_path == UNSAFE_ISLAND;
-            let lines: Vec<&str> = text.lines().collect();
-            for (i, line) in lines.iter().enumerate() {
-                let trimmed = line.trim_start();
-                if trimmed.starts_with("//") {
-                    continue;
-                }
-                // `unsafe_code` in a lint attribute is not a site; any
-                // other appearance of the keyword is.
-                if !line.replace("unsafe_code", "").contains("unsafe") {
-                    continue;
-                }
-                if !is_island {
-                    errors.push(format!(
-                        "{rel_path}:{}: `unsafe` outside the kernel island ({UNSAFE_ISLAND}): {}",
-                        i + 1,
-                        trimmed.trim_end()
-                    ));
-                } else if !has_invariant(&lines, i) {
-                    errors.push(format!(
-                        "{rel_path}:{}: island `unsafe` site lacks an // INVARIANT: comment",
-                        i + 1
-                    ));
-                } else {
-                    island_sites += 1;
-                }
-            }
+            island_sites += scan_unsafe_file(&rel_path, &text, errors);
         }
     }
     if island_sites == 0 {
@@ -212,6 +193,40 @@ fn scan_unsafe_island(root: &Path, errors: &mut Vec<String>) -> Result<(usize, u
         ));
     }
     Ok((files, island_sites))
+}
+
+/// Scans one file's source for `unsafe` sites (detection runs on the
+/// [`strip_code`] view, so the word in strings or comments never
+/// counts). Outside [`UNSAFE_ISLAND`] every site is a violation; inside
+/// it each site must carry an `// INVARIANT:` comment. Returns the
+/// number of justified island sites.
+fn scan_unsafe_file(rel_path: &str, text: &str, errors: &mut Vec<String>) -> usize {
+    let is_island = rel_path == UNSAFE_ISLAND;
+    let lines: Vec<&str> = text.lines().collect();
+    let stripped = strip_code(text);
+    let mut island_sites = 0usize;
+    for (i, code) in stripped.lines().enumerate() {
+        // `unsafe_code` in a lint attribute is not a site; any other
+        // appearance of the keyword in executable code is.
+        if !code.replace("unsafe_code", "").contains("unsafe") {
+            continue;
+        }
+        if !is_island {
+            errors.push(format!(
+                "{rel_path}:{}: `unsafe` outside the kernel island ({UNSAFE_ISLAND}): {}",
+                i + 1,
+                lines[i].trim()
+            ));
+        } else if !has_invariant(&lines, i) {
+            errors.push(format!(
+                "{rel_path}:{}: island `unsafe` site lacks an // INVARIANT: comment",
+                i + 1
+            ));
+        } else {
+            island_sites += 1;
+        }
+    }
+    island_sites
 }
 
 /// True if the site at `lines[i]` is justified by an `INVARIANT:`
@@ -234,22 +249,24 @@ fn has_invariant(lines: &[&str], i: usize) -> bool {
 }
 
 /// Scans one core file for panic sites before its `#[cfg(test)]`
-/// module. Returns the number of sites found; pushes an error for each
-/// site that is not allowlisted or lacks its `// INVARIANT:` comment.
+/// module. Detection runs on the [`strip_code`] view — `.unwrap()`
+/// spelled inside a string literal or a comment is not a site — while
+/// the `// INVARIANT:` justification is looked up in the original text
+/// (the comments the stripper removes are exactly where it lives).
+/// Returns the number of sites found; pushes an error for each site
+/// that is not allowlisted or lacks its `// INVARIANT:` comment.
 fn scan_panics(rel_path: &str, text: &str, allowed: bool, errors: &mut Vec<String>) -> usize {
     let lines: Vec<&str> = text.lines().collect();
+    let stripped = strip_code(text);
+    let code_lines: Vec<&str> = stripped.lines().collect();
     // Repository convention: the test module is the tail of the file.
-    let cutoff = lines
+    let cutoff = code_lines
         .iter()
         .position(|l| l.contains("#[cfg(test)]"))
-        .unwrap_or(lines.len());
+        .unwrap_or(code_lines.len());
     let mut found = 0;
-    for (i, line) in lines[..cutoff].iter().enumerate() {
-        let trimmed = line.trim_start();
-        if trimmed.starts_with("//") {
-            continue;
-        }
-        if !(line.contains(".unwrap()") || line.contains(".expect(") || line.contains("panic!")) {
+    for (i, code) in code_lines[..cutoff].iter().enumerate() {
+        if !(code.contains(".unwrap()") || code.contains(".expect(") || code.contains("panic!")) {
             continue;
         }
         found += 1;
@@ -258,7 +275,7 @@ fn scan_panics(rel_path: &str, text: &str, allowed: bool, errors: &mut Vec<Strin
             errors.push(format!(
                 "{rel_path}:{}: panic site in non-allowlisted core file: {}",
                 i + 1,
-                trimmed.trim_end()
+                lines[i].trim()
             ));
         } else if !justified {
             errors.push(format!(
@@ -268,6 +285,262 @@ fn scan_panics(rel_path: &str, text: &str, allowed: bool, errors: &mut Vec<Strin
         }
     }
     found
+}
+
+/// Replaces every non-code character of a Rust source with a space,
+/// preserving newlines: the contents of string literals (plain,
+/// multi-line, raw `r#"…"#`, byte `b"…"` and raw-byte `br#"…"#`
+/// forms), character literals, and `//` line / nested `/* … */` block
+/// comments all become blanks, so downstream pattern scans only match
+/// executable code. Lifetimes (`'a`) are left intact — a lone `'`
+/// opens a character literal only when one actually closes it.
+fn strip_code(text: &str) -> String {
+    let b: Vec<char> = text.chars().collect();
+    let mut out = String::with_capacity(text.len());
+    let blank = |c: char| if c == '\n' { '\n' } else { ' ' };
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        // Line comment: blank to end of line (covers `///` and `//!`).
+        if c == '/' && b.get(i + 1) == Some(&'/') {
+            while i < b.len() && b[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment, which nests in Rust.
+        if c == '/' && b.get(i + 1) == Some(&'*') {
+            let mut depth = 0usize;
+            while i < b.len() {
+                if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    out.push_str("  ");
+                    i += 2;
+                } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    out.push_str("  ");
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw / byte string prefixes: `r`, `b`, `br` followed by `#`s
+        // and `"` — only when not the tail of a longer identifier.
+        if (c == 'r' || c == 'b') && (i == 0 || !is_ident(b[i - 1])) {
+            let mut j = i + 1;
+            let mut raw = c == 'r';
+            if c == 'b' && b.get(j) == Some(&'r') {
+                raw = true;
+                j += 1;
+            }
+            let mut hashes = 0usize;
+            while raw && b.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if b.get(j) == Some(&'"') && (raw || c == 'b') {
+                for _ in i..=j {
+                    out.push(' ');
+                }
+                i = j + 1;
+                if raw {
+                    // Raw string: no escapes; closes at `"` + hashes.
+                    while i < b.len() {
+                        if b[i] == '"'
+                            && i + hashes < b.len()
+                            && b[i + 1..=i + hashes].iter().all(|&h| h == '#')
+                        {
+                            for _ in 0..=hashes {
+                                out.push(' ');
+                            }
+                            i += 1 + hashes;
+                            break;
+                        }
+                        out.push(blank(b[i]));
+                        i += 1;
+                    }
+                } else {
+                    i = consume_quoted(&b, i, &mut out);
+                }
+                continue;
+            }
+        }
+        // Plain string literal (may span lines).
+        if c == '"' {
+            out.push(' ');
+            i = consume_quoted(&b, i + 1, &mut out);
+            continue;
+        }
+        // Character literal vs lifetime: `'` opens a literal only if a
+        // closing `'` follows one (possibly escaped) character.
+        if c == '\'' {
+            if b.get(i + 1) == Some(&'\\') {
+                out.push_str("  ");
+                i += 2;
+                if i < b.len() {
+                    // The escaped character itself (possibly the quote).
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+                while i < b.len() && b[i] != '\'' {
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+                if i < b.len() {
+                    out.push(' ');
+                    i += 1;
+                }
+                continue;
+            }
+            if b.get(i + 2) == Some(&'\'') && b.get(i + 1) != Some(&'\'') {
+                out.push_str("   ");
+                i += 3;
+                continue;
+            }
+            // A lifetime: keep the tick, the name is ordinary code.
+            out.push('\'');
+            i += 1;
+            continue;
+        }
+        out.push(c);
+        i += 1;
+    }
+    out
+}
+
+/// Blanks a (non-raw) quoted literal body starting *inside* the quotes
+/// at `i`, honouring `\"` / `\\` escapes; returns the index just past
+/// the closing quote.
+fn consume_quoted(b: &[char], mut i: usize, out: &mut String) -> usize {
+    while i < b.len() {
+        match b[i] {
+            '\\' => {
+                out.push(' ');
+                if let Some(&next) = b.get(i + 1) {
+                    // A `\<newline>` continuation must keep its newline
+                    // so line numbers stay aligned with the original.
+                    out.push(if next == '\n' { '\n' } else { ' ' });
+                }
+                i += 2;
+            }
+            '"' => {
+                out.push(' ');
+                return i + 1;
+            }
+            c => {
+                out.push(if c == '\n' { '\n' } else { ' ' });
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// `cargo xtask lint --self-test`: proves the token-aware scanner on
+/// seeded in-memory fixtures — panic/unsafe tokens inside strings,
+/// raw strings, char literals and comments must NOT be reported
+/// (false-positive seeds), and real sites on the same lines as those
+/// decoys MUST be (true-positive seeds). A scanner regression that
+/// starts matching prose, or stops matching code, fails this gate.
+pub fn self_test() -> Result<(), String> {
+    let mut failures = Vec::new();
+
+    // Seeded false positives: every panic/unsafe token below is inside
+    // a literal or a comment, so a sound scanner reports nothing.
+    let clean = r##"//! Doc prose naming .unwrap(), .expect("x"), panic! and unsafe.
+fn decoys() -> String {
+    /* a block comment with .unwrap() and unsafe,
+       /* nested, with panic!("still a comment") */
+       spanning lines */
+    let a = "string with .unwrap() and panic!(\"escaped \\\" quote\") inside";
+    let b = r#"raw string with .expect("y") and unsafe { }"#;
+    let c = br"raw byte string: .unwrap()";
+    let d = b"byte string: panic!";
+    let e = '"'; // a char-literal quote must not open a string
+    let f = '\''; // nor an escaped quote close one early
+    let g: &'static str = "lifetime tick, then a real string";
+    let h = "multi-line string
+             with .unwrap() on the continuation line";
+    format!("{a}{b}{c:?}{d:?}{e}{f}{g}{h}")
+}
+"##;
+    let mut errors = Vec::new();
+    let sites = scan_panics("fixture/clean.rs", clean, false, &mut errors);
+    if sites != 0 || !errors.is_empty() {
+        failures.push(format!(
+            "false-positive fixture: expected 0 panic sites, found {sites} ({errors:?})"
+        ));
+    }
+    let mut errors = Vec::new();
+    scan_unsafe_file("fixture/clean.rs", clean, &mut errors);
+    if !errors.is_empty() {
+        failures.push(format!(
+            "false-positive fixture: expected 0 unsafe sites ({errors:?})"
+        ));
+    }
+
+    // Seeded true positives: real sites sharing lines with decoy
+    // literals must still be caught.
+    let dirty = r#"fn real() {
+    let x: Option<u32> = None;
+    let msg = ".unwrap() in a string"; x.unwrap();
+    unsafe { core::hint::unreachable_unchecked() } // prose: unsafe
+    std::option::Option::<&str>::None.expect("boom");
+    panic!("third site");
+}
+"#;
+    let mut errors = Vec::new();
+    let sites = scan_panics("fixture/dirty.rs", dirty, false, &mut errors);
+    if sites != 3 || errors.len() != 3 {
+        failures.push(format!(
+            "true-positive fixture: expected 3 panic sites / 3 errors, got {sites} / {}",
+            errors.len()
+        ));
+    }
+    let mut errors = Vec::new();
+    scan_unsafe_file("fixture/dirty.rs", dirty, &mut errors);
+    if errors.len() != 1 {
+        failures.push(format!(
+            "true-positive fixture: expected 1 unsafe violation, got {}",
+            errors.len()
+        ));
+    }
+
+    // Allowlisted sites still demand their INVARIANT comment.
+    let allowlisted = r#"fn justified(v: &[u32]) -> u32 {
+    // INVARIANT: callers index within v's length, checked at encode.
+    *v.first().unwrap()
+}
+fn unjustified(v: &[u32]) -> u32 {
+    *v.last().unwrap()
+}
+"#;
+    let mut errors = Vec::new();
+    let sites = scan_panics("fixture/allowed.rs", allowlisted, true, &mut errors);
+    if sites != 2 || errors.len() != 1 {
+        failures.push(format!(
+            "allowlist fixture: expected 2 sites / 1 unjustified, got {sites} / {}",
+            errors.len()
+        ));
+    }
+
+    if failures.is_empty() {
+        println!("lint --self-test: scanner fixtures all behave");
+        Ok(())
+    } else {
+        Err(format!(
+            "lint self-test failed:\n  {}",
+            failures.join("\n  ")
+        ))
+    }
 }
 
 /// Parses `xtask/lint-allow.txt`: one repo-relative path per line,
@@ -339,4 +612,78 @@ fn rel(root: &Path, path: &Path) -> String {
         .unwrap_or(path)
         .to_string_lossy()
         .into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let s = strip_code("let x = 1; // .unwrap()\n/* panic! */ let y;\n");
+        assert_eq!(s.lines().next().unwrap().trim_end(), "let x = 1;");
+        assert!(!s.contains("panic!"));
+        assert!(s.contains("let y;"));
+    }
+
+    #[test]
+    fn strips_nested_block_comments() {
+        let s = strip_code("a /* one /* two */ still */ b");
+        assert_eq!(s.replace(' ', ""), "ab");
+    }
+
+    #[test]
+    fn strips_string_bodies_but_keeps_code() {
+        let s = strip_code(r#"call(".unwrap()", x.unwrap())"#);
+        assert_eq!(s.matches(".unwrap()").count(), 1);
+        let s = strip_code(r#"let a = "esc \" still string .expect(";"#);
+        assert!(!s.contains(".expect("));
+        assert!(s.ends_with(';'));
+    }
+
+    #[test]
+    fn strips_raw_and_byte_strings() {
+        assert!(!strip_code(r###"let a = r#"panic!"#;"###).contains("panic!"));
+        assert!(!strip_code(r#"let a = br"panic!";"#).contains("panic!"));
+        assert!(!strip_code(r#"let a = b"panic!";"#).contains("panic!"));
+        // An identifier ending in `r` does not open a raw string.
+        let s = strip_code(r#"hasher "panic!" done"#);
+        assert!(s.contains("hasher"));
+        assert!(!s.contains("panic!"));
+        assert!(s.contains("done"));
+    }
+
+    #[test]
+    fn char_literal_quote_does_not_open_a_string() {
+        let s = strip_code(r#"let q = '"'; x.unwrap();"#);
+        assert!(s.contains(".unwrap()"));
+        let s = strip_code(r#"let q = '\''; x.unwrap();"#);
+        assert!(s.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let s = strip_code(r#"fn f<'a>(x: &'a str) { x.to_string().expect("boom"); }"#);
+        assert!(s.contains(".expect("));
+        assert!(!s.contains("boom"));
+    }
+
+    #[test]
+    fn multiline_strings_keep_line_numbering() {
+        let src = "let a = \"line one\nline two .unwrap()\";\nx.unwrap();\n";
+        let s = strip_code(src);
+        assert_eq!(s.lines().count(), src.lines().count());
+        let hits: Vec<usize> = s
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| l.contains(".unwrap()"))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(hits, vec![2]);
+    }
+
+    #[test]
+    fn self_test_passes() {
+        self_test().unwrap();
+    }
 }

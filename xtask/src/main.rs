@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 
 mod benchdiff;
+mod certify;
 mod faults;
 mod lint;
 mod metrics;
@@ -34,8 +35,11 @@ use std::process::ExitCode;
 const USAGE: &str = "usage: cargo xtask <command>
 commands:
   lint                 source lint pass (unsafe-forbid, panic-free core paths)
+  lint --self-test     prove the token-aware scanner on seeded fixtures
   verify --zoo         statically verify every AlexNet + VGG16 layer
   verify --net <name>  statically verify one network (tiny|alexnet|vgg16|vgg19)
+  verify --certify     re-derive width certificates, replay their witnesses,
+                       and check CERT_zoo.json (--update rewrites the file)
   mc                   run the exhaustive interleaving model-checker suite
   faults [--smoke]     run the fault-injection campaign (smoke = AlexNet only)
   pipeline [--smoke]   run the pipelined-vs-sequential conformance gate
@@ -57,7 +61,14 @@ fn main() -> ExitCode {
         .expect("xtask sits one level below the repository root")
         .to_path_buf();
     let outcome = match args.first().map(String::as_str) {
-        Some("lint") => lint::run(&root),
+        Some("lint") => match args.get(1).map(String::as_str) {
+            Some("--self-test") => lint::self_test(),
+            None => lint::run(&root),
+            Some(other) => Err(format!("unknown lint flag '{other}'\n{USAGE}")),
+        },
+        Some("verify") if args[1..].iter().any(|a| a == "--certify") => {
+            certify::run(&root, args[1..].iter().any(|a| a == "--update"))
+        }
         Some("verify") => match args.get(1).map(String::as_str) {
             Some("--zoo") | None => zoo::verify(&["alexnet", "vgg16"]),
             Some("--net") => match args.get(2) {

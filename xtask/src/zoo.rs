@@ -8,9 +8,9 @@ use std::time::Instant;
 
 /// Synthesis seed for the zoo sweeps — arbitrary but pinned, so CI
 /// verifies the same codebooks every run.
-const SEED: u64 = 2019;
+pub(crate) const SEED: u64 = 2019;
 
-fn lookup(name: &str) -> Result<(Network, PruneProfile, AcceleratorConfig), String> {
+pub(crate) fn lookup(name: &str) -> Result<(Network, PruneProfile, AcceleratorConfig), String> {
     Ok(match name {
         "vgg16" => (
             zoo::vgg16(),

@@ -365,6 +365,36 @@ impl<'m> Inferencer<'m> {
             .collect())
     }
 
+    /// [`run_batch_salvage`](Self::run_batch_salvage) against
+    /// pre-encoded weights, bounded by a wall-clock deadline — the
+    /// serving layer's batch executor. A deadline hit mid-batch
+    /// returns **per-item typed outcomes** instead of failing the
+    /// whole batch: items claimed before the deadline run to
+    /// completion and come back `Ok` (bit-identical to an unbounded
+    /// run), items the deadline cut come back as
+    /// [`AbmError::DeadlineExceeded`], and a panicked item poisons
+    /// only itself ([`AbmError::WorkerPanic`]). Results stay in input
+    /// order, and `tests/serve.rs` pins the regression.
+    pub fn run_batch_salvage_deadline(
+        &self,
+        prepared: &PreparedWeights,
+        inputs: &[Tensor3<i16>],
+        deadline: std::time::Instant,
+    ) -> Vec<Result<InferenceResult, AbmError>> {
+        crate::parallel::parallel_map_deadline_salvage(
+            self.parallelism,
+            inputs,
+            deadline,
+            |_, input| {
+                self.check_input_shape(input)?;
+                self.run_prepared_on(prepared, input, 0)
+            },
+        )
+        .into_iter()
+        .map(|r| r.and_then(|inner| inner))
+        .collect()
+    }
+
     /// [`run_batch`](Self::run_batch) against weights prepared earlier
     /// with [`prepare`](Self::prepare) — the "prepare once, infer many"
     /// serving path.

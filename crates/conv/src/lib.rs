@@ -73,5 +73,6 @@ pub use dense::{conv2d as dense_conv2d, Geometry};
 pub use infer::{Engine, InferenceResult, Inferencer, PreparedWeights, ResiliencePolicy};
 pub use ops::{LayerOps, NetworkOps};
 pub use parallel::{
-    parallel_map, parallel_map_caught, parallel_map_deadline, parallel_map_traced, Parallelism,
+    parallel_map, parallel_map_caught, parallel_map_deadline, parallel_map_deadline_salvage,
+    parallel_map_traced, Parallelism,
 };

@@ -14,6 +14,7 @@
 //! [`Inferencer`](crate::Inferencer), the simulator's network runner,
 //! the CLI and the examples.
 
+use abm_fault::AbmError;
 use abm_telemetry::{Event, TelemetrySink};
 use crossbeam::deque::{Injector, Steal};
 use std::fmt;
@@ -321,6 +322,106 @@ where
     })
 }
 
+/// The typed [`AbmError::DeadlineExceeded`] for an item the deadline
+/// cut before any worker claimed it.
+fn deadline_cut(item: usize, deadline: Instant) -> AbmError {
+    AbmError::DeadlineExceeded {
+        item,
+        late_us: u64::try_from(
+            Instant::now()
+                .saturating_duration_since(deadline)
+                .as_micros(),
+        )
+        .unwrap_or(u64::MAX),
+    }
+}
+
+/// [`parallel_map_deadline`] with **per-item typed outcomes** — the
+/// serving primitive. A deadline hit mid-batch no longer discards the
+/// work that did finish: every item comes back as its own `Result`, in
+/// item order:
+///
+/// * `Ok(r)` — the item was claimed before the deadline and completed;
+/// * [`AbmError::DeadlineExceeded`] — the deadline passed before any
+///   worker claimed the item (cancellation stays cooperative, at steal
+///   granularity, so claimed items always run to completion and the
+///   pool always joins cleanly);
+/// * [`AbmError::WorkerPanic`] — `f` panicked on the item; the panic is
+///   caught at the pool boundary and poisons only that item.
+pub fn parallel_map_deadline_salvage<T, R, F>(
+    parallelism: Parallelism,
+    items: &[T],
+    deadline: Instant,
+    f: F,
+) -> Vec<Result<R, AbmError>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let caught = |i: usize, item: &T| -> Result<R, AbmError> {
+        catch_unwind(AssertUnwindSafe(|| f(i, item))).map_err(|payload| AbmError::WorkerPanic {
+            item: i,
+            message: payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .unwrap_or_else(|| "worker panicked with a non-string payload".to_string()),
+        })
+    };
+    let workers = parallelism.worker_count().min(items.len());
+    if workers <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| {
+                if Instant::now() >= deadline {
+                    Err(deadline_cut(i, deadline))
+                } else {
+                    caught(i, item)
+                }
+            })
+            .collect();
+    }
+
+    let injector: Injector<usize> = Injector::new();
+    for i in 0..items.len() {
+        injector.push(i);
+    }
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, Result<R, AbmError>)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let injector = &injector;
+            let caught = &caught;
+            scope.spawn(move || loop {
+                if Instant::now() >= deadline {
+                    break;
+                }
+                match injector.steal() {
+                    Steal::Success(i) => {
+                        if tx.send((i, caught(i, &items[i]))).is_err() {
+                            break;
+                        }
+                    }
+                    Steal::Empty => break,
+                    Steal::Retry => {}
+                }
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<Result<R, AbmError>>> = (0..items.len()).map(|_| None).collect();
+        for (i, result) in rx.iter() {
+            slots[i] = Some(result);
+        }
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| slot.unwrap_or_else(|| Err(deadline_cut(i, deadline))))
+            .collect()
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -456,6 +557,87 @@ mod tests {
             let expired = Instant::now() - std::time::Duration::from_millis(1);
             let cut = parallel_map_deadline(par, &items, expired, |_, &x| x + 1).unwrap_err();
             assert!(cut < items.len(), "{par}: {cut}");
+        }
+    }
+
+    #[test]
+    fn deadline_salvage_returns_per_item_outcomes() {
+        // Regression: a deadline hit mid-batch used to fail the whole
+        // batch (`parallel_map_deadline` discards completed results).
+        // The salvage variant keeps every finished item and types every
+        // cut one.
+        let items: Vec<u64> = (0..24).collect();
+        for par in [Parallelism::Serial, Parallelism::Threads(4)] {
+            // Generous deadline: everything completes, in order.
+            let generous = Instant::now() + std::time::Duration::from_secs(60);
+            let out = parallel_map_deadline_salvage(par, &items, generous, |_, &x| x * 2);
+            assert_eq!(out.len(), 24);
+            for (i, r) in out.iter().enumerate() {
+                assert_eq!(r.as_ref().ok(), Some(&(i as u64 * 2)), "{par}");
+            }
+
+            // Expired deadline: nothing runs, every item is typed.
+            let expired = Instant::now() - std::time::Duration::from_millis(1);
+            let out = parallel_map_deadline_salvage(par, &items, expired, |_, &x| x * 2);
+            assert_eq!(out.len(), 24);
+            for (i, r) in out.iter().enumerate() {
+                match r {
+                    Err(AbmError::DeadlineExceeded { item, .. }) => assert_eq!(*item, i, "{par}"),
+                    other => panic!("{par}: item {i} not typed as deadline cut: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deadline_salvage_keeps_completed_items_on_midbatch_cut() {
+        // Slow items force the deadline to fire mid-batch; the fast
+        // items that were claimed first must come back Ok and correct.
+        let items: Vec<u64> = (0..16).collect();
+        let deadline = Instant::now() + std::time::Duration::from_millis(30);
+        let out =
+            parallel_map_deadline_salvage(Parallelism::Threads(2), &items, deadline, |i, &x| {
+                if i >= 4 {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+                x + 100
+            });
+        assert_eq!(out.len(), 16);
+        let completed = out.iter().filter(|r| r.is_ok()).count();
+        let cut = out.iter().filter(|r| r.is_err()).count();
+        assert_eq!(completed + cut, 16);
+        assert!(cut > 0, "deadline should have cut the tail of the batch");
+        for (i, r) in out.iter().enumerate() {
+            match r {
+                Ok(v) => assert_eq!(*v, i as u64 + 100),
+                Err(AbmError::DeadlineExceeded { item, .. }) => assert_eq!(*item, i),
+                Err(other) => panic!("unexpected error for item {i}: {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn deadline_salvage_isolates_panics() {
+        let items: Vec<u32> = (0..8).collect();
+        let generous = Instant::now() + std::time::Duration::from_secs(60);
+        for par in [Parallelism::Serial, Parallelism::Threads(3)] {
+            let out = parallel_map_deadline_salvage(par, &items, generous, |_, &x| {
+                assert!(x != 5, "poisoned item {x}");
+                x
+            });
+            for (i, r) in out.iter().enumerate() {
+                if i == 5 {
+                    match r {
+                        Err(AbmError::WorkerPanic { item, message }) => {
+                            assert_eq!(*item, 5, "{par}");
+                            assert!(message.contains("poisoned item 5"), "{par}: {message}");
+                        }
+                        other => panic!("{par}: expected WorkerPanic, got {other:?}"),
+                    }
+                } else {
+                    assert_eq!(r.as_ref().ok(), Some(&(i as u32)), "{par}");
+                }
+            }
         }
     }
 

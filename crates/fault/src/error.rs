@@ -183,6 +183,29 @@ pub enum AbmError {
         /// What was requested and why it was rejected.
         detail: String,
     },
+    /// Admission control refused a request: the bounded queue is full,
+    /// or its predicted drain time already exceeds the request's
+    /// deadline. The serving layer's typed load-shedding rejection —
+    /// nothing ran on behalf of the request.
+    Overloaded {
+        /// Requests queued or in flight when admission refused.
+        queue_depth: usize,
+        /// Predicted microseconds until the request would have
+        /// completed (queue wait plus service estimate).
+        predicted_us: u64,
+        /// Microseconds of deadline budget the request arrived with.
+        deadline_us: u64,
+    },
+    /// A per-request (or per-batch-item) deadline expired before the
+    /// item ran: the work was cut at a cooperative cancellation point,
+    /// never half-applied.
+    DeadlineExceeded {
+        /// Index of the item within its batch (0 for single requests).
+        item: usize,
+        /// Microseconds past the deadline when the item was abandoned
+        /// (0 means it was cut at the deadline check itself).
+        late_us: u64,
+    },
     /// An error annotated with the layer it occurred in (execution
     /// order) — the context wrapper the network-level paths add.
     Layer {
@@ -228,6 +251,18 @@ impl AbmError {
                 | AbmError::ChecksumMismatch { .. }
                 | AbmError::InputCorrupt { .. }
                 | AbmError::AbftMismatch { .. }
+        )
+    }
+
+    /// Whether this error is a serving-layer rejection (load shed or
+    /// deadline cut) rather than a fault or contract violation: the
+    /// request never produced a half-result and is safe to retry
+    /// against another replica.
+    #[must_use]
+    pub fn is_rejection(&self) -> bool {
+        matches!(
+            self.root_cause(),
+            AbmError::Overloaded { .. } | AbmError::DeadlineExceeded { .. }
         )
     }
 
@@ -351,6 +386,18 @@ impl fmt::Display for AbmError {
             AbmError::IsaUnavailable { detail } => {
                 write!(f, "kernel ISA unavailable: {detail}")
             }
+            AbmError::Overloaded {
+                queue_depth,
+                predicted_us,
+                deadline_us,
+            } => write!(
+                f,
+                "overloaded: {queue_depth} request(s) ahead, predicted {predicted_us} us against a {deadline_us} us deadline"
+            ),
+            AbmError::DeadlineExceeded { item, late_us } => write!(
+                f,
+                "deadline exceeded: item {item} abandoned {late_us} us past its deadline"
+            ),
             AbmError::Layer { layer, source } => write!(f, "layer {layer}: {source}"),
         }
     }
@@ -417,6 +464,31 @@ mod tests {
         let e: AbmError = enc.into();
         assert_eq!(e, AbmError::Encode(enc));
         assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn rejections_are_typed_and_descriptive() {
+        let shed = AbmError::Overloaded {
+            queue_depth: 12,
+            predicted_us: 9000,
+            deadline_us: 4000,
+        };
+        assert!(shed.is_rejection());
+        assert!(!shed.is_corruption() && !shed.is_watchdog());
+        assert!(shed.to_string().contains("12 request(s) ahead"));
+        let cut = AbmError::DeadlineExceeded {
+            item: 3,
+            late_us: 250,
+        };
+        assert!(cut.is_rejection());
+        assert!(cut.to_string().contains("item 3"));
+        // Layer context does not hide the rejection classification.
+        assert!(cut.at_layer(1).is_rejection());
+        assert!(!AbmError::LostDeposit {
+            layer: 0,
+            kernel: 0
+        }
+        .is_rejection());
     }
 
     #[test]

@@ -138,6 +138,31 @@ pub enum Command {
         /// Write the Prometheus-style text exposition here.
         prom: Option<String>,
     },
+    /// The fault-tolerant batching inference service: an in-process
+    /// open-loop burst against the admission-controlled server
+    /// (default), or a TCP listener speaking the line protocol.
+    Serve {
+        /// Network name.
+        net: String,
+        /// Synthesis seed.
+        seed: u64,
+        /// Requests offered in the burst.
+        requests: usize,
+        /// Offered rate as a multiple of the measured sustainable rate
+        /// (2.0 = deliberate overload).
+        rate_x: f64,
+        /// Enable seeded chaos injection (weight-stream corruption).
+        chaos: bool,
+        /// Layer-pipelined executor depth (0/1 = deadline-salvage).
+        stages: usize,
+        /// Bind a TCP front end here (e.g. `127.0.0.1:7070`) instead
+        /// of the in-process burst.
+        listen: Option<String>,
+        /// Seconds the TCP listener stays up before draining.
+        for_secs: u64,
+        /// Write the `BENCH_serve.json`-schema report here.
+        json: Option<String>,
+    },
 }
 
 /// CLI usage / parse errors.
@@ -171,7 +196,9 @@ commands:
   faults   <net> [--seed S] [--trials N] [--json PATH] [--trace-out PATH]
   pipeline <net> [--seed S] [--batch N] [--device gxa7|arria10]
   metrics  <net> [--seed S] [--batch N] [--parallel serial|auto|N]
-                 [--json PATH] [--prom PATH]";
+                 [--json PATH] [--prom PATH]
+  serve    <net> [--seed S] [--requests N] [--rate-x F] [--chaos]
+                 [--stages N] [--listen ADDR] [--for-secs T] [--json PATH]";
 
 /// Parses an argument vector (without the program name).
 ///
@@ -442,6 +469,72 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                 trials,
                 json,
                 trace_out,
+            })
+        }
+        "serve" => {
+            let mut seed = 2019u64;
+            let mut requests = 32usize;
+            let mut rate_x = 1.5f64;
+            let mut chaos = false;
+            let mut stages = 0usize;
+            let mut listen = None;
+            let mut for_secs = 5u64;
+            let mut json = None;
+            while let Some(flag) = it.next() {
+                if flag.as_str() == "--chaos" {
+                    chaos = true;
+                    continue;
+                }
+                let value = it
+                    .next()
+                    .ok_or_else(|| err(format!("flag {flag} needs a value")))?;
+                match flag.as_str() {
+                    "--seed" => {
+                        seed = value
+                            .parse::<u64>()
+                            .map_err(|_| err(format!("bad seed '{value}'")))?
+                    }
+                    "--requests" => {
+                        requests = value
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| err(format!("bad request count '{value}'")))?
+                    }
+                    "--rate-x" => {
+                        rate_x = value
+                            .parse::<f64>()
+                            .ok()
+                            .filter(|&f| f > 0.0 && f.is_finite())
+                            .ok_or_else(|| err(format!("bad rate multiple '{value}'")))?
+                    }
+                    "--stages" => {
+                        stages = value
+                            .parse::<usize>()
+                            .map_err(|_| err(format!("bad stage count '{value}'")))?
+                    }
+                    "--listen" => listen = Some(value.clone()),
+                    "--for-secs" => {
+                        for_secs = value
+                            .parse::<u64>()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| err(format!("bad duration '{value}'")))?
+                    }
+                    "--json" => json = Some(value.clone()),
+                    other => return Err(err(format!("unknown flag {other}"))),
+                }
+            }
+            Ok(Command::Serve {
+                net,
+                seed,
+                requests,
+                rate_x,
+                chaos,
+                stages,
+                listen,
+                for_secs,
+                json,
             })
         }
         other => Err(err(format!("unknown command '{other}'\n{USAGE}"))),
@@ -922,8 +1015,139 @@ pub fn execute(command: &Command) -> Result<(), Box<dyn Error>> {
                 println!("  wrote Prometheus exposition to {path}");
             }
         }
+        Command::Serve {
+            net,
+            seed,
+            requests,
+            rate_x,
+            chaos,
+            stages,
+            listen,
+            for_secs,
+            json,
+        } => {
+            let (network, _, model) = build(net, *seed);
+            let model = std::sync::Arc::new(model);
+            let accel = if net == "alexnet" {
+                AcceleratorConfig::paper_alexnet()
+            } else {
+                AcceleratorConfig::paper()
+            };
+            let cfg = abm_serve::ServeConfig {
+                pipeline_stages: *stages,
+                chaos: chaos.then(|| abm_serve::ChaosConfig::corrupt(seed ^ 0xC4A0_5EED, 3)),
+                ..abm_serve::ServeConfig::default()
+            };
+            let workers = cfg.workers;
+            let server = abm_serve::Server::start(std::sync::Arc::clone(&model), &accel, cfg)?;
+            let service = server.service_estimate();
+            println!(
+                "{} serving: {} cycles/image simulated, {} us/image calibrated, {} worker(s)",
+                network.name(),
+                server.cycles_per_image(),
+                service.as_micros(),
+                workers
+            );
+            if let Some(addr) = listen {
+                let front = abm_serve::NetServer::bind(
+                    std::sync::Arc::new(server),
+                    addr,
+                    abm_serve::NetConfig::default(),
+                )?;
+                println!(
+                    "listening on {} for {for_secs}s (protocol: `infer <seed> <deadline_ms>`, `stats`, `ping`)",
+                    front.local_addr()
+                );
+                std::thread::sleep(std::time::Duration::from_secs(*for_secs));
+                let server = front.shutdown();
+                let stats = match std::sync::Arc::try_unwrap(server) {
+                    Ok(s) => s.shutdown(),
+                    Err(arc) => arc.stats(), // a live connection still holds it; Drop drains
+                };
+                print_serve_stats(&stats);
+                return Ok(());
+            }
+            // In-process open-loop burst with the bit-identity oracle.
+            let golden_src = Inferencer::new(&model)
+                .parallelism(Parallelism::Serial)
+                .resilience(abm_conv::ResiliencePolicy::hardened());
+            let prepared = golden_src.prepare()?;
+            let mut golden = std::collections::HashMap::new();
+            for s in 0..4u64 {
+                let input = abm_serve::synth_input(network.input_shape(), s);
+                golden.insert(s, golden_src.run_prepared(&prepared, &input)?.logits);
+            }
+            let sustainable = workers as f64 / service.as_secs_f64().max(1e-9);
+            let load = abm_serve::LoadConfig {
+                requests: *requests,
+                rate_rps: sustainable * rate_x,
+                deadline: service
+                    .mul_f64(10.0)
+                    .max(std::time::Duration::from_millis(5)),
+                distinct_seeds: 4,
+                jitter_seed: *seed,
+            };
+            let leg = format!("cli_{rate_x}x{}", if *chaos { "_chaos" } else { "" });
+            let report = abm_serve::LoadGen::run(&server, &leg, &load, Some(&golden));
+            let stats = server.shutdown();
+            print_serve_stats(&stats);
+            println!(
+                "  burst: {} offered at {:.1} req/s ({rate_x}x sustainable) | p50 {} us | p99 {} us | goodput {:.1} req/s",
+                report.offered,
+                load.rate_rps,
+                report.percentile_us(50.0),
+                report.percentile_us(99.0),
+                report.goodput_rps
+            );
+            if let Some(path) = json {
+                let doc = abm_serve::loadgen::render_bench(
+                    std::slice::from_ref(&report),
+                    std::time::Duration::from_millis(100).max(service.mul_f64(40.0)),
+                    net,
+                );
+                abm_telemetry::json::validate(&doc)?;
+                std::fs::write(path, doc)?;
+                println!("  wrote serving report to {path}");
+            }
+            if report.silent_corruptions > 0 {
+                return Err(format!(
+                    "{} silent corruption(s): completions diverged from golden logits",
+                    report.silent_corruptions
+                )
+                .into());
+            }
+            if stats.admitted != stats.answered() {
+                return Err(format!(
+                    "drain lost requests: admitted {} answered {}",
+                    stats.admitted,
+                    stats.answered()
+                )
+                .into());
+            }
+        }
     }
     Ok(())
+}
+
+/// Prints the server's post-drain accounting in the CLI's table style.
+fn print_serve_stats(stats: &abm_serve::ServeStats) {
+    println!(
+        "  admitted {} / {} offered | shed {} (typed Overloaded) | completed {} | deadline-cut {} | failed {}",
+        stats.admitted,
+        stats.submitted,
+        stats.shed,
+        stats.completed,
+        stats.deadline_cut,
+        stats.failed
+    );
+    println!(
+        "  batches {} | retries {} | degraded (fault masked) {} | chaos injected {} | watchdog failovers {}",
+        stats.batches,
+        stats.retries,
+        stats.degraded_batches,
+        stats.chaos_injected,
+        stats.watchdog_failovers
+    );
 }
 
 /// Groups `KernelDispatch` telemetry events by resolved variant:
@@ -960,6 +1184,46 @@ mod tests {
 
     fn argv(s: &str) -> Vec<String> {
         s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parse_serve_defaults_and_flags() {
+        assert_eq!(
+            parse(&argv("serve tiny")).unwrap(),
+            Command::Serve {
+                net: "tiny".into(),
+                seed: 2019,
+                requests: 32,
+                rate_x: 1.5,
+                chaos: false,
+                stages: 0,
+                listen: None,
+                for_secs: 5,
+                json: None,
+            }
+        );
+        let cmd = parse(&argv(
+            "serve alexnet --seed 7 --requests 64 --rate-x 2.0 --chaos --stages 3 \
+             --listen 127.0.0.1:0 --for-secs 2 --json out.json",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                net: "alexnet".into(),
+                seed: 7,
+                requests: 64,
+                rate_x: 2.0,
+                chaos: true,
+                stages: 3,
+                listen: Some("127.0.0.1:0".into()),
+                for_secs: 2,
+                json: Some("out.json".into()),
+            }
+        );
+        assert!(parse(&argv("serve tiny --rate-x 0")).is_err());
+        assert!(parse(&argv("serve tiny --requests 0")).is_err());
+        assert!(parse(&argv("serve tiny --bogus 1")).is_err());
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //! * [`telemetry`] — zero-cost-when-disabled instrumentation + exporters
 //! * [`metrics`] — always-on metrics registry + flight recorder + exposition
 //! * [`fault`] — typed errors, deterministic fault injection, campaign reports
+//! * [`serve`] — fault-tolerant batching inference service (admission
+//!   control, deadlines, chaos-tested graceful degradation)
 //! * [`campaign`] — the seeded fault-injection campaign over the model zoo
 //!
 //! See the README for a tour and `examples/` for runnable entry points.
@@ -29,6 +31,7 @@ pub use abm_fault as fault;
 pub use abm_kernel as kernel;
 pub use abm_metrics as metrics;
 pub use abm_model as model;
+pub use abm_serve as serve;
 pub use abm_sim as sim;
 pub use abm_sparse as sparse;
 pub use abm_telemetry as telemetry;

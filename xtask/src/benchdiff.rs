@@ -30,6 +30,7 @@ const LAYER_WARN_THRESHOLD: f64 = 0.25;
 const CLAIM_TOLERANCE: f64 = 0.0051;
 
 /// One comparable number extracted from a benchmark JSON.
+#[derive(Debug)]
 struct Metric {
     name: String,
     value: f64,
@@ -88,9 +89,10 @@ fn load(path: &Path) -> Result<Vec<Metric>, String> {
     extract(&value).map_err(|e| format!("{}: {e}", path.display()))
 }
 
-/// Extracts comparable metrics from any of the three known schemas:
+/// Extracts comparable metrics from any of the four known schemas:
 /// the hotpath report (`variants`), the pipeline report (`networks`),
-/// or a metrics-registry snapshot (`histograms`).
+/// a metrics-registry snapshot (`histograms`), or the serving
+/// benchmark (`runs`, from the `loadtest` binary).
 fn extract(v: &Value) -> Result<Vec<Metric>, String> {
     if v.get("variants").is_some() {
         return extract_hotpath(v);
@@ -101,7 +103,13 @@ fn extract(v: &Value) -> Result<Vec<Metric>, String> {
     if v.get("histograms").is_some() {
         return extract_snapshot(v);
     }
-    Err("unrecognized benchmark schema (expected 'variants', 'networks', or 'histograms')".into())
+    if v.get("runs").is_some() {
+        return extract_serve(v);
+    }
+    Err(
+        "unrecognized benchmark schema (expected 'variants', 'networks', 'histograms', or 'runs')"
+            .into(),
+    )
 }
 
 fn extract_hotpath(v: &Value) -> Result<Vec<Metric>, String> {
@@ -220,6 +228,57 @@ fn extract_snapshot(v: &Value) -> Result<Vec<Metric>, String> {
     }
     if out.is_empty() {
         return Err("snapshot has no histograms to compare".into());
+    }
+    Ok(out)
+}
+
+/// Serving benchmark (`BENCH_serve.json`): goodput gates on every leg,
+/// p50/p99 latency gate on the nominal leg only (overload legs cut and
+/// shed by design, so their tails are load-shaped, not code-shaped —
+/// they warn). Correctness fields are not ratios: **any** silent
+/// corruption or untyped rejection in the file is an immediate error,
+/// regardless of what it is being compared against.
+fn extract_serve(v: &Value) -> Result<Vec<Metric>, String> {
+    let mut out = Vec::new();
+    let runs = v
+        .get("runs")
+        .and_then(Value::as_arr)
+        .ok_or("'runs' is not an array")?;
+    for run in runs {
+        let name = run
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("run without 'name'")?;
+        for field in ["silent_corruptions", "untyped_rejections"] {
+            let n = run.get(field).and_then(Value::as_f64).unwrap_or(0.0);
+            if n > 0.0 {
+                return Err(format!(
+                    "run '{name}' reports {n} {field} — the serving gate requires zero"
+                ));
+            }
+        }
+        if let Some(g) = run.get("goodput_rps").and_then(Value::as_f64) {
+            out.push(Metric {
+                name: format!("goodput_rps/{name}"),
+                value: g,
+                lower_better: false,
+                gate: true,
+            });
+        }
+        let nominal = name == "nominal_1x";
+        for stat in ["p50_us", "p99_us"] {
+            if let Some(us) = run.get(stat).and_then(Value::as_f64) {
+                out.push(Metric {
+                    name: format!("{stat}/{name}"),
+                    value: us,
+                    lower_better: true,
+                    gate: nominal,
+                });
+            }
+        }
+    }
+    if out.is_empty() {
+        return Err("serving benchmark has no runs to compare".into());
     }
     Ok(out)
 }
@@ -471,9 +530,32 @@ fn degraded_hotpath(hotpath: &Value, factor: f64) -> Result<String, String> {
 fn self_test(root: &Path) -> Result<(), String> {
     let hot = root.join("BENCH_abm_hotpath.json");
     let pipe = root.join("BENCH_pipeline.json");
-    // Committed-vs-committed must be clean for both schemas.
+    let serve = root.join("BENCH_serve.json");
+    // Committed-vs-committed must be clean for every schema.
     diff_files(&hot, &hot, DEFAULT_THRESHOLD)?;
     diff_files(&pipe, &pipe, DEFAULT_THRESHOLD)?;
+    if serve.exists() {
+        diff_files(&serve, &serve, DEFAULT_THRESHOLD)?;
+        // A benchmark reporting a silent corruption must be rejected
+        // outright, before any ratio math.
+        let poisoned =
+            read(&serve)?.replacen("\"silent_corruptions\":0", "\"silent_corruptions\":1", 1);
+        json::validate(&poisoned)?;
+        let tmp = std::env::temp_dir().join("abm_benchdiff_selftest_poisoned.json");
+        std::fs::write(&tmp, &poisoned)
+            .map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+        let verdict = diff_files(&serve, &tmp, DEFAULT_THRESHOLD);
+        std::fs::remove_file(&tmp).ok();
+        match verdict {
+            Err(msg) if msg.contains("silent_corruptions") => {
+                println!("self-test: corrupted serving benchmark correctly rejected");
+            }
+            Err(msg) => return Err(format!("self-test: poisoned serve run failed oddly: {msg}")),
+            Ok(()) => {
+                return Err("self-test FAILED: a silent corruption passed the serving gate".into())
+            }
+        }
+    }
     // A 20% across-the-board degradation must trip the 10% gate.
     let degraded = degraded_hotpath(&json::parse(&read(&hot)?)?, 0.8)?;
     json::validate(&degraded)?;
@@ -553,6 +635,54 @@ mod tests {
         assert!(compare(&old, &parse(1200.0), 0.10).is_err());
         // Faster is never a regression.
         assert!(compare(&old, &parse(500.0), 0.10).is_ok());
+    }
+
+    fn serve_fixture(goodput: f64, p99: f64, corruptions: u64) -> Result<Vec<Metric>, String> {
+        extract(
+            &json::parse(&format!(
+                "{{\"network\": \"tiny\", \"runs\": [\
+                   {{\"name\": \"nominal_1x\", \"goodput_rps\": {goodput}, \
+                     \"p50_us\": 2000, \"p99_us\": {p99}, \
+                     \"silent_corruptions\": {corruptions}, \"untyped_rejections\": 0}}, \
+                   {{\"name\": \"overload_2x\", \"goodput_rps\": {goodput}, \
+                     \"p50_us\": 2500, \"p99_us\": 9000, \
+                     \"silent_corruptions\": 0, \"untyped_rejections\": 0}}]}}"
+            ))
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn serve_extraction_gates_goodput_and_nominal_latency_only() {
+        let m = serve_fixture(40.0, 5000.0, 0).unwrap();
+        let by_name = |n: &str| m.iter().find(|x| x.name == n).unwrap();
+        assert!(by_name("goodput_rps/nominal_1x").gate);
+        assert!(by_name("goodput_rps/overload_2x").gate);
+        assert!(by_name("p99_us/nominal_1x").gate && by_name("p99_us/nominal_1x").lower_better);
+        assert!(
+            !by_name("p99_us/overload_2x").gate,
+            "overload tails must not gate"
+        );
+    }
+
+    #[test]
+    fn serve_regressions_trip_the_gate_in_the_right_direction() {
+        let old = serve_fixture(40.0, 5000.0, 0).unwrap();
+        assert!(compare(&old, &old, 0.10).is_ok());
+        // Goodput down 20% fails; nominal p99 up 20% fails.
+        assert!(compare(&old, &serve_fixture(32.0, 5000.0, 0).unwrap(), 0.10).is_err());
+        assert!(compare(&old, &serve_fixture(40.0, 6000.0, 0).unwrap(), 0.10).is_err());
+        // Faster and fatter goodput is never a regression.
+        assert!(compare(&old, &serve_fixture(80.0, 2500.0, 0).unwrap(), 0.10).is_ok());
+    }
+
+    #[test]
+    fn serve_silent_corruption_is_rejected_at_load() {
+        let err = serve_fixture(40.0, 5000.0, 1).unwrap_err();
+        assert!(
+            err.contains("silent_corruptions") && err.contains("nominal_1x"),
+            "rejection must name the field and the run: {err}"
+        );
     }
 
     #[test]

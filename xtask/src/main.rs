@@ -8,6 +8,7 @@
 //! cargo xtask faults --smoke  # seeded fault-injection campaign gate
 //! cargo xtask pipeline --smoke # pipelined-vs-sequential conformance gate
 //! cargo xtask metrics --smoke # metrics-registry bit-identity + exposition gate
+//! cargo xtask serve --smoke   # serving soak gate (loadtest legs incl. chaos)
 //! cargo xtask bench-diff A B  # noise-aware perf-regression gate
 //! ```
 //!
@@ -27,6 +28,7 @@ mod faults;
 mod lint;
 mod metrics;
 mod pipeline;
+mod serve;
 mod zoo;
 
 use std::path::Path;
@@ -44,6 +46,7 @@ commands:
   faults [--smoke]     run the fault-injection campaign (smoke = AlexNet only)
   pipeline [--smoke]   run the pipelined-vs-sequential conformance gate
   metrics [--smoke]    metrics registry gate: on/off bit-identity + expositions
+  serve [--smoke]      serving soak gate: loadtest legs incl. chaos, release build
   bench-diff <old> <new> [--threshold PCT]
                        fail when a headline benchmark metric regresses
   bench-diff --check-docs
@@ -91,6 +94,11 @@ fn main() -> ExitCode {
         Some("metrics") => match args.get(1).map(String::as_str) {
             Some("--smoke") | None => metrics::run(&root),
             Some(other) => Err(format!("unknown metrics flag '{other}'\n{USAGE}")),
+        },
+        Some("serve") => match args.get(1).map(String::as_str) {
+            Some("--smoke") => serve::run(&root, true),
+            None => serve::run(&root, false),
+            Some(other) => Err(format!("unknown serve flag '{other}'\n{USAGE}")),
         },
         Some("bench-diff") => benchdiff::run(&root, &args[1..]),
         Some(other) => Err(format!("unknown command '{other}'\n{USAGE}")),
